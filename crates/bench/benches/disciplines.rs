@@ -1,0 +1,103 @@
+//! Criterion bench: software discipline decision cost vs stream count —
+//! the quantitative backbone of the paper's §4.1 argument.
+//!
+//! Steady-state enqueue+select pairs; O(N)-scan disciplines (DWCS, EDF,
+//! WFQ) should show linear growth while DRR/SFQ stay flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ss_disciplines::{
+    Discipline, Drr, DwcsRef, DwcsStreamConfig, Edf, EdfStreamConfig, Fcfs, LatePolicy,
+    StaticPriority, StochasticFq, SwPacket, Wfq,
+};
+use ss_types::WindowConstraint;
+use std::hint::black_box;
+
+/// Pre-fills a discipline and measures select+enqueue (steady state).
+fn steady<D: Discipline>(d: &mut D, seq: &mut u64) -> usize {
+    let p = d.select(*seq).expect("backlogged");
+    d.enqueue(SwPacket::new(p.stream, *seq, *seq, 512));
+    *seq += 1;
+    black_box(p.stream)
+}
+
+fn prefill<D: Discipline>(d: &mut D, streams: usize) {
+    for q in 0..32u64 {
+        for s in 0..streams {
+            d.enqueue(SwPacket::new(s, q, q, 512));
+        }
+    }
+}
+
+fn bench_disciplines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("disciplines/select");
+    for n in [4usize, 16, 64] {
+        let mut dwcs = DwcsRef::new(
+            (0..n)
+                .map(|s| DwcsStreamConfig {
+                    period: n as u64,
+                    window: WindowConstraint::new(1, 2),
+                    first_deadline: s as u64 + 1,
+                    late_policy: LatePolicy::ServeLate,
+                })
+                .collect(),
+        );
+        prefill(&mut dwcs, n);
+        let mut seq = 1_000_000u64;
+        group.bench_with_input(BenchmarkId::new("dwcs_ref", n), &n, |b, _| {
+            b.iter(|| steady(&mut dwcs, &mut seq))
+        });
+
+        let mut edf = Edf::new(
+            (0..n)
+                .map(|s| EdfStreamConfig {
+                    period: n as u64,
+                    first_deadline: s as u64 + 1,
+                })
+                .collect(),
+        );
+        prefill(&mut edf, n);
+        let mut seq = 1_000_000u64;
+        group.bench_with_input(BenchmarkId::new("edf", n), &n, |b, _| {
+            b.iter(|| steady(&mut edf, &mut seq))
+        });
+
+        let mut wfq = Wfq::new(vec![1; n]);
+        prefill(&mut wfq, n);
+        let mut seq = 1_000_000u64;
+        group.bench_with_input(BenchmarkId::new("wfq", n), &n, |b, _| {
+            b.iter(|| steady(&mut wfq, &mut seq))
+        });
+
+        let mut drr = Drr::new(vec![1500; n]);
+        prefill(&mut drr, n);
+        let mut seq = 1_000_000u64;
+        group.bench_with_input(BenchmarkId::new("drr", n), &n, |b, _| {
+            b.iter(|| steady(&mut drr, &mut seq))
+        });
+
+        let mut sfq = StochasticFq::new(64);
+        prefill(&mut sfq, n);
+        let mut seq = 1_000_000u64;
+        group.bench_with_input(BenchmarkId::new("stochastic_fq", n), &n, |b, _| {
+            b.iter(|| steady(&mut sfq, &mut seq))
+        });
+
+        let mut fcfs = Fcfs::new();
+        prefill(&mut fcfs, n);
+        let mut seq = 1_000_000u64;
+        group.bench_with_input(BenchmarkId::new("fcfs", n), &n, |b, _| {
+            b.iter(|| steady(&mut fcfs, &mut seq))
+        });
+
+        let mut sp = StaticPriority::new((0..n as u8).collect());
+        prefill(&mut sp, n);
+        let mut seq = 1_000_000u64;
+        group.bench_with_input(BenchmarkId::new("static_priority", n), &n, |b, _| {
+            b.iter(|| steady(&mut sp, &mut seq))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_disciplines);
+criterion_main!(benches);

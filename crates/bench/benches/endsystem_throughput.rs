@@ -1,0 +1,125 @@
+//! Criterion bench: endsystem data-path components.
+//!
+//! * SPSC ring transfer cost (the sync-free circular queue the paper's
+//!   concurrency rests on);
+//! * the deterministic pipeline's per-frame cost;
+//! * push-PIO vs pull-DMA transfer strategies (the paper's §4.3 tradeoff);
+//! * streamlet-mux service cost (the aggregation hot path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ss_core::{FabricConfig, FabricConfigKind};
+use ss_endsystem::{
+    spsc_ring, EndsystemConfig, EndsystemPipeline, PciModel, StreamletMux, StreamletSetConfig,
+    TransferStrategy,
+};
+use ss_traffic::{merge, ArrivalEvent, Cbr};
+use ss_types::{PacketSize, ServiceClass, StreamId, StreamSpec};
+use std::hint::black_box;
+
+fn bench_spsc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("endsystem/spsc");
+    group.throughput(Throughput::Elements(1));
+    let (mut tx, mut rx) = spsc_ring::<u64>(1024);
+    for i in 0..512 {
+        tx.push(i).unwrap();
+    }
+    group.bench_function("push_pop", |b| {
+        b.iter(|| {
+            tx.push(black_box(7)).unwrap();
+            black_box(rx.pop().unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("endsystem/pipeline");
+    const FRAMES: u64 = 4_000;
+    group.throughput(Throughput::Elements(4 * FRAMES));
+    group.sample_size(10);
+    group.bench_function("run_16k_frames", |b| {
+        b.iter(|| {
+            let fabric = FabricConfig::dwcs(4, FabricConfigKind::WinnerOnly);
+            let mut pipe =
+                EndsystemPipeline::new(EndsystemConfig::paper_endsystem(fabric)).unwrap();
+            let ids: Vec<StreamId> = [1u32, 1, 2, 4]
+                .iter()
+                .map(|&w| {
+                    pipe.register(StreamSpec::new(
+                        format!("w{w}"),
+                        ServiceClass::FairShare { weight: w },
+                    ))
+                    .unwrap()
+                })
+                .collect();
+            let sources: Vec<Box<dyn Iterator<Item = ArrivalEvent>>> = ids
+                .iter()
+                .map(|&id| {
+                    Box::new(Cbr::new(id, PacketSize(1500), 1_000, 0, FRAMES))
+                        as Box<dyn Iterator<Item = ArrivalEvent>>
+                })
+                .collect();
+            let arrivals: Vec<ArrivalEvent> = merge(sources).collect();
+            black_box(pipe.run(&arrivals).total_packets)
+        })
+    });
+    group.finish();
+}
+
+fn bench_transfer_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("endsystem/pci_model");
+    let model = PciModel::pci32_33();
+    for batch in [1u64, 16, 256] {
+        group.bench_with_input(BenchmarkId::new("pio", batch), &batch, |b, &n| {
+            b.iter(|| black_box(model.per_packet_overhead_ns(n, TransferStrategy::PioPush)))
+        });
+        group.bench_with_input(BenchmarkId::new("dma", batch), &batch, |b, &n| {
+            b.iter(|| black_box(model.per_packet_overhead_ns(n, TransferStrategy::DmaPull)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_streamlet_mux(c: &mut Criterion) {
+    let mut group = c.benchmark_group("endsystem/streamlet_mux");
+    group.throughput(Throughput::Elements(1));
+    let mut mux = StreamletMux::new(&[
+        StreamletSetConfig {
+            streamlets: 50,
+            weight: 2,
+        },
+        StreamletSetConfig {
+            streamlets: 50,
+            weight: 1,
+        },
+    ]);
+    let ev = ArrivalEvent {
+        time_ns: 0,
+        stream: StreamId::new(0).unwrap(),
+        size: PacketSize(1500),
+    };
+    for set in 0..2 {
+        for sl in 0..50 {
+            for _ in 0..8 {
+                mux.deposit(set, sl, ev);
+            }
+        }
+    }
+    group.bench_function("wrr_next_refill", |b| {
+        b.iter(|| {
+            let (set, sl, e) = mux.next().expect("backlogged");
+            mux.deposit(set, sl, e);
+            black_box(sl)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_spsc,
+    bench_pipeline,
+    bench_transfer_strategies,
+    bench_streamlet_mux
+);
+criterion_main!(benches);

@@ -1,0 +1,144 @@
+//! Criterion bench: full decision cycles across the Figure 7 design space.
+//!
+//! Sweeps stream-slots × {BA, WR} (the paper's Figure 7 axes) plus the
+//! bitonic full-sort ablation (DESIGN.md §3) and the PRIORITY_UPDATE
+//! bypass (fair-queuing mapping). Simulated-cycle counts are deterministic
+//! (log2 N per decision); this measures the *simulator's* cost per decision
+//! so the experiment binaries' runtimes stay predictable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ss_core::{
+    BlockOrder, Fabric, FabricConfig, FabricConfigKind, LatePolicy, RtlFabric, StreamState,
+};
+use ss_types::{WindowConstraint, Wrap16};
+use std::hint::black_box;
+
+fn backlogged_fabric(config: FabricConfig) -> Fabric {
+    let mut fabric = Fabric::new(config).unwrap();
+    for s in 0..config.slots {
+        fabric
+            .load_stream(
+                s,
+                StreamState {
+                    request_period: config.slots as u64,
+                    original_window: WindowConstraint::new(1, 2),
+                    static_prio: 0,
+                    late_policy: LatePolicy::ServeLate,
+                },
+                (s + 1) as u64,
+            )
+            .unwrap();
+        // Modest initial backlog; the measured loop refills what it
+        // consumes so the fabric never runs dry.
+        for q in 0..64u64 {
+            fabric.push_arrival(s, Wrap16::from_wide(q)).unwrap();
+        }
+    }
+    fabric
+}
+
+/// One decision cycle with refill: every serviced slot gets a replacement
+/// arrival, keeping the backlog (and therefore the work) constant across
+/// criterion iterations.
+fn steady_state_cycle(fabric: &mut Fabric) -> usize {
+    let outcome = fabric.decision_cycle();
+    let n = outcome.packets().len();
+    for p in outcome.packets() {
+        fabric.push_arrival(p.slot.index(), Wrap16::ZERO).unwrap();
+    }
+    black_box(n)
+}
+
+fn bench_ba_vs_wr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fabric/decision_cycle");
+    for slots in [4usize, 8, 16, 32] {
+        for kind in [FabricConfigKind::Base, FabricConfigKind::WinnerOnly] {
+            let mut fabric = backlogged_fabric(FabricConfig::dwcs(slots, kind));
+            group.bench_with_input(BenchmarkId::new(kind.to_string(), slots), &slots, |b, _| {
+                b.iter(|| steady_state_cycle(&mut fabric))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fabric/ablations");
+
+    // Bitonic full sort vs log2(N) shuffle-exchange (BA, 16 slots).
+    let mut shuffle = backlogged_fabric(FabricConfig::dwcs(16, FabricConfigKind::Base));
+    group.bench_function("shuffle_16", |b| {
+        b.iter(|| steady_state_cycle(&mut shuffle))
+    });
+    let mut bitonic = backlogged_fabric(FabricConfig {
+        bitonic: true,
+        ..FabricConfig::dwcs(16, FabricConfigKind::Base)
+    });
+    group.bench_function("bitonic_16", |b| {
+        b.iter(|| steady_state_cycle(&mut bitonic))
+    });
+
+    // PRIORITY_UPDATE bypass (fair-queuing mapping) vs full DWCS.
+    let mut svc_tag =
+        backlogged_fabric(FabricConfig::service_tag(16, FabricConfigKind::WinnerOnly));
+    group.bench_function("service_tag_bypass_16", |b| {
+        b.iter(|| steady_state_cycle(&mut svc_tag))
+    });
+
+    // Min-first vs max-first block circulation.
+    let mut min_first = backlogged_fabric(FabricConfig {
+        block_order: BlockOrder::MinFirst,
+        ..FabricConfig::edf(16, FabricConfigKind::Base)
+    });
+    group.bench_function("block_min_first_16", |b| {
+        b.iter(|| steady_state_cycle(&mut min_first))
+    });
+    group.finish();
+}
+
+fn bench_rtl_vs_functional(c: &mut Criterion) {
+    // Simulator-cost comparison: the two-phase RTL kernel pays for its
+    // cycle-accurate visibility; this quantifies the overhead per decision.
+    let mut group = c.benchmark_group("fabric/rtl_vs_functional");
+    let config = FabricConfig::dwcs(16, FabricConfigKind::WinnerOnly);
+    let mut functional = backlogged_fabric(config);
+    group.bench_function("functional_16", |b| {
+        b.iter(|| steady_state_cycle(&mut functional))
+    });
+
+    let mut rtl = RtlFabric::new(config).unwrap();
+    for s in 0..16 {
+        rtl.load_stream(
+            s,
+            StreamState {
+                request_period: 16,
+                original_window: ss_types::WindowConstraint::new(1, 2),
+                static_prio: 0,
+                late_policy: LatePolicy::ServeLate,
+            },
+            (s + 1) as u64,
+        )
+        .unwrap();
+        for q in 0..64u64 {
+            rtl.push_arrival(s, Wrap16::from_wide(q)).unwrap();
+        }
+    }
+    group.bench_function("rtl_16", |b| {
+        b.iter(|| {
+            let outcome = rtl.run_decision();
+            for p in outcome.packets() {
+                rtl.push_arrival(p.slot.index(), Wrap16::ZERO).unwrap();
+            }
+            black_box(outcome.packets().len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ba_vs_wr,
+    bench_ablations,
+    bench_rtl_vs_functional
+);
+criterion_main!(benches);

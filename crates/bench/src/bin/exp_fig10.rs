@@ -1,0 +1,200 @@
+//! Figure 10 — Aggregation of 100 streamlets into a stream-slot.
+//!
+//! The paper binds 100 streamlet queues to each of four stream-slots
+//! (slots allocated 1:1:2:4 = 2.0/2.0/4.0/8.0 MB/s on the 16 MB/s
+//! streaming path), serves streamlets round-robin on the Stream processor,
+//! and plots per-streamlet bandwidth. Stream-slot 4 carries **two sets**
+//! of streamlets, set 1 at twice set 2's bandwidth.
+
+use serde::Serialize;
+use ss_bench::{banner, write_json};
+use ss_core::{FabricConfig, FabricConfigKind};
+use ss_endsystem::{EndsystemConfig, EndsystemPipeline, StreamletSetConfig};
+use ss_traffic::ArrivalEvent;
+use ss_types::{PacketSize, Ratio, ServiceClass, StreamId, StreamSpec};
+
+const WEIGHTS: [u32; 4] = [1, 1, 2, 4];
+const STREAMLETS_PER_SLOT: usize = 100;
+const FRAMES_PER_STREAMLET: u64 = 120;
+
+#[derive(Debug, Serialize)]
+struct SlotRow {
+    slot: usize,
+    weight: u32,
+    slot_rate_mbps: f64,
+    expected_slot_mbps: f64,
+    sets: Vec<SetRow>,
+}
+
+#[derive(Debug, Serialize)]
+struct SetRow {
+    set: usize,
+    streamlets: usize,
+    mean_streamlet_kbps: f64,
+    min_streamlet_frames: u64,
+    max_streamlet_frames: u64,
+}
+
+fn main() {
+    banner("F10", "100 streamlets per stream-slot (paper Figure 10)");
+    let fabric = FabricConfig::dwcs(4, FabricConfigKind::WinnerOnly);
+    let cfg = EndsystemConfig::paper_endsystem(fabric);
+    let mut pipe = EndsystemPipeline::new(cfg).unwrap();
+
+    let ids: Vec<StreamId> = WEIGHTS
+        .iter()
+        .map(|&w| {
+            pipe.register(StreamSpec::new(
+                format!("slot-w{w}"),
+                ServiceClass::FairShare { weight: w },
+            ))
+            .unwrap()
+        })
+        .collect();
+
+    // Slots 1-3: one RR set of 100 streamlets. Slot 4: two sets of 50,
+    // set 1 at twice set 2's bandwidth.
+    for &id in &ids[..3] {
+        pipe.attach_mux(
+            id,
+            &[StreamletSetConfig {
+                streamlets: STREAMLETS_PER_SLOT,
+                weight: 1,
+            }],
+        );
+    }
+    pipe.attach_mux(
+        ids[3],
+        &[
+            StreamletSetConfig {
+                streamlets: STREAMLETS_PER_SLOT / 2,
+                weight: 2,
+            },
+            StreamletSetConfig {
+                streamlets: STREAMLETS_PER_SLOT / 2,
+                weight: 1,
+            },
+        ],
+    );
+
+    // Deposit backlogged streamlet traffic with demand proportional to each
+    // streamlet's allocated rate, so every queue stays backlogged until the
+    // common drain instant (the regime the figure measures). Per-streamlet
+    // frame budgets for a common ~7.5 s drain at 2/2/4/8 MB/s:
+    //   slots 1-2: 100, slot 3: 200, slot 4 set 1: 533, set 2: 267.
+    let budgets: [&[(usize, usize, u64)]; 4] = [
+        &[(0, 100, FRAMES_PER_STREAMLET)],
+        &[(0, 100, FRAMES_PER_STREAMLET)],
+        &[(0, 100, 2 * FRAMES_PER_STREAMLET)],
+        &[
+            (0, 50, 16 * FRAMES_PER_STREAMLET / 3),
+            (1, 50, 8 * FRAMES_PER_STREAMLET / 3),
+        ],
+    ];
+    // Arrival timestamps staggered one packet-time apart across slots so
+    // FCFS tie-breaks alternate fairly among equal-weight slots instead of
+    // collapsing onto the lowest slot ID.
+    const PKT_TIME_NS: u64 = 93_750; // 1500 B at 16 MB/s
+    for (slot_idx, &id) in ids.iter().enumerate() {
+        for &(set, count, frames) in budgets[slot_idx] {
+            for sl in 0..count {
+                for q in 0..frames {
+                    let t = (q * 4 + slot_idx as u64) * PKT_TIME_NS;
+                    pipe.deposit_streamlet(
+                        id,
+                        set,
+                        sl,
+                        ArrivalEvent {
+                            time_ns: t,
+                            stream: id,
+                            size: PacketSize(1500),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    let report = pipe.run(&[]);
+    println!(
+        "  total frames: {} in {:.2}s",
+        report.total_packets, report.sim_seconds
+    );
+
+    let sim_s = report.sim_seconds;
+    let mut rows = Vec::new();
+    println!(
+        "  {:>5} {:>7} {:>12} {:>14}   per-streamlet kB/s (per set)",
+        "slot", "weight", "rate MB/s", "expected MB/s"
+    );
+    for (slot_idx, &id) in ids.iter().enumerate() {
+        let w = WEIGHTS[slot_idx];
+        let expected = 16.0 * f64::from(w) / 8.0;
+        let slot_rate = report.streams[slot_idx].mean_rate / 1e6;
+        let mux = pipe.mux(id).unwrap();
+        let set_count = if slot_idx == 3 { 2 } else { 1 };
+        let mut sets = Vec::new();
+        let mut set_desc = String::new();
+        for set in 0..set_count {
+            let n = if set_count == 2 { 50 } else { 100 };
+            let frames: Vec<u64> = (0..n).map(|sl| mux.serviced(set, sl)).collect();
+            let bytes: u64 = (0..n).map(|sl| mux.bytes(set, sl)).sum();
+            let mean_kbps = bytes as f64 / n as f64 / sim_s / 1e3;
+            set_desc.push_str(&format!(" set{}: {:.1}", set + 1, mean_kbps));
+            sets.push(SetRow {
+                set: set + 1,
+                streamlets: n,
+                mean_streamlet_kbps: mean_kbps,
+                min_streamlet_frames: *frames.iter().min().unwrap(),
+                max_streamlet_frames: *frames.iter().max().unwrap(),
+            });
+        }
+        println!(
+            "  {:>5} {:>7} {:>12.2} {:>14.2}  {}",
+            slot_idx + 1,
+            w,
+            slot_rate,
+            expected,
+            set_desc
+        );
+        rows.push(SlotRow {
+            slot: slot_idx + 1,
+            weight: w,
+            slot_rate_mbps: slot_rate,
+            expected_slot_mbps: expected,
+            sets,
+        });
+    }
+
+    // Shape checks: slot rates 1:1:2:4; equal shares within a set; slot 4
+    // set 1 at ~2x set 2 per-streamlet bandwidth.
+    let r0 = rows[0].slot_rate_mbps;
+    assert!(
+        Ratio::within_pct(rows[2].slot_rate_mbps, 2.0 * r0, 8.0),
+        "slot3 ~2x slot1"
+    );
+    assert!(
+        Ratio::within_pct(rows[3].slot_rate_mbps, 4.0 * r0, 8.0),
+        "slot4 ~4x slot1"
+    );
+    for row in &rows {
+        for set in &row.sets {
+            assert!(
+                set.max_streamlet_frames - set.min_streamlet_frames <= 2,
+                "slot {} set {}: RR must equalize streamlets",
+                row.slot,
+                set.set
+            );
+        }
+    }
+    let s4 = &rows[3].sets;
+    let ratio = s4[0].mean_streamlet_kbps / s4[1].mean_streamlet_kbps;
+    assert!(
+        (ratio - 2.0).abs() < 0.15,
+        "slot4 set1/set2 per-streamlet ratio {ratio}"
+    );
+    println!("  shape checks passed: slots 1:1:2:4; streamlets equal within sets;");
+    println!("  slot-4 set 1 gets 2x set 2 per streamlet (ratio {ratio:.2})");
+
+    write_json("fig10", &rows);
+}

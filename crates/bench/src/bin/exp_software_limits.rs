@@ -1,0 +1,168 @@
+//! §4.1 — Performance and limits of processor-resident packet schedulers.
+//!
+//! The paper's evidence that software cannot meet multi-gigabit
+//! packet-times: ≈50 µs/decision for window-constrained scheduling on a
+//! 300 MHz UltraSPARC, ≈67 µs on a 66 MHz i960RD, ≈35 µs for DRR on a
+//! 233 MHz Pentium, 7–10 µs for H-FSC on a 200 MHz Pentium — against
+//! packet-times of 12 µs (1500 B @ 1 G), 512 ns (64 B @ 1 G), 1.2 µs
+//! (1500 B @ 10 G) and 51 ns (64 B @ 10 G).
+//!
+//! This binary measures the same decision loops natively and evaluates the
+//! same feasibility question for *this* machine, then prints the paper's
+//! 2002-era numbers alongside.
+
+use serde::Serialize;
+use ss_bench::{banner, write_json};
+use ss_disciplines::{
+    Discipline, Drr, DwcsRef, DwcsStreamConfig, Edf, EdfStreamConfig, LatePolicy, StochasticFq,
+    SwPacket, Wfq,
+};
+use ss_types::{packet_time_ns, PacketSize, WindowConstraint};
+
+#[derive(Debug, Serialize)]
+struct Row {
+    discipline: String,
+    streams: usize,
+    ns_per_decision: f64,
+}
+
+fn measure_ns<D: Discipline>(mut d: D, streams: usize) -> f64 {
+    const PER_STREAM: u64 = 20_000;
+    for q in 0..PER_STREAM {
+        for s in 0..streams {
+            d.enqueue(SwPacket::new(s, q, q, 64));
+        }
+    }
+    let total = PER_STREAM * streams as u64;
+    let start = std::time::Instant::now();
+    let mut now = 0u64;
+    while d.select(now).is_some() {
+        now += 1;
+    }
+    start.elapsed().as_nanos() as f64 / total as f64
+}
+
+fn dwcs(streams: usize) -> DwcsRef {
+    DwcsRef::new(
+        (0..streams)
+            .map(|s| DwcsStreamConfig {
+                period: streams as u64,
+                window: WindowConstraint::new(1, 2),
+                first_deadline: s as u64 + 1,
+                late_policy: LatePolicy::ServeLate,
+            })
+            .collect(),
+    )
+}
+
+fn edf(streams: usize) -> Edf {
+    Edf::new(
+        (0..streams)
+            .map(|s| EdfStreamConfig {
+                period: streams as u64,
+                first_deadline: s as u64 + 1,
+            })
+            .collect(),
+    )
+}
+
+fn main() {
+    banner("§4.1", "Limits of processor-resident packet schedulers");
+
+    let mut rows = Vec::new();
+    println!("  measured decision latency on this machine (ns/decision):");
+    println!(
+        "  {:<22} {:>8} {:>8} {:>8}",
+        "discipline", "N=8", "N=32", "N=64"
+    );
+    type LatencyProbe = Box<dyn Fn(usize) -> f64>;
+    let cases: Vec<(&str, LatencyProbe)> = vec![
+        ("DWCS (reference)", Box::new(|n| measure_ns(dwcs(n), n))),
+        ("EDF", Box::new(|n| measure_ns(edf(n), n))),
+        ("WFQ", Box::new(|n| measure_ns(Wfq::new(vec![1; n]), n))),
+        ("DRR", Box::new(|n| measure_ns(Drr::new(vec![1500; n]), n))),
+        (
+            "Stochastic FQ",
+            Box::new(|n| measure_ns(StochasticFq::new(n.max(8)), n)),
+        ),
+    ];
+    for (name, f) in &cases {
+        let mut vals = Vec::new();
+        for n in [8usize, 32, 64] {
+            let ns = f(n);
+            vals.push(ns);
+            rows.push(Row {
+                discipline: (*name).into(),
+                streams: n,
+                ns_per_decision: ns,
+            });
+        }
+        println!(
+            "  {:<22} {:>8.0} {:>8.0} {:>8.0}",
+            name, vals[0], vals[1], vals[2]
+        );
+    }
+
+    println!("\n  paper-cited 2002 measurements:");
+    println!("    DWCS, 300 MHz UltraSPARC          ~50,000 ns");
+    println!("    DWCS, 66 MHz i960RD               ~67,000 ns");
+    println!("    DRR, 233 MHz Pentium (NetBSD)     ~35,000 ns");
+    println!("    H-FSC, 200 MHz Pentium             7,000-10,000 ns");
+
+    println!("\n  packet-time budgets:");
+    let budgets = [
+        (
+            "64B @ 1G",
+            packet_time_ns(PacketSize::ETH_MIN, 1_000_000_000),
+        ),
+        (
+            "1500B @ 1G",
+            packet_time_ns(PacketSize::ETH_MTU, 1_000_000_000),
+        ),
+        (
+            "64B @ 10G",
+            packet_time_ns(PacketSize::ETH_MIN, 10_000_000_000),
+        ),
+        (
+            "1500B @ 10G",
+            packet_time_ns(PacketSize::ETH_MTU, 10_000_000_000),
+        ),
+    ];
+    for (label, ns) in budgets {
+        println!("    {label:<14} {ns:>7} ns");
+    }
+
+    // The paper's §4.1 conclusions, evaluated against the cited hardware:
+    // 50 µs DWCS decisions cannot meet even the 12 µs MTU budget at 1 Gbps;
+    // 7-10 µs H-FSC meets 1G MTU (12 µs) but not 1G minimum frames (512 ns).
+    let cited_dwcs_ns = 50_000.0;
+    let cited_hfsc_ns = 10_000.0;
+    let budget_1g_mtu = packet_time_ns(PacketSize::ETH_MTU, 1_000_000_000) as f64;
+    let budget_1g_min = packet_time_ns(PacketSize::ETH_MIN, 1_000_000_000) as f64;
+    assert!(
+        cited_dwcs_ns > budget_1g_mtu,
+        "2002 software DWCS misses 1G MTU packet-times"
+    );
+    assert!(
+        cited_hfsc_ns < budget_1g_mtu && cited_hfsc_ns > budget_1g_min,
+        "H-FSC meets 1G MTU, misses 1G/64B"
+    );
+
+    // And on this machine: DWCS at 32 streams is a linear scan — verify it
+    // still cannot meet the 51 ns 10G/64B budget (nothing software can).
+    let dwcs32 = rows
+        .iter()
+        .find(|r| r.discipline == "DWCS (reference)" && r.streams == 32)
+        .unwrap();
+    assert!(
+        dwcs32.ns_per_decision > 51.0,
+        "even modern software misses the 10G minimum-frame budget"
+    );
+    println!("\n  conclusion reproduced: software scheduling cannot hold 10G/64B");
+    println!(
+        "  packet-times ({}ns measured vs 51ns budget) — hardware assist required.",
+        dwcs32.ns_per_decision.round()
+    );
+
+    write_json("software_limits", &rows);
+}

@@ -1,0 +1,99 @@
+//! Table 2 — Scheduler decision rules: drives the Decision block through a
+//! DWCS workload and reports which rule decided each pairwise comparison.
+
+use ss_bench::{banner, write_json};
+use ss_core::{Fabric, FabricConfig, FabricConfigKind, LatePolicy, StreamState};
+use ss_types::{WindowConstraint, Wrap16};
+
+fn main() {
+    banner("T2", "Decision-rule firing census (paper Table 2)");
+
+    // A workload engineered so every Table 2 rule discriminates somewhere:
+    // BA block mode services *all* slots each decision, so slots with equal
+    // request periods keep tied deadlines forever — the tie-break rules
+    // (2–5) then fire; one slow slot (double period) diverges and keeps
+    // rule 1 firing; one sparsely-fed slot drains and exercises the
+    // slot-valid arbitration.
+    let mut fabric = Fabric::new(FabricConfig::dwcs(8, FabricConfigKind::Base)).unwrap();
+    let configs: [(u64, WindowConstraint, u64); 8] = [
+        (8, WindowConstraint::new(0, 1), 2_000), // zero constraint
+        (8, WindowConstraint::new(0, 1), 2_000), // identical twin → slot-ID
+        (8, WindowConstraint::new(0, 3), 2_000), // zero, bigger den → rule 3
+        (8, WindowConstraint::new(1, 2), 2_000),
+        (8, WindowConstraint::new(2, 4), 2_000), // equal value, higher num → rule 4
+        (8, WindowConstraint::new(3, 4), 2_000),
+        (16, WindowConstraint::new(1, 8), 2_000), // diverging deadline → rule 1
+        (8, WindowConstraint::new(1, 2), 10),     // drains → validity rule
+    ];
+    for (slot, (period, window, arrivals)) in configs.iter().enumerate() {
+        fabric
+            .load_stream(
+                slot,
+                StreamState {
+                    request_period: *period,
+                    original_window: *window,
+                    static_prio: 0,
+                    late_policy: LatePolicy::ServeLate,
+                },
+                8, // identical first deadlines
+            )
+            .unwrap();
+        for q in 0..*arrivals {
+            // Twin slots 0/1 share arrival tags (slot-ID tie-break); the
+            // rest are offset (FCFS rule).
+            let tag = if slot <= 1 {
+                q * 2
+            } else {
+                q * 2 + slot as u64 % 2 + 1
+            };
+            fabric.push_arrival(slot, Wrap16::from_wide(tag)).unwrap();
+        }
+    }
+    for _ in 0..2_000 {
+        fabric.decision_cycle();
+    }
+
+    let rc = fabric.rule_counters();
+    let total = rc.total();
+    println!(
+        "  {:<44} {:>10} {:>8}",
+        "rule (Table 2 order)", "firings", "%"
+    );
+    let rows = [
+        ("earliest-deadline first", rc.earliest_deadline),
+        (
+            "equal deadlines → lowest window-constraint",
+            rc.lowest_window_constraint,
+        ),
+        (
+            "zero constraints → highest denominator",
+            rc.highest_denominator,
+        ),
+        (
+            "equal non-zero constraints → lowest numerator",
+            rc.lowest_numerator,
+        ),
+        ("all other cases → FCFS", rc.fcfs),
+        ("(slot-valid arbitration)", rc.validity),
+        ("(slot-ID tie-break)", rc.slot_id),
+    ];
+    for (name, count) in rows {
+        println!(
+            "  {:<44} {:>10} {:>7.2}%",
+            name,
+            count,
+            count as f64 / total as f64 * 100.0
+        );
+    }
+    println!("  total pairwise comparisons: {total}");
+
+    // Every substantive rule must have fired in this workload.
+    assert!(rc.earliest_deadline > 0, "rule 1 exercised");
+    assert!(rc.lowest_window_constraint > 0, "rule 2 exercised");
+    assert!(rc.highest_denominator > 0, "rule 3 exercised");
+    assert!(rc.lowest_numerator > 0, "rule 4 exercised");
+    assert!(rc.fcfs > 0, "rule 5 exercised");
+    println!("  all five Table 2 rules exercised ✓");
+
+    write_json("table2", &rc);
+}

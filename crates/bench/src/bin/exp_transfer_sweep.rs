@@ -1,0 +1,108 @@
+//! §4.3 ablation — push-PIO vs pull-DMA transfer strategies across batch
+//! sizes, run through the double-buffered Streaming unit over the banked
+//! SRAM (with the ownership-handover cost the paper calls the bottleneck).
+//!
+//! "For small transfers, the Stream processor can push arrival-times to
+//! the FPGA PCI card. For bulk-transfers, the Stream processor will set
+//! the DMA engine registers and assert the pull-start line." This sweep
+//! locates the crossover.
+
+use serde::Serialize;
+use ss_bench::{banner, fmt_rate, write_json};
+use ss_endsystem::{PciModel, StreamingUnit, TransferStrategy};
+
+#[derive(Debug, Serialize)]
+struct Row {
+    strategy: String,
+    batch: u64,
+    items_per_sec: f64,
+    bank_switches: u64,
+    fpga_stall_pct: f64,
+}
+
+fn main() {
+    banner(
+        "§4.3",
+        "Push-PIO vs pull-DMA across batch sizes (streaming unit)",
+    );
+    const ITEMS: u64 = 262_144;
+    const FPGA_NS_PER_ITEM: u64 = 132; // 7.6M decisions/s consumption rate
+
+    println!(
+        "  {:>8} {:>7} {:>14} {:>9} {:>9}",
+        "strategy", "batch", "tags/s", "switches", "stall %"
+    );
+    let mut rows = Vec::new();
+    let mut crossover: Option<u64> = None;
+    let mut last_pio = 0.0f64;
+    let mut last_dma = 0.0f64;
+    for batch in [4u64, 16, 64, 256, 1024, 4096] {
+        for strategy in [TransferStrategy::PioPush, TransferStrategy::DmaPull] {
+            let mut unit =
+                StreamingUnit::new(PciModel::pci32_33(), strategy, batch, FPGA_NS_PER_ITEM);
+            let r = unit.run(ITEMS).unwrap();
+            let name = match strategy {
+                TransferStrategy::PioPush => "PIO",
+                TransferStrategy::DmaPull => "DMA",
+            };
+            let stall_pct = r.fpga_stall_ns as f64 / r.elapsed_ns as f64 * 100.0;
+            println!(
+                "  {:>8} {:>7} {:>14} {:>9} {:>8.1}%",
+                name,
+                batch,
+                fmt_rate(r.items_per_sec),
+                r.bank_switches,
+                stall_pct
+            );
+            match strategy {
+                TransferStrategy::PioPush => last_pio = r.items_per_sec,
+                TransferStrategy::DmaPull => last_dma = r.items_per_sec,
+            }
+            rows.push(Row {
+                strategy: name.into(),
+                batch,
+                items_per_sec: r.items_per_sec,
+                bank_switches: r.bank_switches,
+                fpga_stall_pct: stall_pct,
+            });
+        }
+        if crossover.is_none() && last_dma > last_pio {
+            crossover = Some(batch);
+        }
+    }
+
+    match crossover {
+        Some(b) => println!(
+            "\n  crossover: DMA pulls overtake PIO pushes at batch ≈ {b} — push for\n  small transfers, pull for bulk, exactly the paper's §4.3 split."
+        ),
+        None => println!("\n  no crossover in the swept range"),
+    }
+    // The paper's design rule must emerge from the model:
+    let pio_small = rows
+        .iter()
+        .find(|r| r.strategy == "PIO" && r.batch == 4)
+        .unwrap();
+    let dma_small = rows
+        .iter()
+        .find(|r| r.strategy == "DMA" && r.batch == 4)
+        .unwrap();
+    assert!(
+        pio_small.items_per_sec > dma_small.items_per_sec,
+        "PIO wins small batches"
+    );
+    let pio_bulk = rows
+        .iter()
+        .find(|r| r.strategy == "PIO" && r.batch == 4096)
+        .unwrap();
+    let dma_bulk = rows
+        .iter()
+        .find(|r| r.strategy == "DMA" && r.batch == 4096)
+        .unwrap();
+    assert!(
+        dma_bulk.items_per_sec >= pio_bulk.items_per_sec,
+        "DMA wins bulk"
+    );
+    println!("  shape check passed: PIO wins small batches, DMA wins bulk.");
+
+    write_json("transfer_sweep", &rows);
+}

@@ -1,0 +1,56 @@
+//! Runs every experiment binary in sequence (the full reproduction).
+//!
+//! Equivalent to invoking each `exp_*` binary yourself; artifacts land in
+//! `results/`.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "exp_table1",
+    "exp_table2",
+    "exp_table3",
+    "exp_fig1",
+    "exp_fig6",
+    "exp_fig7",
+    "exp_fig8",
+    "exp_fig9",
+    "exp_fig10",
+    "exp_software_limits",
+    "exp_perf_comparison",
+    "exp_extensions",
+    "exp_transfer_sweep",
+];
+
+fn main() {
+    let mut failures = Vec::new();
+    for exp in EXPERIMENTS {
+        let status = Command::new(env!("CARGO"))
+            .args([
+                "run",
+                "--quiet",
+                "--release",
+                "-p",
+                "ss-bench",
+                "--bin",
+                exp,
+            ])
+            .status()
+            .expect("spawn cargo");
+        if !status.success() {
+            failures.push(*exp);
+        }
+    }
+    println!("\n=== reproduction summary ===");
+    println!(
+        "  {} experiments, {} failed",
+        EXPERIMENTS.len(),
+        failures.len()
+    );
+    for f in &failures {
+        println!("  FAILED: {f}");
+    }
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
+    println!("  all experiment shape-checks passed; artifacts in results/");
+}

@@ -1,0 +1,62 @@
+//! The ShareStreams canonical scheduler architecture (the paper's primary
+//! contribution), simulated at hardware-cycle granularity.
+//!
+//! # Architecture
+//!
+//! ```text
+//!            ┌────────────────────────────────────────────────┐
+//!            │          Control & Steering logic (FSM)        │
+//!            │   LOAD ──► SCHEDULE ◄──► PRIORITY_UPDATE       │
+//!            └──────┬──────────────────────────▲──────────────┘
+//!    attrs          │ mux select               │ winner ID
+//!  ┌─────────┐   ┌──▼──────────────────────────┴───┐
+//!  │Register │──►│                                 │
+//!  │Base blk │   │  N/2 Decision blocks in a       │
+//!  │ (slot 0)│◄──│  single-stage recirculating     │
+//!  ├─────────┤   │  shuffle-exchange network       │
+//!  │  ...    │──►│  (log2 N cycles per decision)   │
+//!  ├─────────┤   │                                 │
+//!  │ slot N-1│◄──│  BA: winners+losers routed      │
+//!  └─────────┘   │  WR: winners only (max-finding) │
+//!                └─────────────────────────────────┘
+//! ```
+//!
+//! * [`decision`] — the single-cycle multi-attribute Decision block
+//!   implementing the paper's Table 2 ordering rules, with rule-firing
+//!   counters.
+//! * [`dwcs`] — the DWCS winner/loser window-constraint update rules applied
+//!   during PRIORITY_UPDATE (reconstructed from West & Poellabauer, RTSS'00;
+//!   see DESIGN.md §3).
+//! * [`register`] — the Register Base block ("stream-slot"): per-stream state
+//!   storage, attribute supply, winner/loser updates, performance counters.
+//! * [`network`] — the recirculating shuffle-exchange network (BA), the
+//!   winner-only tournament (WR), and an optional bitonic full-sort mode.
+//! * [`control`] — the Control & Steering FSM and its timeline trace
+//!   (paper Figure 6).
+//! * [`fabric`] — the assembled fabric: runs decision cycles, counts hardware
+//!   cycles, produces winners (WR) or blocks (BA).
+//! * [`scheduler`] — the user-facing [`ShareStreamsScheduler`]: register
+//!   streams by [`ss_types::StreamSpec`], enqueue packet arrivals, run
+//!   decisions, read QoS counters.
+
+#![warn(missing_docs)]
+
+pub mod control;
+pub mod decision;
+pub mod dwcs;
+pub mod fabric;
+pub mod network;
+pub mod register;
+pub mod rtl;
+pub mod scheduler;
+
+pub use control::{ControlFsm, FsmState, TimelineEntry};
+pub use decision::{DecisionBlock, DecisionRule, RuleCounters};
+pub use dwcs::{DwcsUpdater, PriorityUpdater, UpdateEvent};
+pub use fabric::{BlockOrder, DecisionOutcome, Fabric, FabricConfig, ScheduledPacket};
+pub use register::{LatePolicy, RegisterBaseBlock, SlotCounters, StreamState};
+pub use rtl::{RtlFabric, RtlWires};
+pub use scheduler::{SchedulerReport, ShareStreamsScheduler};
+
+// Re-export the hwsim configuration enum used throughout.
+pub use ss_hwsim::FabricConfigKind;

@@ -1,0 +1,378 @@
+//! The single-stage recirculating shuffle-exchange network, the winner-only
+//! tournament, and an optional bitonic full-sort schedule.
+//!
+//! The paper's area argument (§3, §4.3): a Decision-block *tree* needs N−1
+//! blocks and cannot be pipelined for window-constrained disciplines (the
+//! winner must recirculate to the state store before the next decision), so
+//! ShareStreams keeps only the lowest tree level — N/2 Decision blocks — and
+//! recirculates attribute words through a perfect-shuffle interconnect for
+//! log2(N) cycles per decision.
+//!
+//! ## Fidelity note (DESIGN.md §3)
+//!
+//! log2(N) shuffle-exchange passes guarantee the **maximum at position 0 and
+//! the minimum at position N−1** — which is everything the paper's
+//! max-first/min-first block modes consume — but *not* a fully sorted
+//! permutation (see [`bitonic_decision`] for the counterexample-free full
+//! sort, at log2(N)·(log2(N)+1)/2 passes). The unit tests enshrine the
+//! counterexample.
+
+use crate::decision::DecisionBlock;
+use ss_types::{ComparisonMode, StreamAttrs};
+
+/// Validates the word-count for the network (power of two, 2..=32).
+fn check_n(n: usize) {
+    assert!(
+        n.is_power_of_two() && (2..=32).contains(&n),
+        "network size {n} must be a power of two in 2..=32"
+    );
+}
+
+/// The perfect shuffle permutation: interleaves the first and second halves
+/// (`new[2i] = old[i]`, `new[2i+1] = old[i + n/2]`).
+pub fn perfect_shuffle<T: Copy>(words: &[T]) -> Vec<T> {
+    let n = words.len();
+    assert!(n.is_power_of_two() && n >= 2);
+    let half = n / 2;
+    let mut out = Vec::with_capacity(n);
+    for i in 0..half {
+        out.push(words[i]);
+        out.push(words[i + half]);
+    }
+    out
+}
+
+/// One cycle of the recirculating shuffle-exchange network: shuffle, then
+/// route each adjacent pair through a Decision block (winner to the even
+/// port, loser to the odd port). This is the BA (Base Architecture) datapath
+/// where both winners and losers are routed.
+pub fn shuffle_exchange_pass(
+    words: &[StreamAttrs],
+    blocks: &mut [DecisionBlock],
+    mode: ComparisonMode,
+) -> Vec<StreamAttrs> {
+    let n = words.len();
+    check_n(n);
+    assert_eq!(blocks.len(), n / 2, "need N/2 decision blocks");
+    let shuffled = perfect_shuffle(words);
+    let mut out = Vec::with_capacity(n);
+    for j in 0..n / 2 {
+        let (w, l) = blocks[j].compare(shuffled[2 * j], shuffled[2 * j + 1], mode);
+        out.push(w);
+        out.push(l);
+    }
+    out
+}
+
+/// Runs the full BA decision: log2(N) shuffle-exchange cycles, returning the
+/// final block (position 0 = highest priority, position N−1 = lowest) and
+/// the number of network cycles consumed.
+pub fn ba_decision(
+    words: &[StreamAttrs],
+    blocks: &mut [DecisionBlock],
+    mode: ComparisonMode,
+) -> (Vec<StreamAttrs>, u64) {
+    let n = words.len();
+    check_n(n);
+    let passes = n.trailing_zeros() as u64;
+    let mut cur = words.to_vec();
+    for _ in 0..passes {
+        cur = shuffle_exchange_pass(&cur, blocks, mode);
+    }
+    (cur, passes)
+}
+
+/// Runs the WR (winner-only / max-finding) decision: a log2(N)-cycle
+/// tournament in which only winners are routed between cycles. Returns the
+/// winning attribute word and the number of network cycles consumed.
+pub fn wr_decision(
+    words: &[StreamAttrs],
+    blocks: &mut [DecisionBlock],
+    mode: ComparisonMode,
+) -> (StreamAttrs, u64) {
+    let n = words.len();
+    check_n(n);
+    assert_eq!(blocks.len(), n / 2, "need N/2 decision blocks");
+    let mut candidates = words.to_vec();
+    let mut cycles = 0u64;
+    while candidates.len() > 1 {
+        let mut next = Vec::with_capacity(candidates.len() / 2);
+        for (j, pair) in candidates.chunks_exact(2).enumerate() {
+            let (w, _) = blocks[j].compare(pair[0], pair[1], mode);
+            next.push(w);
+        }
+        candidates = next;
+        cycles += 1;
+    }
+    (candidates[0], cycles)
+}
+
+/// Runs a bitonic sorting schedule on the same N/2 Decision blocks,
+/// producing an exactly sorted block (extension mode; DESIGN.md §3).
+/// Returns the sorted block and the number of network cycles consumed:
+/// log2(N)·(log2(N)+1)/2 — each bitonic stage is one pass over the N/2
+/// comparators, just with different mux settings from the Control unit.
+pub fn bitonic_decision(
+    words: &[StreamAttrs],
+    blocks: &mut [DecisionBlock],
+    mode: ComparisonMode,
+) -> (Vec<StreamAttrs>, u64) {
+    let n = words.len();
+    check_n(n);
+    assert_eq!(blocks.len(), n / 2, "need N/2 decision blocks");
+    let mut cur = words.to_vec();
+    let mut cycles = 0u64;
+    let k = n.trailing_zeros();
+    for stage in 1..=k {
+        for sub in (0..stage).rev() {
+            // One pass: compare-exchange pairs at distance 2^sub, direction
+            // chosen so the final order is highest priority first.
+            let dist = 1usize << sub;
+            let mut block_idx = 0;
+            for i in 0..n {
+                if i & dist == 0 {
+                    let j = i + dist;
+                    // Ascending (winner to the lower index) iff the bit at
+                    // `stage` is 0.
+                    let ascending = i & (1usize << stage) == 0;
+                    let (w, l) = blocks[block_idx % blocks.len()].compare(cur[i], cur[j], mode);
+                    if ascending {
+                        cur[i] = w;
+                        cur[j] = l;
+                    } else {
+                        cur[i] = l;
+                        cur[j] = w;
+                    }
+                    block_idx += 1;
+                }
+            }
+            cycles += 1;
+        }
+    }
+    (cur, cycles)
+}
+
+/// Number of bitonic passes for an N-word block.
+pub fn bitonic_pass_count(n: usize) -> u64 {
+    check_n(n);
+    let k = n.trailing_zeros() as u64;
+    k * (k + 1) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decision::order;
+    use proptest::prelude::*;
+    use ss_types::{SlotId, WindowConstraint, Wrap16};
+    use std::cmp::Ordering;
+
+    /// Builds attribute words whose priority is fully determined by a list
+    /// of service tags (ServiceTag mode gives a total order for distinct
+    /// tags; ties broken by slot ID).
+    fn tagged(tags: &[u16]) -> Vec<StreamAttrs> {
+        tags.iter()
+            .enumerate()
+            .map(|(i, &t)| StreamAttrs {
+                deadline: Wrap16(t),
+                window: WindowConstraint::ZERO,
+                arrival: Wrap16(0),
+                slot: SlotId::new(i as u8).unwrap(),
+                static_prio: 0,
+                valid: true,
+            })
+            .collect()
+    }
+
+    fn blocks(n: usize) -> Vec<DecisionBlock> {
+        (0..n / 2).map(|_| DecisionBlock::new()).collect()
+    }
+
+    /// Software argmax oracle under the same ordering.
+    fn oracle_best(words: &[StreamAttrs], mode: ComparisonMode) -> StreamAttrs {
+        let mut best = words[0];
+        for w in &words[1..] {
+            if order(w, &best, mode).0 == Ordering::Less {
+                best = *w;
+            }
+        }
+        best
+    }
+
+    fn oracle_worst(words: &[StreamAttrs], mode: ComparisonMode) -> StreamAttrs {
+        let mut worst = words[0];
+        for w in &words[1..] {
+            if order(w, &worst, mode).0 == Ordering::Greater {
+                worst = *w;
+            }
+        }
+        worst
+    }
+
+    #[test]
+    fn perfect_shuffle_interleaves_halves() {
+        let v: Vec<u32> = (0..8).collect();
+        assert_eq!(perfect_shuffle(&v), vec![0, 4, 1, 5, 2, 6, 3, 7]);
+        let v4: Vec<u32> = (0..4).collect();
+        assert_eq!(perfect_shuffle(&v4), vec![0, 2, 1, 3]);
+    }
+
+    #[test]
+    fn ba_uses_log2_n_cycles() {
+        // Paper §5.1: 2, 3, 4, 5 cycles for 4, 8, 16, 32 stream-slots.
+        for (n, expect) in [(4usize, 2u64), (8, 3), (16, 4), (32, 5)] {
+            let words = tagged(&(0..n as u16).collect::<Vec<_>>());
+            let mut blks = blocks(n);
+            let (_, cycles) = ba_decision(&words, &mut blks, ComparisonMode::ServiceTag);
+            assert_eq!(cycles, expect, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn ba_puts_max_at_0_and_min_at_end() {
+        let words = tagged(&[9, 3, 7, 1, 8, 2, 6, 4]);
+        let mut blks = blocks(8);
+        let (block, _) = ba_decision(&words, &mut blks, ComparisonMode::ServiceTag);
+        assert_eq!(block[0].deadline, Wrap16(1), "earliest tag wins");
+        assert_eq!(block[7].deadline, Wrap16(9), "latest tag sinks to the end");
+    }
+
+    #[test]
+    fn fidelity_note_counterexample_not_fully_sorted() {
+        // DESIGN.md §3: [1, 4, 2, 3] is NOT fully sorted by 2 shuffle-
+        // exchange passes, though its extremes are correct. If this test
+        // ever fails, the fidelity note should be revisited.
+        let words = tagged(&[1, 4, 2, 3]);
+        let mut blks = blocks(4);
+        let (block, _) = ba_decision(&words, &mut blks, ComparisonMode::ServiceTag);
+        let tags: Vec<u16> = block.iter().map(|w| w.deadline.raw()).collect();
+        assert_eq!(tags[0], 1);
+        assert_eq!(tags[3], 4);
+        assert_ne!(tags, vec![1, 2, 3, 4], "fidelity note counterexample");
+        assert_eq!(tags, vec![1, 3, 2, 4]);
+    }
+
+    #[test]
+    fn wr_tournament_matches_oracle() {
+        let words = tagged(&[12, 7, 3, 9, 15, 1, 8, 2]);
+        let mut blks = blocks(8);
+        let (winner, cycles) = wr_decision(&words, &mut blks, ComparisonMode::ServiceTag);
+        assert_eq!(winner.deadline, Wrap16(1));
+        assert_eq!(cycles, 3);
+    }
+
+    #[test]
+    fn wr_and_ba_agree_on_the_winner() {
+        let tags = [
+            5u16, 11, 2, 19, 7, 3, 13, 17, 23, 29, 31, 37, 41, 43, 47, 53,
+        ];
+        let words = tagged(&tags);
+        let (ba_block, _) = ba_decision(&words, &mut blocks(16), ComparisonMode::ServiceTag);
+        let (wr_winner, _) = wr_decision(&words, &mut blocks(16), ComparisonMode::ServiceTag);
+        assert_eq!(ba_block[0], wr_winner);
+    }
+
+    #[test]
+    fn invalid_words_sink_to_the_bottom() {
+        let mut words = tagged(&[4, 3, 2, 1]);
+        words[2].valid = false; // the would-be winner is empty
+        let (block, _) = ba_decision(&words, &mut blocks(4), ComparisonMode::ServiceTag);
+        assert!(!block[3].valid, "invalid word must be last");
+        assert_eq!(block[0].deadline, Wrap16(1));
+    }
+
+    #[test]
+    fn bitonic_fully_sorts() {
+        let words = tagged(&[1, 4, 2, 3]); // the shuffle-exchange counterexample
+        let (block, cycles) = bitonic_decision(&words, &mut blocks(4), ComparisonMode::ServiceTag);
+        let tags: Vec<u16> = block.iter().map(|w| w.deadline.raw()).collect();
+        assert_eq!(tags, vec![1, 2, 3, 4]);
+        assert_eq!(cycles, bitonic_pass_count(4));
+        assert_eq!(cycles, 3);
+    }
+
+    #[test]
+    fn bitonic_pass_counts() {
+        assert_eq!(bitonic_pass_count(4), 3);
+        assert_eq!(bitonic_pass_count(8), 6);
+        assert_eq!(bitonic_pass_count(16), 10);
+        assert_eq!(bitonic_pass_count(32), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a power of two")]
+    fn rejects_non_power_of_two() {
+        let words = tagged(&[1, 2, 3]);
+        let mut blks = blocks(4);
+        ba_decision(&words, &mut blks, ComparisonMode::ServiceTag);
+    }
+
+    fn is_sorted(block: &[StreamAttrs], mode: ComparisonMode) -> bool {
+        block
+            .windows(2)
+            .all(|p| order(&p[0], &p[1], mode).0 == Ordering::Less)
+    }
+
+    proptest! {
+        /// After log2(N) passes the extremes are guaranteed for any N and
+        /// any tag assignment (the property Table 3's block modes rely on).
+        #[test]
+        fn extremes_guaranteed(
+            n_idx in 0usize..4,
+            // Tags confined to a half-space window: serial-number order is
+            // only transitive when live tags span < 32768 units (wrap16).
+            seed_tags in proptest::collection::vec(0u16..32768, 32),
+        ) {
+            let n = [4usize, 8, 16, 32][n_idx];
+            let words = tagged(&seed_tags[..n]);
+            let (block, _) = ba_decision(&words, &mut blocks(n), ComparisonMode::ServiceTag);
+            let best = oracle_best(&words, ComparisonMode::ServiceTag);
+            let worst = oracle_worst(&words, ComparisonMode::ServiceTag);
+            prop_assert_eq!(block[0], best);
+            prop_assert_eq!(block[n - 1], worst);
+        }
+
+        /// The block is always a permutation of the inputs (no word is
+        /// duplicated or lost in the wiring).
+        #[test]
+        fn block_is_permutation(
+            n_idx in 0usize..4,
+            seed_tags in proptest::collection::vec(any::<u16>(), 32),
+        ) {
+            let n = [4usize, 8, 16, 32][n_idx];
+            let words = tagged(&seed_tags[..n]);
+            let (block, _) = ba_decision(&words, &mut blocks(n), ComparisonMode::ServiceTag);
+            let mut in_slots: Vec<u8> = words.iter().map(|w| w.slot.raw()).collect();
+            let mut out_slots: Vec<u8> = block.iter().map(|w| w.slot.raw()).collect();
+            in_slots.sort_unstable();
+            out_slots.sort_unstable();
+            prop_assert_eq!(in_slots, out_slots);
+        }
+
+        /// WR winner equals the software argmax for every mode.
+        #[test]
+        fn wr_matches_oracle_all_modes(
+            seed_tags in proptest::collection::vec(0u16..32768, 8),
+            mode_idx in 0usize..4,
+        ) {
+            let mode = [ComparisonMode::Dwcs, ComparisonMode::Edf,
+                        ComparisonMode::StaticPriority, ComparisonMode::ServiceTag][mode_idx];
+            let words = tagged(&seed_tags);
+            let (winner, _) = wr_decision(&words, &mut blocks(8), mode);
+            prop_assert_eq!(winner, oracle_best(&words, mode));
+        }
+
+        /// Bitonic output is totally sorted under the decision ordering.
+        #[test]
+        fn bitonic_sorts_all_sizes(
+            n_idx in 0usize..4,
+            seed_tags in proptest::collection::vec(0u16..32768, 32),
+        ) {
+            let n = [4usize, 8, 16, 32][n_idx];
+            let words = tagged(&seed_tags[..n]);
+            let (block, cycles) = bitonic_decision(&words, &mut blocks(n), ComparisonMode::ServiceTag);
+            prop_assert!(is_sorted(&block, ComparisonMode::ServiceTag));
+            prop_assert_eq!(cycles, bitonic_pass_count(n));
+        }
+    }
+}

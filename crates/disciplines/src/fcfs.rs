@@ -1,0 +1,82 @@
+//! First-come-first-serve: the paper's §1 strawman.
+//!
+//! "FCFS stream schedulers ... will easily allow bandwidth-hog streams to
+//! flow through, while other streams starve." The starvation test below
+//! demonstrates exactly that, and the fair-queuing modules demonstrate the
+//! cure.
+
+use crate::packet::{Discipline, SwPacket};
+use std::collections::VecDeque;
+
+/// A single global FIFO across all streams.
+#[derive(Debug, Default)]
+pub struct Fcfs {
+    queue: VecDeque<SwPacket>,
+}
+
+impl Fcfs {
+    /// Creates an empty scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Discipline for Fcfs {
+    fn name(&self) -> &'static str {
+        "FCFS"
+    }
+
+    fn enqueue(&mut self, pkt: SwPacket) {
+        self.queue.push_back(pkt);
+    }
+
+    fn select(&mut self, _now: u64) -> Option<SwPacket> {
+        self.queue.pop_front()
+    }
+
+    fn backlog(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::conformance;
+
+    #[test]
+    fn contract() {
+        conformance::check_contract(Fcfs::new(), 4, 50);
+    }
+
+    #[test]
+    fn serves_in_arrival_order() {
+        let mut f = Fcfs::new();
+        f.enqueue(SwPacket::new(1, 0, 0, 64));
+        f.enqueue(SwPacket::new(0, 0, 1, 64));
+        f.enqueue(SwPacket::new(1, 1, 2, 64));
+        assert_eq!(f.select(0).unwrap().stream, 1);
+        assert_eq!(f.select(1).unwrap().stream, 0);
+        assert_eq!(f.select(2).unwrap().stream, 1);
+    }
+
+    #[test]
+    fn bandwidth_hog_starves_others() {
+        // Stream 0 floods 1000 packets before stream 1's single packet:
+        // under FCFS stream 1 waits behind the entire flood (paper §1).
+        let mut f = Fcfs::new();
+        for i in 0..1000 {
+            f.enqueue(SwPacket::new(0, i, 0, 1500));
+        }
+        f.enqueue(SwPacket::new(1, 0, 0, 64));
+        let mut serviced_before_stream1 = 0;
+        loop {
+            let p = f.select(0).unwrap();
+            if p.stream == 1 {
+                break;
+            }
+            serviced_before_stream1 += 1;
+        }
+        assert_eq!(serviced_before_stream1, 1000);
+    }
+}

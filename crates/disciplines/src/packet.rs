@@ -1,0 +1,141 @@
+//! The software packet descriptor and the [`Discipline`] trait.
+
+use serde::{Deserialize, Serialize};
+
+/// A packet as the software schedulers see it.
+///
+/// `stream` is a dense index (unlike the hardware's 5-bit [`ss_types::StreamId`],
+/// software schedulers handle arbitrarily many streams — that difference is
+/// the aggregation argument of paper §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwPacket {
+    /// Owning stream index.
+    pub stream: usize,
+    /// Per-stream sequence number.
+    pub seq: u64,
+    /// Arrival time (scheduler time units).
+    pub arrival: u64,
+    /// Size in bytes.
+    pub size_bytes: u32,
+}
+
+impl SwPacket {
+    /// Convenience constructor.
+    pub fn new(stream: usize, seq: u64, arrival: u64, size_bytes: u32) -> Self {
+        Self {
+            stream,
+            seq,
+            arrival,
+            size_bytes,
+        }
+    }
+}
+
+/// A work-conserving packet scheduling discipline.
+///
+/// The contract every implementation upholds (and the shared conformance
+/// suite in this module verifies):
+///
+/// * **Work conservation** — `select` returns `Some` iff `backlog() > 0`.
+/// * **Packet conservation** — every enqueued packet is returned exactly
+///   once, and only packets that were enqueued are returned.
+/// * **Per-stream FIFO** — packets of one stream leave in arrival order.
+pub trait Discipline {
+    /// Scheduler name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Accepts a packet.
+    ///
+    /// # Panics
+    /// May panic if `pkt.stream` was never configured (for disciplines that
+    /// require registration).
+    fn enqueue(&mut self, pkt: SwPacket);
+
+    /// Picks the next packet to transmit at time `now`.
+    fn select(&mut self, now: u64) -> Option<SwPacket>;
+
+    /// Total queued packets.
+    fn backlog(&self) -> usize;
+}
+
+/// Shared conformance checks used by each discipline's test module.
+#[cfg(test)]
+pub(crate) mod conformance {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// Enqueues `per_stream` packets on `streams` streams, drains fully,
+    /// and checks the three Discipline contract clauses.
+    pub(crate) fn check_contract<D: Discipline>(mut d: D, streams: usize, per_stream: u64) {
+        let mut sent = Vec::new();
+        for s in 0..streams {
+            for q in 0..per_stream {
+                let p = SwPacket::new(s, q, q, 100);
+                sent.push(p);
+                d.enqueue(p);
+            }
+        }
+        assert_eq!(d.backlog(), sent.len());
+
+        let mut received: Vec<SwPacket> = Vec::new();
+        let mut now = 0u64;
+        while d.backlog() > 0 {
+            let p = d
+                .select(now)
+                .expect("work conservation: backlog > 0 must yield a packet");
+            received.push(p);
+            now += 1;
+        }
+        assert!(d.select(now).is_none(), "empty scheduler must yield None");
+        assert_eq!(received.len(), sent.len(), "packet conservation (count)");
+
+        // Exactly-once: multiset equality.
+        let mut sent_sorted = sent.clone();
+        let mut recv_sorted = received.clone();
+        let key = |p: &SwPacket| (p.stream, p.seq);
+        sent_sorted.sort_by_key(key);
+        recv_sorted.sort_by_key(key);
+        assert_eq!(sent_sorted, recv_sorted, "packet conservation (identity)");
+
+        // Per-stream FIFO.
+        let mut last_seq: HashMap<usize, u64> = HashMap::new();
+        for p in &received {
+            if let Some(&prev) = last_seq.get(&p.stream) {
+                assert!(
+                    p.seq > prev,
+                    "stream {} reordered: {} after {}",
+                    p.stream,
+                    p.seq,
+                    prev
+                );
+            }
+            last_seq.insert(p.stream, p.seq);
+        }
+    }
+
+    /// Drains a backlogged scheduler for `rounds` selections and returns
+    /// per-stream byte counts (for fairness assertions).
+    pub(crate) fn byte_shares<D: Discipline>(d: &mut D, streams: usize, rounds: usize) -> Vec<u64> {
+        let mut bytes = vec![0u64; streams];
+        for now in 0..rounds as u64 {
+            if let Some(p) = d.select(now) {
+                bytes[p.stream] += u64::from(p.size_bytes);
+            }
+        }
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_constructor() {
+        let p = SwPacket::new(3, 7, 100, 1500);
+        assert_eq!(p.stream, 3);
+        assert_eq!(p.seq, 7);
+        assert_eq!(p.arrival, 100);
+        assert_eq!(p.size_bytes, 1500);
+    }
+}

@@ -1,0 +1,207 @@
+//! Round-robin and weighted round-robin.
+//!
+//! Plain RR is the policy the paper's aggregation experiment runs *on the
+//! Stream processor* between streamlets bound to one stream-slot ("we simply
+//! used a round-robin service policy ... by cycling through active queues").
+//! WRR adds per-stream weights by servicing a stream `w` times per round —
+//! exact for fixed-size packets, which is the regime of the paper's
+//! experiments (DRR handles variable sizes).
+
+use crate::packet::{Discipline, SwPacket};
+use std::collections::VecDeque;
+
+/// Plain round-robin over per-stream FIFOs.
+#[derive(Debug)]
+pub struct RoundRobin {
+    queues: Vec<VecDeque<SwPacket>>,
+    cursor: usize,
+    backlog: usize,
+}
+
+impl RoundRobin {
+    /// Creates a scheduler for `streams` streams.
+    pub fn new(streams: usize) -> Self {
+        assert!(streams > 0, "need at least one stream");
+        Self {
+            queues: (0..streams).map(|_| VecDeque::new()).collect(),
+            cursor: 0,
+            backlog: 0,
+        }
+    }
+}
+
+impl Discipline for RoundRobin {
+    fn name(&self) -> &'static str {
+        "RR"
+    }
+
+    fn enqueue(&mut self, pkt: SwPacket) {
+        self.queues[pkt.stream].push_back(pkt);
+        self.backlog += 1;
+    }
+
+    fn select(&mut self, _now: u64) -> Option<SwPacket> {
+        if self.backlog == 0 {
+            return None;
+        }
+        let n = self.queues.len();
+        for _ in 0..n {
+            let i = self.cursor;
+            self.cursor = (self.cursor + 1) % n;
+            if let Some(p) = self.queues[i].pop_front() {
+                self.backlog -= 1;
+                return Some(p);
+            }
+        }
+        unreachable!("backlog > 0 but no queue had a packet");
+    }
+
+    fn backlog(&self) -> usize {
+        self.backlog
+    }
+}
+
+/// Weighted round-robin: stream `i` is offered `weight[i]` transmission
+/// opportunities per round.
+#[derive(Debug)]
+pub struct WeightedRoundRobin {
+    queues: Vec<VecDeque<SwPacket>>,
+    weights: Vec<u32>,
+    /// Remaining credit in the current round, per stream.
+    credit: Vec<u32>,
+    cursor: usize,
+    backlog: usize,
+}
+
+impl WeightedRoundRobin {
+    /// Creates a scheduler with per-stream weights.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty or any weight is zero.
+    pub fn new(weights: Vec<u32>) -> Self {
+        assert!(!weights.is_empty(), "need at least one stream");
+        assert!(weights.iter().all(|&w| w > 0), "weights must be positive");
+        let credit = weights.clone();
+        Self {
+            queues: (0..weights.len()).map(|_| VecDeque::new()).collect(),
+            weights,
+            credit,
+            cursor: 0,
+            backlog: 0,
+        }
+    }
+
+    fn refill(&mut self) {
+        self.credit.copy_from_slice(&self.weights);
+    }
+}
+
+impl Discipline for WeightedRoundRobin {
+    fn name(&self) -> &'static str {
+        "WRR"
+    }
+
+    fn enqueue(&mut self, pkt: SwPacket) {
+        self.queues[pkt.stream].push_back(pkt);
+        self.backlog += 1;
+    }
+
+    fn select(&mut self, _now: u64) -> Option<SwPacket> {
+        if self.backlog == 0 {
+            return None;
+        }
+        let n = self.queues.len();
+        // At most two sweeps are needed: one to exhaust this round's
+        // credit, one after a refill.
+        for _ in 0..2 {
+            for _ in 0..n {
+                let i = self.cursor;
+                if self.credit[i] > 0 && !self.queues[i].is_empty() {
+                    self.credit[i] -= 1;
+                    if self.credit[i] == 0 {
+                        self.cursor = (self.cursor + 1) % n;
+                    }
+                    let p = self.queues[i].pop_front().expect("checked non-empty");
+                    self.backlog -= 1;
+                    return Some(p);
+                }
+                self.cursor = (self.cursor + 1) % n;
+            }
+            self.refill();
+        }
+        unreachable!("backlog > 0 but no credit/packet found after refill");
+    }
+
+    fn backlog(&self) -> usize {
+        self.backlog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::conformance;
+
+    #[test]
+    fn rr_contract() {
+        conformance::check_contract(RoundRobin::new(4), 4, 25);
+    }
+
+    #[test]
+    fn wrr_contract() {
+        conformance::check_contract(WeightedRoundRobin::new(vec![1, 2, 3, 4]), 4, 25);
+    }
+
+    #[test]
+    fn rr_alternates_among_backlogged() {
+        let mut rr = RoundRobin::new(3);
+        for s in 0..3 {
+            for q in 0..4 {
+                rr.enqueue(SwPacket::new(s, q, 0, 64));
+            }
+        }
+        let order: Vec<usize> = (0..6).map(|t| rr.select(t).unwrap().stream).collect();
+        assert_eq!(order, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn rr_skips_empty_queues() {
+        let mut rr = RoundRobin::new(3);
+        rr.enqueue(SwPacket::new(2, 0, 0, 64));
+        rr.enqueue(SwPacket::new(2, 1, 0, 64));
+        assert_eq!(rr.select(0).unwrap().stream, 2);
+        assert_eq!(rr.select(1).unwrap().stream, 2);
+    }
+
+    #[test]
+    fn wrr_divides_by_weight() {
+        // Paper Figure 10 ratios: 1:1:2:4.
+        let mut wrr = WeightedRoundRobin::new(vec![1, 1, 2, 4]);
+        for s in 0..4 {
+            for q in 0..800 {
+                wrr.enqueue(SwPacket::new(s, q, 0, 100));
+            }
+        }
+        let bytes = conformance::byte_shares(&mut wrr, 4, 1600);
+        let total: u64 = bytes.iter().sum();
+        for (i, expect) in [0.125, 0.125, 0.25, 0.5].iter().enumerate() {
+            let share = bytes[i] as f64 / total as f64;
+            assert!(
+                (share - expect).abs() < 0.01,
+                "stream {i}: {share} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn wrr_rejects_zero_weight() {
+        WeightedRoundRobin::new(vec![1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stream")]
+    fn rr_rejects_zero_streams() {
+        RoundRobin::new(0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Stochastic Fairness Queueing — the Click modular router's SFQ element,
+//! the §5.2 software baseline ("close to 300,000 packets/second with the
+//! Stochastic Fairness Queuing module").
+//!
+//! Streams are hashed into a fixed number of buckets; buckets are served
+//! round-robin. Fairness is probabilistic: streams that collide in a bucket
+//! share that bucket's round-robin slot. The per-decision cost is O(1),
+//! which is why Click could push it to ~300 kpps on a 700 MHz Pentium III
+//! while true per-stream WFQ could not.
+
+use crate::packet::{Discipline, SwPacket};
+use std::collections::VecDeque;
+
+/// Stochastic Fairness Queueing over `buckets` hash buckets.
+#[derive(Debug)]
+pub struct StochasticFq {
+    buckets: Vec<VecDeque<SwPacket>>,
+    cursor: usize,
+    backlog: usize,
+    /// Multiplicative hash seed (fixed for determinism).
+    seed: u64,
+}
+
+impl StochasticFq {
+    /// Creates a scheduler with `buckets` hash buckets.
+    ///
+    /// # Panics
+    /// Panics if `buckets == 0`.
+    pub fn new(buckets: usize) -> Self {
+        assert!(buckets > 0, "need at least one bucket");
+        Self {
+            buckets: (0..buckets).map(|_| VecDeque::new()).collect(),
+            cursor: 0,
+            backlog: 0,
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// The bucket a stream hashes to.
+    pub fn bucket_of(&self, stream: usize) -> usize {
+        // Fibonacci hashing: multiply and take high bits.
+        let h = (stream as u64).wrapping_add(1).wrapping_mul(self.seed);
+        (h >> 32) as usize % self.buckets.len()
+    }
+}
+
+impl Discipline for StochasticFq {
+    fn name(&self) -> &'static str {
+        "StochasticFQ"
+    }
+
+    fn enqueue(&mut self, pkt: SwPacket) {
+        let b = self.bucket_of(pkt.stream);
+        self.buckets[b].push_back(pkt);
+        self.backlog += 1;
+    }
+
+    fn select(&mut self, _now: u64) -> Option<SwPacket> {
+        if self.backlog == 0 {
+            return None;
+        }
+        let n = self.buckets.len();
+        for _ in 0..n {
+            let i = self.cursor;
+            self.cursor = (self.cursor + 1) % n;
+            if let Some(p) = self.buckets[i].pop_front() {
+                self.backlog -= 1;
+                return Some(p);
+            }
+        }
+        unreachable!("backlog > 0 but all buckets empty");
+    }
+
+    fn backlog(&self) -> usize {
+        self.backlog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::conformance;
+
+    #[test]
+    fn contract() {
+        conformance::check_contract(StochasticFq::new(64), 4, 25);
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_in_range() {
+        let s = StochasticFq::new(16);
+        for stream in 0..1000 {
+            let b = s.bucket_of(stream);
+            assert!(b < 16);
+            assert_eq!(b, s.bucket_of(stream));
+        }
+    }
+
+    #[test]
+    fn non_colliding_streams_share_fairly() {
+        let mut s = StochasticFq::new(1024);
+        // Find 4 streams in distinct buckets.
+        let mut chosen = Vec::new();
+        let mut used = std::collections::HashSet::new();
+        for stream in 0.. {
+            if used.insert(s.bucket_of(stream)) {
+                chosen.push(stream);
+                if chosen.len() == 4 {
+                    break;
+                }
+            }
+        }
+        for &stream in &chosen {
+            for q in 0..500 {
+                s.enqueue(SwPacket::new(stream, q, 0, 100));
+            }
+        }
+        let mut counts = std::collections::HashMap::new();
+        for t in 0..1600u64 {
+            let p = s.select(t).unwrap();
+            *counts.entry(p.stream).or_insert(0u64) += 1;
+        }
+        for &stream in &chosen {
+            assert_eq!(counts[&stream], 400, "even split among distinct buckets");
+        }
+    }
+
+    #[test]
+    fn colliding_streams_share_one_slot() {
+        // Force a collision by finding two streams with the same bucket.
+        let s = StochasticFq::new(4);
+        let mut by_bucket: std::collections::HashMap<usize, Vec<usize>> = Default::default();
+        for stream in 0..64 {
+            by_bucket
+                .entry(s.bucket_of(stream))
+                .or_default()
+                .push(stream);
+        }
+        let colliders = by_bucket
+            .values()
+            .find(|v| v.len() >= 2)
+            .expect("collision exists");
+        let (a, b) = (colliders[0], colliders[1]);
+        // A third stream in a different bucket.
+        let other = (0..64)
+            .find(|&st| s.bucket_of(st) != s.bucket_of(a))
+            .unwrap();
+
+        let mut s = StochasticFq::new(4);
+        for q in 0..300 {
+            s.enqueue(SwPacket::new(a, q, 0, 100));
+            s.enqueue(SwPacket::new(b, q, 0, 100));
+            s.enqueue(SwPacket::new(other, q, 0, 100));
+        }
+        let mut counts = std::collections::HashMap::new();
+        for t in 0..600u64 {
+            let p = s.select(t).unwrap();
+            *counts.entry(p.stream).or_insert(0u64) += 1;
+        }
+        // The colliding pair shares one round-robin slot: together they get
+        // about as much as `other` alone.
+        let pair = counts.get(&a).unwrap_or(&0) + counts.get(&b).unwrap_or(&0);
+        let solo = *counts.get(&other).unwrap_or(&0);
+        assert!(
+            (pair as i64 - solo as i64).abs() <= 2,
+            "pair {pair} vs solo {solo}: collision should halve each collider's share"
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Strict static-priority classes (DiffServ-style, paper Table 1).
+
+use crate::packet::{Discipline, SwPacket};
+use std::collections::VecDeque;
+
+/// Strict priority scheduler: lower level = more urgent; FIFO within a
+/// level; a level is served only when all more-urgent levels are empty.
+#[derive(Debug)]
+pub struct StaticPriority {
+    /// Priority level per stream.
+    levels: Vec<u8>,
+    /// One FIFO per stream (kept per-stream so per-stream FIFO order is
+    /// trivially preserved even when streams share a level).
+    queues: Vec<VecDeque<SwPacket>>,
+    backlog: usize,
+}
+
+impl StaticPriority {
+    /// Creates a scheduler with a priority level per stream.
+    pub fn new(levels: Vec<u8>) -> Self {
+        assert!(!levels.is_empty(), "need at least one stream");
+        let queues = (0..levels.len()).map(|_| VecDeque::new()).collect();
+        Self {
+            levels,
+            queues,
+            backlog: 0,
+        }
+    }
+}
+
+impl Discipline for StaticPriority {
+    fn name(&self) -> &'static str {
+        "StaticPriority"
+    }
+
+    fn enqueue(&mut self, pkt: SwPacket) {
+        self.queues[pkt.stream].push_back(pkt);
+        self.backlog += 1;
+    }
+
+    fn select(&mut self, _now: u64) -> Option<SwPacket> {
+        if self.backlog == 0 {
+            return None;
+        }
+        // Most urgent non-empty stream; within a level, earliest head
+        // arrival (FCFS), then stream index.
+        let best = self
+            .queues
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| !q.is_empty())
+            .min_by_key(|(i, q)| (self.levels[*i], q.front().expect("non-empty").arrival, *i))
+            .map(|(i, _)| i)
+            .expect("backlog > 0");
+        self.backlog -= 1;
+        self.queues[best].pop_front()
+    }
+
+    fn backlog(&self) -> usize {
+        self.backlog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::conformance;
+
+    #[test]
+    fn contract() {
+        conformance::check_contract(StaticPriority::new(vec![0, 1, 2, 3]), 4, 25);
+    }
+
+    #[test]
+    fn urgent_level_preempts() {
+        let mut sp = StaticPriority::new(vec![2, 0]);
+        sp.enqueue(SwPacket::new(0, 0, 0, 64));
+        sp.enqueue(SwPacket::new(1, 0, 5, 64));
+        // Stream 1 arrived later but has the more urgent level.
+        assert_eq!(sp.select(0).unwrap().stream, 1);
+        assert_eq!(sp.select(1).unwrap().stream, 0);
+    }
+
+    #[test]
+    fn fcfs_within_level() {
+        let mut sp = StaticPriority::new(vec![1, 1]);
+        sp.enqueue(SwPacket::new(1, 0, 2, 64));
+        sp.enqueue(SwPacket::new(0, 0, 7, 64));
+        assert_eq!(sp.select(0).unwrap().stream, 1, "earlier arrival first");
+    }
+
+    #[test]
+    fn low_priority_starves_under_load() {
+        // Static priority minimizes weighted delay but cannot protect the
+        // background class — the paper's Table 1 "non-time-constrained"
+        // caveat.
+        let mut sp = StaticPriority::new(vec![0, 9]);
+        sp.enqueue(SwPacket::new(1, 0, 0, 64));
+        for i in 0..100 {
+            sp.enqueue(SwPacket::new(0, i, i, 64));
+        }
+        for t in 0..100 {
+            assert_eq!(sp.select(t).unwrap().stream, 0);
+        }
+        assert_eq!(
+            sp.select(100).unwrap().stream,
+            1,
+            "served only after the flood"
+        );
+    }
+}

@@ -1,0 +1,289 @@
+//! Random Early Detection queue management.
+//!
+//! The paper's §5.2 comparison point — Cisco's GSR 12000 line card — pairs
+//! DRR scheduling with RED queue management. This is the classic
+//! Floyd/Jacobson algorithm: an EWMA of queue occupancy, no drops below
+//! `min_th`, forced drops above `max_th`, and a linearly rising drop
+//! probability in between (with the standard count-based spreading that
+//! avoids drop bursts). Deterministic via a seeded RNG.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// RED parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RedConfig {
+    /// No drops while the average queue is below this depth.
+    pub min_th: f64,
+    /// All arrivals dropped while the average is above this depth.
+    pub max_th: f64,
+    /// Drop probability as the average reaches `max_th`.
+    pub max_p: f64,
+    /// EWMA weight for the queue average (classic value: 0.002).
+    pub weight: f64,
+    /// Hard capacity (tail drop backstop).
+    pub capacity: usize,
+}
+
+impl RedConfig {
+    /// Classic gentle defaults for a queue of `capacity` packets.
+    pub fn classic(capacity: usize) -> Self {
+        Self {
+            min_th: capacity as f64 * 0.25,
+            max_th: capacity as f64 * 0.75,
+            max_p: 0.1,
+            weight: 0.002,
+            capacity,
+        }
+    }
+}
+
+/// Why an arrival was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RedVerdict {
+    /// Accepted into the queue.
+    Enqueued,
+    /// Probabilistically dropped (early detection).
+    EarlyDrop,
+    /// Dropped because the average exceeded `max_th`.
+    ForcedDrop,
+    /// Dropped because the physical queue is full.
+    TailDrop,
+}
+
+/// A RED-managed FIFO.
+#[derive(Debug)]
+pub struct RedQueue<T> {
+    config: RedConfig,
+    queue: VecDeque<T>,
+    avg: f64,
+    /// Packets enqueued since the last early drop (drop spreading).
+    count_since_drop: u64,
+    rng: StdRng,
+    early_drops: u64,
+    forced_drops: u64,
+    tail_drops: u64,
+}
+
+impl<T> RedQueue<T> {
+    /// Creates a RED queue with a deterministic seed.
+    ///
+    /// # Panics
+    /// Panics on inconsistent thresholds.
+    pub fn new(config: RedConfig, seed: u64) -> Self {
+        assert!(
+            config.min_th >= 0.0 && config.min_th < config.max_th,
+            "need 0 <= min_th < max_th"
+        );
+        assert!(
+            (0.0..=1.0).contains(&config.max_p),
+            "max_p must be a probability"
+        );
+        assert!(config.capacity > 0, "capacity must be positive");
+        Self {
+            config,
+            queue: VecDeque::new(),
+            avg: 0.0,
+            count_since_drop: 0,
+            rng: StdRng::seed_from_u64(seed),
+            early_drops: 0,
+            forced_drops: 0,
+            tail_drops: 0,
+        }
+    }
+
+    /// Current EWMA of queue depth.
+    pub fn average(&self) -> f64 {
+        self.avg
+    }
+
+    /// Instantaneous depth.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// `(early, forced, tail)` drop counters.
+    pub fn drops(&self) -> (u64, u64, u64) {
+        (self.early_drops, self.forced_drops, self.tail_drops)
+    }
+
+    /// Offers an item, returning the RED verdict. The item is stored only
+    /// on [`RedVerdict::Enqueued`].
+    pub fn offer(&mut self, item: T) -> RedVerdict {
+        // EWMA update on every arrival.
+        self.avg += self.config.weight * (self.queue.len() as f64 - self.avg);
+
+        if self.queue.len() >= self.config.capacity {
+            self.tail_drops += 1;
+            return RedVerdict::TailDrop;
+        }
+        if self.avg >= self.config.max_th {
+            self.forced_drops += 1;
+            self.count_since_drop = 0;
+            return RedVerdict::ForcedDrop;
+        }
+        if self.avg > self.config.min_th {
+            // Linear probability, spread by the count since the last drop.
+            let base = self.config.max_p * (self.avg - self.config.min_th)
+                / (self.config.max_th - self.config.min_th);
+            let spread = 1.0 - self.count_since_drop as f64 * base;
+            let p = if spread <= 0.0 { 1.0 } else { base / spread };
+            self.count_since_drop += 1;
+            if self.rng.gen_range(0.0..1.0) < p {
+                self.early_drops += 1;
+                self.count_since_drop = 0;
+                return RedVerdict::EarlyDrop;
+            }
+        } else {
+            self.count_since_drop = 0;
+        }
+        self.queue.push_back(item);
+        RedVerdict::Enqueued
+    }
+
+    /// Dequeues the head.
+    pub fn pop(&mut self) -> Option<T> {
+        self.queue.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> RedConfig {
+        RedConfig {
+            min_th: 10.0,
+            max_th: 30.0,
+            max_p: 0.1,
+            weight: 0.2,
+            capacity: 64,
+        }
+    }
+
+    #[test]
+    fn no_drops_below_min_threshold() {
+        let mut q = RedQueue::new(cfg(), 1);
+        for i in 0..8 {
+            assert_eq!(q.offer(i), RedVerdict::Enqueued);
+        }
+        assert_eq!(q.drops(), (0, 0, 0));
+    }
+
+    #[test]
+    fn forced_drops_above_max_threshold() {
+        let mut q = RedQueue::new(cfg(), 1);
+        // Fill well past max_th without draining so the EWMA climbs.
+        let mut forced = 0;
+        for i in 0..200 {
+            if q.offer(i) == RedVerdict::ForcedDrop {
+                forced += 1;
+            }
+        }
+        assert!(forced > 0, "EWMA must cross max_th");
+        assert!(q.average() > 30.0 * 0.8);
+    }
+
+    #[test]
+    fn early_drops_between_thresholds() {
+        let mut q = RedQueue::new(cfg(), 42);
+        let mut early = 0;
+        let mut accepted = 0;
+        // Hold occupancy between thresholds: drain one per offer once deep.
+        for i in 0..2000 {
+            if q.len() > 18 {
+                q.pop();
+            }
+            match q.offer(i) {
+                RedVerdict::EarlyDrop => early += 1,
+                RedVerdict::Enqueued => accepted += 1,
+                _ => {}
+            }
+        }
+        assert!(early > 0, "some early drops expected");
+        assert!(
+            accepted > early * 3,
+            "drops must stay probabilistic, not dominant"
+        );
+    }
+
+    #[test]
+    fn tail_drop_backstop() {
+        // Tiny weight keeps the EWMA low while the real queue fills: the
+        // hard capacity must still protect memory.
+        let config = RedConfig {
+            weight: 1e-9,
+            ..cfg()
+        };
+        let mut q = RedQueue::new(config, 1);
+        let mut tail = 0;
+        for i in 0..100 {
+            if q.offer(i) == RedVerdict::TailDrop {
+                tail += 1;
+            }
+        }
+        assert_eq!(q.len(), 64);
+        assert_eq!(tail, 36);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let run = |seed| {
+            let mut q = RedQueue::new(cfg(), seed);
+            let mut verdicts = Vec::new();
+            for i in 0..500 {
+                if q.len() > 15 {
+                    q.pop();
+                }
+                verdicts.push(q.offer(i));
+            }
+            verdicts
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn ewma_tracks_occupancy() {
+        let mut q = RedQueue::new(
+            RedConfig {
+                weight: 0.5,
+                ..cfg()
+            },
+            1,
+        );
+        for i in 0..5 {
+            q.offer(i);
+        }
+        assert!(q.average() > 0.9 && q.average() < 5.0);
+        for _ in 0..5 {
+            q.pop();
+        }
+        for i in 0..3 {
+            q.offer(i); // EWMA decays toward the now-small queue
+        }
+        assert!(q.average() < 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_th < max_th")]
+    fn bad_thresholds_rejected() {
+        RedQueue::<u8>::new(
+            RedConfig {
+                min_th: 30.0,
+                max_th: 10.0,
+                max_p: 0.1,
+                weight: 0.1,
+                capacity: 8,
+            },
+            0,
+        );
+    }
+}

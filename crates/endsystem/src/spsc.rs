@@ -1,0 +1,321 @@
+//! Synchronization-free single-producer/single-consumer ring buffer.
+//!
+//! The paper's concurrency design (§4.2): "ShareStreams' per-stream queues
+//! are circular buffers with separate read and write pointers for
+//! concurrent access, without any synchronization needs. This allows a
+//! producer to populate the per-stream queues, while the Transmission
+//! Engine may concurrently transfer scheduled frames."
+//!
+//! This is the classic lock-free SPSC ring: the producer owns the write
+//! pointer, the consumer owns the read pointer, and each observes the
+//! other's pointer with acquire loads / publishes its own with release
+//! stores. Slots use `MaybeUninit` so no default value is required; the
+//! ring drops any remaining items when both endpoints are gone.
+
+use crossbeam::utils::CachePadded;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct Ring<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+    /// Next slot the producer will write (monotonic, wrapped by mask).
+    write: CachePadded<AtomicUsize>,
+    /// Next slot the consumer will read.
+    read: CachePadded<AtomicUsize>,
+}
+
+// Safety: the SPSC protocol guarantees a slot is accessed by exactly one
+// side at a time: the producer only writes slots in [write, read + cap),
+// the consumer only reads slots in [read, write).
+unsafe impl<T: Send> Send for Ring<T> {}
+unsafe impl<T: Send> Sync for Ring<T> {}
+
+impl<T> Drop for Ring<T> {
+    fn drop(&mut self) {
+        // Both endpoints are gone: drain remaining items.
+        let read = self.read.load(Ordering::Relaxed);
+        let write = self.write.load(Ordering::Relaxed);
+        for i in read..write {
+            let slot = &self.buf[i & self.mask];
+            // Safety: slots in [read, write) hold initialized values and no
+            // other thread exists.
+            unsafe { (*slot.get()).assume_init_drop() };
+        }
+    }
+}
+
+/// The producing endpoint.
+pub struct Producer<T> {
+    ring: Arc<Ring<T>>,
+    /// Cached copy of the consumer's read pointer (refresh on apparent
+    /// full).
+    cached_read: usize,
+}
+
+/// The consuming endpoint.
+pub struct Consumer<T> {
+    ring: Arc<Ring<T>>,
+    /// Cached copy of the producer's write pointer (refresh on apparent
+    /// empty).
+    cached_write: usize,
+}
+
+/// Creates an SPSC ring with capacity `cap` (rounded up to a power of two).
+///
+/// # Panics
+/// Panics if `cap == 0`.
+pub fn spsc_ring<T: Send>(cap: usize) -> (Producer<T>, Consumer<T>) {
+    assert!(cap > 0, "capacity must be positive");
+    let cap = cap.next_power_of_two();
+    let buf: Box<[UnsafeCell<MaybeUninit<T>>]> = (0..cap)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect();
+    let ring = Arc::new(Ring {
+        buf,
+        mask: cap - 1,
+        write: CachePadded::new(AtomicUsize::new(0)),
+        read: CachePadded::new(AtomicUsize::new(0)),
+    });
+    (
+        Producer {
+            ring: ring.clone(),
+            cached_read: 0,
+        },
+        Consumer {
+            ring,
+            cached_write: 0,
+        },
+    )
+}
+
+impl<T: Send> Producer<T> {
+    /// Attempts to enqueue, returning the value back if the ring is full.
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        let write = self.ring.write.load(Ordering::Relaxed);
+        if write - self.cached_read > self.ring.mask {
+            // Apparently full: refresh the read pointer.
+            self.cached_read = self.ring.read.load(Ordering::Acquire);
+            if write - self.cached_read > self.ring.mask {
+                return Err(value);
+            }
+        }
+        let slot = &self.ring.buf[write & self.ring.mask];
+        // Safety: slot is outside [read, write) — exclusively ours.
+        unsafe { (*slot.get()).write(value) };
+        self.ring.write.store(write + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Capacity of the ring.
+    pub fn capacity(&self) -> usize {
+        self.ring.mask + 1
+    }
+
+    /// `true` if the consumer endpoint has been dropped.
+    pub fn is_disconnected(&self) -> bool {
+        Arc::strong_count(&self.ring) == 1
+    }
+}
+
+impl<T: Send> Consumer<T> {
+    /// Attempts to dequeue.
+    pub fn pop(&mut self) -> Option<T> {
+        let read = self.ring.read.load(Ordering::Relaxed);
+        if read == self.cached_write {
+            // Apparently empty: refresh the write pointer.
+            self.cached_write = self.ring.write.load(Ordering::Acquire);
+            if read == self.cached_write {
+                return None;
+            }
+        }
+        let slot = &self.ring.buf[read & self.ring.mask];
+        // Safety: slot is inside [read, write) — initialized and ours.
+        let value = unsafe { (*slot.get()).assume_init_read() };
+        self.ring.read.store(read + 1, Ordering::Release);
+        Some(value)
+    }
+
+    /// Number of items visible to the consumer right now.
+    pub fn len(&self) -> usize {
+        let write = self.ring.write.load(Ordering::Acquire);
+        let read = self.ring.read.load(Ordering::Relaxed);
+        write - read
+    }
+
+    /// `true` if no items are visible.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` if the producer endpoint has been dropped.
+    pub fn is_disconnected(&self) -> bool {
+        Arc::strong_count(&self.ring) == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::VecDeque;
+
+    #[test]
+    fn fifo_semantics() {
+        let (mut p, mut c) = spsc_ring(4);
+        assert_eq!(c.pop(), None);
+        p.push(1).unwrap();
+        p.push(2).unwrap();
+        assert_eq!(c.pop(), Some(1));
+        p.push(3).unwrap();
+        assert_eq!(c.pop(), Some(2));
+        assert_eq!(c.pop(), Some(3));
+        assert_eq!(c.pop(), None);
+    }
+
+    #[test]
+    fn full_ring_rejects() {
+        let (mut p, mut c) = spsc_ring(2);
+        p.push(1).unwrap();
+        p.push(2).unwrap();
+        assert_eq!(p.push(3), Err(3));
+        c.pop().unwrap();
+        p.push(3).unwrap();
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        let (p, _c) = spsc_ring::<u8>(5);
+        assert_eq!(p.capacity(), 8);
+    }
+
+    #[test]
+    fn wraparound_many_times() {
+        let (mut p, mut c) = spsc_ring(4);
+        for i in 0..1000u32 {
+            p.push(i).unwrap();
+            assert_eq!(c.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn len_tracks_occupancy() {
+        let (mut p, mut c) = spsc_ring(8);
+        assert!(c.is_empty());
+        for i in 0..5 {
+            p.push(i).unwrap();
+        }
+        assert_eq!(c.len(), 5);
+        c.pop();
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn disconnect_detection() {
+        let (p, c) = spsc_ring::<u8>(2);
+        assert!(!p.is_disconnected());
+        drop(c);
+        assert!(p.is_disconnected());
+        let (p2, c2) = spsc_ring::<u8>(2);
+        drop(p2);
+        assert!(c2.is_disconnected());
+    }
+
+    #[test]
+    fn drops_remaining_items() {
+        // Dropping both endpoints must drop queued Arcs exactly once.
+        let tracker = Arc::new(());
+        {
+            let (mut p, _c) = spsc_ring(8);
+            for _ in 0..5 {
+                p.push(tracker.clone()).unwrap();
+            }
+            assert_eq!(Arc::strong_count(&tracker), 6);
+        }
+        assert_eq!(Arc::strong_count(&tracker), 1);
+    }
+
+    #[test]
+    fn threaded_stress_transfers_everything_in_order() {
+        const N: u64 = 1_000_000;
+        let (mut p, mut c) = spsc_ring(1024);
+        let producer = std::thread::spawn(move || {
+            let mut i = 0u64;
+            while i < N {
+                if p.push(i).is_ok() {
+                    i += 1;
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        });
+        let mut expected = 0u64;
+        while expected < N {
+            if let Some(v) = c.pop() {
+                assert_eq!(v, expected, "order violated");
+                expected += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(c.pop(), None);
+    }
+
+    #[test]
+    fn threaded_stress_with_heap_payloads() {
+        // Boxed payloads catch use-after-free / double-drop under ASAN-less
+        // conditions via allocator poisoning heuristics.
+        const N: u64 = 100_000;
+        let (mut p, mut c) = spsc_ring(64);
+        let producer = std::thread::spawn(move || {
+            let mut i = 0u64;
+            while i < N {
+                if p.push(Box::new(i)).is_ok() {
+                    i += 1;
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        });
+        let mut sum = 0u64;
+        let mut got = 0u64;
+        while got < N {
+            if let Some(v) = c.pop() {
+                sum += *v;
+                got += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(sum, N * (N - 1) / 2);
+    }
+
+    proptest! {
+        /// Sequential push/pop interleavings behave exactly like a VecDeque.
+        #[test]
+        fn matches_vecdeque_model(ops in proptest::collection::vec(any::<Option<u16>>(), 0..200)) {
+            let (mut p, mut c) = spsc_ring(16);
+            let mut model: VecDeque<u16> = VecDeque::new();
+            for op in ops {
+                match op {
+                    Some(v) => {
+                        let ours = p.push(v);
+                        if model.len() < 16 {
+                            prop_assert!(ours.is_ok());
+                            model.push_back(v);
+                        } else {
+                            prop_assert_eq!(ours, Err(v));
+                        }
+                    }
+                    None => {
+                        prop_assert_eq!(c.pop(), model.pop_front());
+                    }
+                }
+            }
+        }
+    }
+}

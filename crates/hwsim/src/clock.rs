@@ -1,0 +1,135 @@
+//! Clock domains: cycle counting and cycle↔wall-time conversion.
+
+use serde::{Deserialize, Serialize};
+use ss_types::{Cycles, Nanos};
+
+/// A clock domain with a fixed frequency.
+///
+/// The scheduler fabric, the PCI bus (33 MHz), and the host processor
+/// (500 MHz in the paper's testbed) each run in their own domain; converting
+/// between cycles and nanoseconds through a shared type keeps the experiment
+/// arithmetic honest.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClockDomain {
+    /// Frequency in hertz.
+    freq_hz: f64,
+    /// Current cycle count.
+    now: Cycles,
+}
+
+impl ClockDomain {
+    /// Creates a domain at `freq_hz` hertz, starting at cycle 0.
+    ///
+    /// # Panics
+    /// Panics if the frequency is not finite and positive.
+    pub fn new(freq_hz: f64) -> Self {
+        assert!(
+            freq_hz.is_finite() && freq_hz > 0.0,
+            "clock frequency must be positive"
+        );
+        Self { freq_hz, now: 0 }
+    }
+
+    /// Creates a domain from a frequency in MHz.
+    pub fn from_mhz(mhz: f64) -> Self {
+        Self::new(mhz * 1e6)
+    }
+
+    /// The 33 MHz PCI clock of the Celoxica RC1000 card.
+    pub fn pci_33mhz() -> Self {
+        Self::from_mhz(33.0)
+    }
+
+    /// Frequency in hertz.
+    pub fn freq_hz(&self) -> f64 {
+        self.freq_hz
+    }
+
+    /// Frequency in MHz.
+    pub fn freq_mhz(&self) -> f64 {
+        self.freq_hz / 1e6
+    }
+
+    /// Current cycle count.
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// Advances by `n` cycles.
+    pub fn advance(&mut self, n: Cycles) {
+        self.now += n;
+    }
+
+    /// Duration of `cycles` cycles in nanoseconds (rounded to nearest).
+    pub fn cycles_to_ns(&self, cycles: Cycles) -> Nanos {
+        ((cycles as f64) * 1e9 / self.freq_hz).round() as Nanos
+    }
+
+    /// Number of whole cycles that fit in `ns` nanoseconds (ceiling) — the
+    /// cycle budget available within a packet-time.
+    pub fn cycles_in_ns(&self, ns: Nanos) -> Cycles {
+        ((ns as f64) * self.freq_hz / 1e9).floor() as Cycles
+    }
+
+    /// Elapsed simulated time since cycle 0, in nanoseconds.
+    pub fn elapsed_ns(&self) -> Nanos {
+        self.cycles_to_ns(self.now)
+    }
+
+    /// Events per second given a fixed cost per event in cycles.
+    pub fn rate_per_sec(&self, cycles_per_event: Cycles) -> f64 {
+        assert!(cycles_per_event > 0, "cycles per event must be positive");
+        self.freq_hz / cycles_per_event as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_time_at_100mhz() {
+        let c = ClockDomain::from_mhz(100.0);
+        assert_eq!(c.cycles_to_ns(1), 10);
+        assert_eq!(c.cycles_to_ns(100), 1_000);
+    }
+
+    #[test]
+    fn budget_within_packet_time() {
+        // Paper §1: 64-byte frame on 10 Gbps ≈ 51 ns; at 100 MHz that is
+        // only 5 whole cycles of budget.
+        let c = ClockDomain::from_mhz(100.0);
+        assert_eq!(c.cycles_in_ns(51), 5);
+        // 1500-byte frame on 10 Gbps = 1200 ns → 120 cycles.
+        assert_eq!(c.cycles_in_ns(1200), 120);
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let mut c = ClockDomain::from_mhz(50.0);
+        c.advance(10);
+        c.advance(5);
+        assert_eq!(c.now(), 15);
+        assert_eq!(c.elapsed_ns(), 300); // 15 cycles at 20 ns
+    }
+
+    #[test]
+    fn decision_rate_anchor() {
+        // 22.8 MHz WR fabric at 3 cycles/decision = 7.6 M decisions/s,
+        // the paper's §5.2 line-card anchor.
+        let c = ClockDomain::from_mhz(22.8);
+        let rate = c.rate_per_sec(3);
+        assert!((rate - 7.6e6).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency must be positive")]
+    fn zero_frequency_rejected() {
+        ClockDomain::new(0.0);
+    }
+
+    #[test]
+    fn pci_clock() {
+        assert!((ClockDomain::pci_33mhz().freq_mhz() - 33.0).abs() < 1e-9);
+    }
+}

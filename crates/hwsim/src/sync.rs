@@ -1,0 +1,183 @@
+//! Two-phase synchronous-logic simulation kernel.
+//!
+//! Real registered logic computes its next state combinationally from the
+//! *current* state of every register, then latches all next states at once on
+//! the clock edge. Simulating that with ordinary sequential updates invites
+//! ordering bugs (a component would observe a neighbour's *new* value within
+//! the same cycle). The kernel here forces the hardware discipline:
+//!
+//! 1. **evaluate** — every component reads shared current-cycle state and
+//!    computes its next state internally (no visible writes);
+//! 2. **commit** — every component publishes its next state.
+//!
+//! A cycle is one evaluate-all / commit-all pair. Components are ticked in
+//! registration order, but because writes are deferred to `commit`, the
+//! visible result is order-independent — a property the kernel's tests check.
+
+use ss_types::Cycles;
+
+/// A piece of synchronous logic driven by [`CycleSim`].
+///
+/// `S` is the shared wire state visible to all components: the previous
+/// cycle's committed outputs (e.g. the attribute words on the shuffle
+/// network). Implementations must only *read* `S` in [`Self::eval`] and only
+/// *write* their own outputs in [`Self::commit`].
+pub trait Synchronous<S> {
+    /// Combinational phase: read `state`, compute next internal state.
+    fn eval(&mut self, state: &S);
+    /// Clock edge: publish next state into `state`.
+    fn commit(&mut self, state: &mut S);
+}
+
+/// Drives a set of [`Synchronous`] components through clock cycles.
+pub struct CycleSim<S> {
+    components: Vec<Box<dyn Synchronous<S>>>,
+    state: S,
+    cycle: Cycles,
+}
+
+impl<S> CycleSim<S> {
+    /// Creates a simulator with initial shared state.
+    pub fn new(state: S) -> Self {
+        Self {
+            components: Vec::new(),
+            state,
+            cycle: 0,
+        }
+    }
+
+    /// Registers a component. Registration order does not affect results
+    /// (enforced by the two-phase protocol).
+    pub fn add(&mut self, c: Box<dyn Synchronous<S>>) {
+        self.components.push(c);
+    }
+
+    /// Runs one clock cycle: evaluate all, then commit all.
+    pub fn step(&mut self) {
+        for c in &mut self.components {
+            c.eval(&self.state);
+        }
+        for c in &mut self.components {
+            c.commit(&mut self.state);
+        }
+        self.cycle += 1;
+    }
+
+    /// Runs `n` cycles.
+    pub fn run(&mut self, n: Cycles) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Cycles executed so far.
+    pub fn cycle(&self) -> Cycles {
+        self.cycle
+    }
+
+    /// Shared wire state (current committed values).
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// Mutable access to shared state (testbench-style forcing of wires).
+    pub fn state_mut(&mut self) -> &mut S {
+        &mut self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A register that doubles its neighbour's value: classic swap test.
+    /// With two-phase simulation, two cross-coupled registers swap values
+    /// every cycle regardless of tick order.
+    struct SwapReg {
+        read_idx: usize,
+        write_idx: usize,
+        latched: u32,
+    }
+
+    impl Synchronous<Vec<u32>> for SwapReg {
+        fn eval(&mut self, state: &Vec<u32>) {
+            self.latched = state[self.read_idx];
+        }
+        fn commit(&mut self, state: &mut Vec<u32>) {
+            state[self.write_idx] = self.latched;
+        }
+    }
+
+    fn build(order_swapped: bool) -> CycleSim<Vec<u32>> {
+        let mut sim = CycleSim::new(vec![1, 2]);
+        let a = Box::new(SwapReg {
+            read_idx: 1,
+            write_idx: 0,
+            latched: 0,
+        });
+        let b = Box::new(SwapReg {
+            read_idx: 0,
+            write_idx: 1,
+            latched: 0,
+        });
+        if order_swapped {
+            sim.add(b);
+            sim.add(a);
+        } else {
+            sim.add(a);
+            sim.add(b);
+        }
+        sim
+    }
+
+    #[test]
+    fn cross_coupled_registers_swap() {
+        let mut sim = build(false);
+        sim.step();
+        assert_eq!(sim.state(), &vec![2, 1]);
+        sim.step();
+        assert_eq!(sim.state(), &vec![1, 2]);
+    }
+
+    #[test]
+    fn result_is_independent_of_registration_order() {
+        let mut s1 = build(false);
+        let mut s2 = build(true);
+        s1.run(7);
+        s2.run(7);
+        assert_eq!(s1.state(), s2.state());
+        assert_eq!(s1.cycle(), 7);
+    }
+
+    /// A counter incrementing a shared accumulator: checks run() counts.
+    struct Inc {
+        next: u32,
+    }
+    impl Synchronous<Vec<u32>> for Inc {
+        fn eval(&mut self, state: &Vec<u32>) {
+            self.next = state[0] + 1;
+        }
+        fn commit(&mut self, state: &mut Vec<u32>) {
+            state[0] = self.next;
+        }
+    }
+
+    #[test]
+    fn run_executes_exact_cycle_count() {
+        let mut sim = CycleSim::new(vec![0]);
+        sim.add(Box::new(Inc { next: 0 }));
+        sim.run(1000);
+        assert_eq!(sim.state()[0], 1000);
+        assert_eq!(sim.cycle(), 1000);
+    }
+
+    #[test]
+    fn state_mut_allows_forcing() {
+        let mut sim = CycleSim::new(vec![0]);
+        sim.add(Box::new(Inc { next: 0 }));
+        sim.run(3);
+        sim.state_mut()[0] = 100;
+        sim.step();
+        assert_eq!(sim.state()[0], 101);
+    }
+}

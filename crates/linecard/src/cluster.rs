@@ -1,0 +1,182 @@
+//! Multi-port switch: one ShareStreams line card per output port.
+//!
+//! The paper's future work aims at "customized scheduling solutions (based
+//! on traffic types, different scheduling disciplines, cluster
+//! configurations and producer-consumer pairs)". A switch deploys one
+//! scheduler fabric per output port — ports are independent FPGAs (or
+//! independent regions of one), so per-port disciplines can differ and
+//! aggregate throughput scales with port count while faults and overload
+//! stay contained per port.
+
+use crate::pipeline::{LinecardPipeline, LinecardPipelineConfig, LinecardRunReport};
+use serde::{Deserialize, Serialize};
+use ss_core::StreamState;
+use ss_types::Result;
+
+/// Aggregate results across ports.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterReport {
+    /// Per-port run reports.
+    pub ports: Vec<LinecardRunReport>,
+    /// Total packets across ports.
+    pub total_packets: u64,
+    /// Sum of per-port achieved packet rates.
+    pub aggregate_pps: f64,
+}
+
+/// A multi-port switch of independent line cards.
+pub struct SwitchCluster {
+    ports: Vec<LinecardPipeline>,
+}
+
+impl SwitchCluster {
+    /// Builds `ports` cards, each from its own configuration (disciplines
+    /// may differ per port).
+    pub fn new(configs: Vec<LinecardPipelineConfig>) -> Result<Self> {
+        let ports = configs
+            .into_iter()
+            .map(LinecardPipeline::new)
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self { ports })
+    }
+
+    /// Number of ports.
+    pub fn ports(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Loads a stream on `port`/`slot`.
+    pub fn load_stream(
+        &mut self,
+        port: usize,
+        slot: usize,
+        state: StreamState,
+        first_deadline: u64,
+    ) -> Result<()> {
+        self.ports[port].load_stream(slot, state, first_deadline)
+    }
+
+    /// Runs every port fully backlogged for `packets_per_port` packets.
+    pub fn run_backlogged(&mut self, packets_per_port: u64) -> Result<ClusterReport> {
+        let mut reports = Vec::with_capacity(self.ports.len());
+        for port in &mut self.ports {
+            reports.push(port.run_backlogged(packets_per_port)?);
+        }
+        let total: u64 = reports.iter().map(|r| r.transmitted).sum();
+        let aggregate: f64 = reports.iter().map(|r| r.achieved_pps).sum();
+        Ok(ClusterReport {
+            ports: reports,
+            total_packets: total,
+            aggregate_pps: aggregate,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_core::{FabricConfig, FabricConfigKind, LatePolicy};
+    use ss_types::{PacketSize, WindowConstraint};
+
+    fn port_config(line_speed_bps: u64, kind: FabricConfigKind) -> LinecardPipelineConfig {
+        LinecardPipelineConfig {
+            fabric: FabricConfig::edf(4, kind),
+            line_speed_bps,
+            packet_size: PacketSize::ETH_MIN,
+            queue_capacity: 64,
+            clock_mhz: None,
+        }
+    }
+
+    fn load_all(cluster: &mut SwitchCluster) {
+        for port in 0..cluster.ports() {
+            for slot in 0..4 {
+                cluster
+                    .load_stream(
+                        port,
+                        slot,
+                        StreamState {
+                            request_period: 4,
+                            original_window: WindowConstraint::ZERO,
+                            static_prio: 0,
+                            late_policy: LatePolicy::ServeLate,
+                        },
+                        (slot + 1) as u64,
+                    )
+                    .unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_scales_with_ports() {
+        let one = {
+            let mut c = SwitchCluster::new(vec![port_config(
+                10_000_000_000,
+                FabricConfigKind::WinnerOnly,
+            )])
+            .unwrap();
+            load_all(&mut c);
+            c.run_backlogged(20_000).unwrap().aggregate_pps
+        };
+        let four = {
+            let mut c = SwitchCluster::new(vec![
+                port_config(
+                    10_000_000_000,
+                    FabricConfigKind::WinnerOnly
+                );
+                4
+            ])
+            .unwrap();
+            load_all(&mut c);
+            c.run_backlogged(20_000).unwrap().aggregate_pps
+        };
+        assert!((four / one - 4.0).abs() < 0.01, "scaling {}", four / one);
+    }
+
+    #[test]
+    fn ports_may_run_different_configurations() {
+        // Port 0: WR max-finding; port 1: BA block mode. Each keeps its
+        // own throughput profile.
+        let mut c = SwitchCluster::new(vec![
+            port_config(10_000_000_000, FabricConfigKind::WinnerOnly),
+            port_config(10_000_000_000, FabricConfigKind::Base),
+        ])
+        .unwrap();
+        load_all(&mut c);
+        let report = c.run_backlogged(40_000).unwrap();
+        assert!(report.ports[0].scheduler_limited, "WR cannot hold 10G/64B");
+        assert!(!report.ports[1].scheduler_limited, "BA block mode can");
+        assert_eq!(report.total_packets, 80_000);
+    }
+
+    #[test]
+    fn overload_is_contained_per_port() {
+        // Port 0 at 10G (scheduler-limited), port 1 at 1G (wire-limited):
+        // port 1's utilization must be unaffected by port 0's saturation.
+        let mut c = SwitchCluster::new(vec![
+            port_config(10_000_000_000, FabricConfigKind::WinnerOnly),
+            port_config(1_000_000_000, FabricConfigKind::WinnerOnly),
+        ])
+        .unwrap();
+        load_all(&mut c);
+        let report = c.run_backlogged(20_000).unwrap();
+        assert!(report.ports[0].link_utilization < 0.5);
+        assert!(report.ports[1].link_utilization > 0.999);
+    }
+
+    #[test]
+    fn cluster_report_totals_are_consistent() {
+        let mut c =
+            SwitchCluster::new(vec![
+                port_config(1_000_000_000, FabricConfigKind::WinnerOnly);
+                3
+            ])
+            .unwrap();
+        load_all(&mut c);
+        let report = c.run_backlogged(5_000).unwrap();
+        assert_eq!(report.total_packets, 15_000);
+        let sum: u64 = report.ports.iter().map(|r| r.transmitted).sum();
+        assert_eq!(sum, report.total_packets);
+    }
+}

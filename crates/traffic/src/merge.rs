@@ -1,0 +1,86 @@
+//! Deterministic time-ordered merge of per-stream sources.
+
+use crate::ArrivalEvent;
+
+/// Merges multiple arrival iterators into one time-sorted sequence.
+///
+/// Ties are broken by source index (deterministic), so a merge of
+/// deterministic sources is itself deterministic.
+pub fn merge(sources: Vec<Box<dyn Iterator<Item = ArrivalEvent>>>) -> MergedArrivals {
+    let mut heads = Vec::with_capacity(sources.len());
+    let mut iters = Vec::with_capacity(sources.len());
+    for mut s in sources {
+        heads.push(s.next());
+        iters.push(s);
+    }
+    MergedArrivals { heads, iters }
+}
+
+/// Iterator returned by [`merge`].
+pub struct MergedArrivals {
+    heads: Vec<Option<ArrivalEvent>>,
+    iters: Vec<Box<dyn Iterator<Item = ArrivalEvent>>>,
+}
+
+impl Iterator for MergedArrivals {
+    type Item = ArrivalEvent;
+
+    fn next(&mut self) -> Option<ArrivalEvent> {
+        let best = self
+            .heads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, h)| h.map(|e| (e.time_ns, i)))
+            .min()
+            .map(|(_, i)| i)?;
+        let e = self.heads[best].take().expect("selected head present");
+        self.heads[best] = self.iters[best].next();
+        Some(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cbr;
+    use ss_types::{PacketSize, StreamId};
+
+    fn sid(i: u8) -> StreamId {
+        StreamId::new(i).unwrap()
+    }
+
+    #[test]
+    fn merge_is_time_sorted() {
+        let a = Cbr::new(sid(0), PacketSize(64), 10, 0, 5);
+        let b = Cbr::new(sid(1), PacketSize(64), 7, 3, 5);
+        let merged: Vec<_> = merge(vec![Box::new(a), Box::new(b)]).collect();
+        assert_eq!(merged.len(), 10);
+        for pair in merged.windows(2) {
+            assert!(pair[0].time_ns <= pair[1].time_ns);
+        }
+    }
+
+    #[test]
+    fn ties_break_by_source_index() {
+        let a = Cbr::new(sid(1), PacketSize(64), 10, 0, 2);
+        let b = Cbr::new(sid(2), PacketSize(64), 10, 0, 2);
+        let merged: Vec<_> = merge(vec![Box::new(a), Box::new(b)]).collect();
+        assert_eq!(merged[0].stream.index(), 1, "source 0 wins the t=0 tie");
+        assert_eq!(merged[1].stream.index(), 2);
+    }
+
+    #[test]
+    fn empty_and_uneven_sources() {
+        let a = Cbr::new(sid(0), PacketSize(64), 10, 0, 0);
+        let b = Cbr::new(sid(1), PacketSize(64), 10, 0, 3);
+        let merged: Vec<_> = merge(vec![Box::new(a), Box::new(b)]).collect();
+        assert_eq!(merged.len(), 3);
+        assert!(merged.iter().all(|e| e.stream.index() == 1));
+    }
+
+    #[test]
+    fn merge_of_nothing_is_empty() {
+        let merged: Vec<_> = merge(vec![]).collect();
+        assert!(merged.is_empty());
+    }
+}

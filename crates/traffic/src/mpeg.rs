@@ -1,0 +1,147 @@
+//! MPEG-like frame source: a repeating I/P/B group-of-pictures size
+//! pattern at a fixed frame rate.
+//!
+//! The paper's Figure 1 discussion uses MPEG frames as the example of
+//! large-granularity scheduling ("scheduling and serving MPEG frames ...
+//! may not require a high scheduling rate"); this source produces that
+//! workload for the framework experiments.
+
+use crate::ArrivalEvent;
+use ss_types::{Nanos, PacketSize, StreamId};
+
+/// Classic 12-frame GoP pattern: IBBPBBPBBPBB.
+pub const GOP_PATTERN: [FrameKind; 12] = [
+    FrameKind::I,
+    FrameKind::B,
+    FrameKind::B,
+    FrameKind::P,
+    FrameKind::B,
+    FrameKind::B,
+    FrameKind::P,
+    FrameKind::B,
+    FrameKind::B,
+    FrameKind::P,
+    FrameKind::B,
+    FrameKind::B,
+];
+
+/// MPEG frame types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Intra-coded (largest).
+    I,
+    /// Predicted.
+    P,
+    /// Bidirectional (smallest).
+    B,
+}
+
+/// MPEG-like frame generator.
+#[derive(Debug, Clone)]
+pub struct MpegFrames {
+    stream: StreamId,
+    /// Bytes per frame kind (I, P, B).
+    sizes: (u32, u32, u32),
+    frame_interval_ns: Nanos,
+    next_time: Nanos,
+    position: usize,
+    remaining: u64,
+}
+
+impl MpegFrames {
+    /// Creates a source at `fps` frames/second with the given I/P/B sizes.
+    ///
+    /// # Panics
+    /// Panics if `fps == 0` or any size is zero.
+    pub fn new(stream: StreamId, fps: u32, sizes: (u32, u32, u32), count: u64) -> Self {
+        assert!(fps > 0, "frame rate must be positive");
+        assert!(
+            sizes.0 > 0 && sizes.1 > 0 && sizes.2 > 0,
+            "frame sizes must be positive"
+        );
+        Self {
+            stream,
+            sizes,
+            frame_interval_ns: 1_000_000_000 / u64::from(fps),
+            next_time: 0,
+            position: 0,
+            remaining: count,
+        }
+    }
+
+    /// A typical standard-definition stream: 30 fps, I=12 kB, P=4 kB, B=2 kB.
+    pub fn typical_sd(stream: StreamId, count: u64) -> Self {
+        Self::new(stream, 30, (12_000, 4_000, 2_000), count)
+    }
+
+    /// The frame kind at GoP position `pos`.
+    pub fn kind_at(pos: usize) -> FrameKind {
+        GOP_PATTERN[pos % GOP_PATTERN.len()]
+    }
+}
+
+impl Iterator for MpegFrames {
+    type Item = ArrivalEvent;
+
+    fn next(&mut self) -> Option<ArrivalEvent> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let size = match Self::kind_at(self.position) {
+            FrameKind::I => self.sizes.0,
+            FrameKind::P => self.sizes.1,
+            FrameKind::B => self.sizes.2,
+        };
+        self.position += 1;
+        let e = ArrivalEvent {
+            time_ns: self.next_time,
+            stream: self.stream,
+            size: PacketSize(size),
+        };
+        self.next_time += self.frame_interval_ns;
+        Some(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(i: u8) -> StreamId {
+        StreamId::new(i).unwrap()
+    }
+
+    #[test]
+    fn gop_pattern_repeats() {
+        let events: Vec<_> = MpegFrames::new(sid(0), 30, (1000, 400, 200), 24).collect();
+        assert_eq!(events[0].size.bytes(), 1000); // I
+        assert_eq!(events[1].size.bytes(), 200); // B
+        assert_eq!(events[3].size.bytes(), 400); // P
+        assert_eq!(events[12].size.bytes(), 1000); // next GoP's I
+    }
+
+    #[test]
+    fn frame_times_at_30fps() {
+        let events: Vec<_> = MpegFrames::typical_sd(sid(0), 3).collect();
+        assert_eq!(events[1].time_ns - events[0].time_ns, 33_333_333);
+    }
+
+    #[test]
+    fn mean_bitrate_sanity() {
+        // 30 fps SD: (12k + 3·4k + 8·2k) per 12 frames = 40 kB/GoP,
+        // 2.5 GoP/s → 100 kB/s.
+        let events: Vec<_> = MpegFrames::typical_sd(sid(0), 1200).collect();
+        let bytes: u64 = events.iter().map(|e| u64::from(e.size.bytes())).sum();
+        let span_s = (events.last().unwrap().time_ns as f64) / 1e9;
+        let rate = bytes as f64 / span_s;
+        assert!((rate - 100_000.0).abs() / 100_000.0 < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn kind_helper_matches_pattern() {
+        assert_eq!(MpegFrames::kind_at(0), FrameKind::I);
+        assert_eq!(MpegFrames::kind_at(3), FrameKind::P);
+        assert_eq!(MpegFrames::kind_at(13), FrameKind::B);
+    }
+}

@@ -1,0 +1,143 @@
+//! On/off burst source: exponentially distributed ON and OFF period
+//! lengths, CBR emission while ON — a standard model for best-effort
+//! web-like traffic (the paper's workload mix, §1).
+
+use crate::ArrivalEvent;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ss_types::{Nanos, PacketSize, StreamId};
+
+/// Two-state on/off source.
+#[derive(Debug, Clone)]
+pub struct OnOff {
+    stream: StreamId,
+    size: PacketSize,
+    interval_ns: Nanos,
+    mean_on_packets: f64,
+    mean_off_ns: f64,
+    rng: StdRng,
+    next_time: Nanos,
+    packets_left_in_burst: u64,
+    remaining: u64,
+}
+
+impl OnOff {
+    /// Creates an on/off source: ON periods emit packets every
+    /// `interval_ns` and last `mean_on_packets` packets on average; OFF
+    /// periods last `mean_off_ns` on average.
+    ///
+    /// # Panics
+    /// Panics on non-positive parameters.
+    pub fn new(
+        stream: StreamId,
+        size: PacketSize,
+        interval_ns: Nanos,
+        mean_on_packets: f64,
+        mean_off_ns: f64,
+        seed: u64,
+        count: u64,
+    ) -> Self {
+        assert!(interval_ns > 0, "interval must be positive");
+        assert!(mean_on_packets >= 1.0, "mean ON length must be >= 1 packet");
+        assert!(mean_off_ns > 0.0, "mean OFF time must be positive");
+        Self {
+            stream,
+            size,
+            interval_ns,
+            mean_on_packets,
+            mean_off_ns,
+            rng: StdRng::seed_from_u64(seed),
+            next_time: 0,
+            packets_left_in_burst: 0,
+            remaining: count,
+        }
+    }
+
+    fn exp(&mut self, mean: f64) -> f64 {
+        let u: f64 = self.rng.gen_range(f64::EPSILON..=1.0);
+        -mean * u.ln()
+    }
+}
+
+impl Iterator for OnOff {
+    type Item = ArrivalEvent;
+
+    fn next(&mut self) -> Option<ArrivalEvent> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        if self.packets_left_in_burst == 0 {
+            // Enter OFF, then start a new burst.
+            let off = self.exp(self.mean_off_ns).round() as Nanos;
+            self.next_time += off;
+            self.packets_left_in_burst = self.exp(self.mean_on_packets).ceil().max(1.0) as u64;
+        }
+        self.packets_left_in_burst -= 1;
+        let e = ArrivalEvent {
+            time_ns: self.next_time,
+            stream: self.stream,
+            size: self.size,
+        };
+        self.next_time += self.interval_ns;
+        Some(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(i: u8) -> StreamId {
+        StreamId::new(i).unwrap()
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a: Vec<_> = OnOff::new(sid(0), PacketSize(64), 100, 10.0, 5_000.0, 9, 500).collect();
+        let b: Vec<_> = OnOff::new(sid(0), PacketSize(64), 100, 10.0, 5_000.0, 9, 500).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn contains_gaps_larger_than_intra_burst_spacing() {
+        let events: Vec<_> =
+            OnOff::new(sid(0), PacketSize(64), 100, 5.0, 100_000.0, 1, 1000).collect();
+        let max_gap = events
+            .windows(2)
+            .map(|p| p[1].time_ns - p[0].time_ns)
+            .max()
+            .unwrap();
+        assert!(max_gap > 10_000, "expected OFF gaps, max gap {max_gap}");
+        // And intra-burst packets at the base interval.
+        let min_gap = events
+            .windows(2)
+            .map(|p| p[1].time_ns - p[0].time_ns)
+            .min()
+            .unwrap();
+        assert_eq!(min_gap, 100);
+    }
+
+    #[test]
+    fn monotone_timestamps() {
+        let events: Vec<_> =
+            OnOff::new(sid(2), PacketSize(200), 50, 20.0, 10_000.0, 5, 2000).collect();
+        assert_eq!(events.len(), 2000);
+        for pair in events.windows(2) {
+            assert!(pair[0].time_ns <= pair[1].time_ns);
+        }
+    }
+
+    #[test]
+    fn mean_burst_length_approximate() {
+        let events: Vec<_> =
+            OnOff::new(sid(0), PacketSize(64), 100, 8.0, 1_000_000.0, 13, 20_000).collect();
+        // Count bursts: a gap much larger than the interval separates them.
+        let bursts = 1 + events
+            .windows(2)
+            .filter(|p| p[1].time_ns - p[0].time_ns > 1000)
+            .count();
+        let mean_len = events.len() as f64 / bursts as f64;
+        assert!((mean_len - 8.0).abs() < 1.5, "mean burst length {mean_len}");
+    }
+}

@@ -1,0 +1,115 @@
+//! Poisson arrivals (exponential inter-arrival times), seeded.
+
+use crate::ArrivalEvent;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ss_types::{Nanos, PacketSize, StreamId};
+
+/// Memoryless arrival process at a given mean rate.
+#[derive(Debug, Clone)]
+pub struct Poisson {
+    stream: StreamId,
+    size: PacketSize,
+    mean_interval_ns: f64,
+    rng: StdRng,
+    next_time: Nanos,
+    remaining: u64,
+}
+
+impl Poisson {
+    /// Creates a Poisson source with mean inter-arrival `mean_interval_ns`.
+    ///
+    /// # Panics
+    /// Panics if the mean interval is not positive.
+    pub fn new(
+        stream: StreamId,
+        size: PacketSize,
+        mean_interval_ns: f64,
+        seed: u64,
+        count: u64,
+    ) -> Self {
+        assert!(
+            mean_interval_ns.is_finite() && mean_interval_ns > 0.0,
+            "mean interval must be positive"
+        );
+        Self {
+            stream,
+            size,
+            mean_interval_ns,
+            rng: StdRng::seed_from_u64(seed),
+            next_time: 0,
+            remaining: count,
+        }
+    }
+
+    fn exp_sample(&mut self) -> Nanos {
+        // Inverse-CDF: -mean · ln(U), U ∈ (0, 1].
+        let u: f64 = self.rng.gen_range(f64::EPSILON..=1.0);
+        (-self.mean_interval_ns * u.ln()).round().max(0.0) as Nanos
+    }
+}
+
+impl Iterator for Poisson {
+    type Item = ArrivalEvent;
+
+    fn next(&mut self) -> Option<ArrivalEvent> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        self.next_time += self.exp_sample();
+        Some(ArrivalEvent {
+            time_ns: self.next_time,
+            stream: self.stream,
+            size: self.size,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(i: u8) -> StreamId {
+        StreamId::new(i).unwrap()
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a: Vec<_> = Poisson::new(sid(0), PacketSize(64), 1000.0, 7, 100).collect();
+        let b: Vec<_> = Poisson::new(sid(0), PacketSize(64), 1000.0, 7, 100).collect();
+        assert_eq!(a, b);
+        let c: Vec<_> = Poisson::new(sid(0), PacketSize(64), 1000.0, 8, 100).collect();
+        assert_ne!(a, c, "different seeds differ");
+    }
+
+    #[test]
+    fn mean_interval_approximately_respected() {
+        let events: Vec<_> = Poisson::new(sid(0), PacketSize(64), 500.0, 42, 20_000).collect();
+        let span = events.last().unwrap().time_ns - events[0].time_ns;
+        let mean = span as f64 / (events.len() - 1) as f64;
+        assert!((mean - 500.0).abs() / 500.0 < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn timestamps_monotone() {
+        let events: Vec<_> = Poisson::new(sid(0), PacketSize(64), 100.0, 3, 1000).collect();
+        for pair in events.windows(2) {
+            assert!(pair[0].time_ns <= pair[1].time_ns);
+        }
+    }
+
+    #[test]
+    fn interarrival_variance_is_exponential_like() {
+        // For an exponential distribution the coefficient of variation is 1.
+        let events: Vec<_> = Poisson::new(sid(0), PacketSize(64), 1000.0, 11, 20_000).collect();
+        let gaps: Vec<f64> = events
+            .windows(2)
+            .map(|p| (p[1].time_ns - p[0].time_ns) as f64)
+            .collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 1.0).abs() < 0.1, "coefficient of variation {cv}");
+    }
+}

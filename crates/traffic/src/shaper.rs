@@ -1,0 +1,147 @@
+//! Token-bucket traffic shaping.
+//!
+//! QoS architectures pair schedulers with ingress shapers: a token bucket
+//! of depth `burst_bytes` refilling at `rate_bytes_per_sec` delays any
+//! arrival that would overdraw it. Wrapping a generator in a [`Shaper`]
+//! yields the conformant version of its traffic — bursts up to the bucket
+//! pass untouched, sustained overload is spaced out to the token rate.
+
+use crate::ArrivalEvent;
+use ss_types::Nanos;
+
+/// A token-bucket shaper over an arrival iterator.
+#[derive(Debug)]
+pub struct Shaper<I> {
+    inner: I,
+    rate_bytes_per_sec: u64,
+    burst_bytes: u64,
+    /// Tokens available (in byte·nanoseconds-scale fixed point: bytes).
+    tokens: f64,
+    /// Time the bucket state was last advanced.
+    last_ns: Nanos,
+}
+
+impl<I: Iterator<Item = ArrivalEvent>> Shaper<I> {
+    /// Shapes `inner` to `rate_bytes_per_sec` with a bucket of
+    /// `burst_bytes` (must hold at least one maximum packet).
+    ///
+    /// # Panics
+    /// Panics on zero rate or burst.
+    pub fn new(inner: I, rate_bytes_per_sec: u64, burst_bytes: u64) -> Self {
+        assert!(rate_bytes_per_sec > 0, "rate must be positive");
+        assert!(burst_bytes > 0, "burst must be positive");
+        Self {
+            inner,
+            rate_bytes_per_sec,
+            burst_bytes,
+            tokens: burst_bytes as f64,
+            last_ns: 0,
+        }
+    }
+
+    fn refill_to(&mut self, t: Nanos) {
+        let dt = t.saturating_sub(self.last_ns) as f64;
+        self.tokens =
+            (self.tokens + dt * self.rate_bytes_per_sec as f64 / 1e9).min(self.burst_bytes as f64);
+        self.last_ns = t;
+    }
+}
+
+impl<I: Iterator<Item = ArrivalEvent>> Iterator for Shaper<I> {
+    type Item = ArrivalEvent;
+
+    fn next(&mut self) -> Option<ArrivalEvent> {
+        let mut e = self.inner.next()?;
+        let size = f64::from(e.size.bytes());
+        // Advance the bucket to the packet's own arrival first.
+        let at = e.time_ns.max(self.last_ns);
+        self.refill_to(at);
+        if self.tokens < size {
+            // Delay until enough tokens accumulate.
+            let deficit = size - self.tokens;
+            let wait_ns = (deficit * 1e9 / self.rate_bytes_per_sec as f64).ceil() as Nanos;
+            self.refill_to(at + wait_ns);
+        }
+        self.tokens -= size;
+        e.time_ns = self.last_ns;
+        Some(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cbr;
+    use ss_types::{PacketSize, StreamId};
+
+    fn sid(i: u8) -> StreamId {
+        StreamId::new(i).unwrap()
+    }
+
+    #[test]
+    fn conformant_traffic_passes_unchanged() {
+        // 1000-byte packets every 1 ms at a 2 MB/s shaper: well under rate.
+        let src = Cbr::new(sid(0), PacketSize(1000), 1_000_000, 0, 50);
+        let shaped: Vec<_> = Shaper::new(src.clone(), 2_000_000, 4_000).collect();
+        let original: Vec<_> = src.collect();
+        assert_eq!(shaped, original);
+    }
+
+    #[test]
+    fn sustained_overload_is_spaced_to_the_token_rate() {
+        // Back-to-back 1000-byte packets into a 1 MB/s shaper: the output
+        // must settle at one packet per millisecond.
+        let src = Cbr::new(sid(0), PacketSize(1000), 1, 0, 100);
+        let shaped: Vec<_> = Shaper::new(src, 1_000_000, 1_000).collect();
+        let gaps: Vec<u64> = shaped
+            .windows(2)
+            .map(|p| p[1].time_ns - p[0].time_ns)
+            .collect();
+        // After the initial bucket drains, every gap is ~1 ms.
+        for g in &gaps[2..] {
+            assert!((*g as i64 - 1_000_000).unsigned_abs() <= 1, "gap {g}");
+        }
+    }
+
+    #[test]
+    fn bursts_up_to_the_bucket_pass_through() {
+        // An 8-packet burst against an 8-packet bucket: no delay; the 9th
+        // onwards is paced.
+        let src = Cbr::new(sid(0), PacketSize(1000), 1, 0, 12);
+        let shaped: Vec<_> = Shaper::new(src, 1_000_000, 8_000).collect();
+        for (i, e) in shaped.iter().take(8).enumerate() {
+            assert_eq!(e.time_ns, i as u64, "burst packet {i} delayed");
+        }
+        assert!(
+            shaped[8].time_ns >= 1_000_000,
+            "9th packet paced: {}",
+            shaped[8].time_ns
+        );
+    }
+
+    #[test]
+    fn output_is_time_monotone() {
+        let src = Cbr::new(sid(0), PacketSize(1500), 10, 0, 200);
+        let shaped: Vec<_> = Shaper::new(src, 500_000, 3_000).collect();
+        for pair in shaped.windows(2) {
+            assert!(pair[0].time_ns <= pair[1].time_ns);
+        }
+        assert_eq!(shaped.len(), 200, "shaping never drops");
+    }
+
+    #[test]
+    fn long_run_rate_matches_token_rate() {
+        let src = Cbr::new(sid(0), PacketSize(1000), 1, 0, 5_000);
+        let shaped: Vec<_> = Shaper::new(src, 4_000_000, 2_000).collect();
+        let span_s = shaped.last().unwrap().time_ns as f64 / 1e9;
+        let rate = 5_000.0 * 1000.0 / span_s;
+        assert!((rate - 4_000_000.0).abs() / 4e6 < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_rejected() {
+        let src = Cbr::new(sid(0), PacketSize(64), 1, 0, 1);
+        let _ = Shaper::new(src, 0, 100);
+    }
+}

@@ -1,0 +1,135 @@
+//! Bandwidth and rate helpers used by experiments and the endsystem model.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Link speed in bits per second.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BitsPerSec(pub u64);
+
+impl BitsPerSec {
+    /// 1 Gbps.
+    pub const GBPS_1: BitsPerSec = BitsPerSec(1_000_000_000);
+    /// 2.5 Gbps (Infiniband 1x of the era).
+    pub const GBPS_2_5: BitsPerSec = BitsPerSec(2_500_000_000);
+    /// 10 Gbps.
+    pub const GBPS_10: BitsPerSec = BitsPerSec(10_000_000_000);
+
+    /// Convert to bytes per second (floor).
+    pub const fn bytes_per_sec(self) -> BytesPerSec {
+        BytesPerSec(self.0 / 8)
+    }
+}
+
+impl fmt::Display for BitsPerSec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_multiple_of(1_000_000_000) {
+            write!(f, "{}Gbps", self.0 / 1_000_000_000)
+        } else if self.0.is_multiple_of(1_000_000) {
+            write!(f, "{}Mbps", self.0 / 1_000_000)
+        } else {
+            write!(f, "{}bps", self.0)
+        }
+    }
+}
+
+/// Throughput in bytes per second.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BytesPerSec(pub u64);
+
+impl BytesPerSec {
+    /// Convenience constructor from megabytes per second.
+    pub const fn from_mbps(mb: u64) -> Self {
+        BytesPerSec(mb * 1_000_000)
+    }
+
+    /// Value as (decimal) megabytes per second.
+    pub fn as_mbps_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+}
+
+impl fmt::Display for BytesPerSec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}MBps", self.as_mbps_f64())
+    }
+}
+
+/// An exact small rational, used for bandwidth-ratio assertions in the
+/// experiments (e.g. Figure 8's 1:1:2:4 allocation) without floating error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Ratio {
+    /// Numerator.
+    pub num: u64,
+    /// Denominator (non-zero).
+    pub den: u64,
+}
+
+impl Ratio {
+    /// Creates `num/den`.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    pub fn new(num: u64, den: u64) -> Self {
+        assert!(den != 0, "ratio denominator must be non-zero");
+        Self { num, den }
+    }
+
+    /// Value as f64 (reporting only).
+    pub fn as_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// `true` if `observed/expected` is within `tol_pct` percent of 1.
+    pub fn within_pct(observed: f64, expected: f64, tol_pct: f64) -> bool {
+        if expected == 0.0 {
+            return observed == 0.0;
+        }
+        ((observed - expected) / expected).abs() * 100.0 <= tol_pct
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.num, self.den)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gbps_constants() {
+        assert_eq!(BitsPerSec::GBPS_10.0, 10 * BitsPerSec::GBPS_1.0);
+        assert_eq!(BitsPerSec::GBPS_1.bytes_per_sec().0, 125_000_000);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(BitsPerSec::GBPS_1.to_string(), "1Gbps");
+        assert_eq!(BitsPerSec(100_000_000).to_string(), "100Mbps");
+        assert_eq!(BitsPerSec(1234).to_string(), "1234bps");
+        assert_eq!(BytesPerSec::from_mbps(8).to_string(), "8.00MBps");
+    }
+
+    #[test]
+    fn within_pct_bounds() {
+        assert!(Ratio::within_pct(102.0, 100.0, 2.0));
+        assert!(!Ratio::within_pct(103.0, 100.0, 2.0));
+        assert!(Ratio::within_pct(0.0, 0.0, 1.0));
+        assert!(!Ratio::within_pct(1.0, 0.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator must be non-zero")]
+    fn zero_denominator_panics() {
+        Ratio::new(1, 0);
+    }
+
+    #[test]
+    fn ratio_value() {
+        assert_eq!(Ratio::new(1, 4).as_f64(), 0.25);
+        assert_eq!(Ratio::new(1, 4).to_string(), "1:4");
+    }
+}

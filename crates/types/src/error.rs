@@ -1,0 +1,100 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+/// Errors raised by ShareStreams components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A slot index exceeded the configured fabric size.
+    SlotOutOfRange {
+        /// Offending index.
+        slot: usize,
+        /// Configured number of slots.
+        slots: usize,
+    },
+    /// The requested slot count is unsupported by the fabric (must be a
+    /// power of two between 2 and 32).
+    InvalidSlotCount(usize),
+    /// A stream was registered twice or a slot is already occupied.
+    SlotBusy(usize),
+    /// A per-stream queue overflowed its configured capacity.
+    QueueFull {
+        /// Queue owner.
+        slot: usize,
+        /// Configured capacity.
+        capacity: usize,
+    },
+    /// The design does not fit the targeted FPGA device.
+    DeviceCapacityExceeded {
+        /// Slices required.
+        required_slices: u32,
+        /// Slices available on the device.
+        available_slices: u32,
+    },
+    /// Configuration rejected with a human-readable reason.
+    Config(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::SlotOutOfRange { slot, slots } => {
+                write!(f, "slot {slot} out of range (fabric has {slots} slots)")
+            }
+            Error::InvalidSlotCount(n) => {
+                write!(
+                    f,
+                    "invalid slot count {n}: must be a power of two in 2..=32"
+                )
+            }
+            Error::SlotBusy(slot) => write!(f, "slot {slot} already occupied"),
+            Error::QueueFull { slot, capacity } => {
+                write!(f, "queue for slot {slot} full (capacity {capacity})")
+            }
+            Error::DeviceCapacityExceeded {
+                required_slices,
+                available_slices,
+            } => write!(
+                f,
+                "design needs {required_slices} slices but device has {available_slices}"
+            ),
+            Error::Config(msg) => write!(f, "configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            Error::SlotOutOfRange { slot: 9, slots: 8 }.to_string(),
+            "slot 9 out of range (fabric has 8 slots)"
+        );
+        assert_eq!(
+            Error::InvalidSlotCount(6).to_string(),
+            "invalid slot count 6: must be a power of two in 2..=32"
+        );
+        assert_eq!(Error::SlotBusy(3).to_string(), "slot 3 already occupied");
+        assert!(Error::QueueFull {
+            slot: 1,
+            capacity: 64
+        }
+        .to_string()
+        .contains("capacity 64"));
+        assert!(Error::Config("bad".into()).to_string().contains("bad"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::SlotBusy(0));
+    }
+}

@@ -1,0 +1,126 @@
+//! Packets as the scheduler sees them.
+//!
+//! ShareStreams never moves payloads through the scheduler: the Stream
+//! processor exchanges 16-bit arrival-time offsets and 5-bit stream IDs with
+//! the FPGA (paper §4.3). A [`Packet`] here is therefore a descriptor — the
+//! payload stays in host memory (or, in our simulation, does not exist).
+
+use crate::ids::StreamId;
+use crate::Nanos;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Monotonic per-run packet identifier (simulation bookkeeping only; the
+/// hardware never sees it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PacketId(pub u64);
+
+/// Packet length in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PacketSize(pub u32);
+
+impl PacketSize {
+    /// Minimum Ethernet frame (64 bytes) — the paper's worst-case packet-time.
+    pub const ETH_MIN: PacketSize = PacketSize(64);
+    /// Maximum standard Ethernet frame (1500-byte payload MTU framing).
+    pub const ETH_MTU: PacketSize = PacketSize(1500);
+
+    /// Size in bits on the wire.
+    pub const fn bits(self) -> u64 {
+        (self.0 as u64) * 8
+    }
+
+    /// Size in bytes.
+    pub const fn bytes(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for PacketSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}B", self.0)
+    }
+}
+
+/// A packet descriptor flowing through per-stream queues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Simulation-unique identifier.
+    pub id: PacketId,
+    /// Stream this packet belongs to.
+    pub stream: StreamId,
+    /// Arrival time at the Stream processor, in simulated nanoseconds.
+    pub arrival_ns: Nanos,
+    /// Length on the wire.
+    pub size: PacketSize,
+}
+
+impl Packet {
+    /// Time to transmit this packet on a link of `line_speed_bps`, in
+    /// nanoseconds (the paper's *packet-time*: `length_bits / line_speed`).
+    pub fn packet_time_ns(&self, line_speed_bps: u64) -> Nanos {
+        packet_time_ns(self.size, line_speed_bps)
+    }
+}
+
+/// Packet-time in nanoseconds for a packet of `size` on a link of
+/// `line_speed_bps` bits per second.
+///
+/// This is the budget within which a scheduling decision must complete to
+/// keep the link fully utilized (paper §1).
+pub fn packet_time_ns(size: PacketSize, line_speed_bps: u64) -> Nanos {
+    assert!(line_speed_bps > 0, "line speed must be positive");
+    // bits * 1e9 / bps, rounded to nearest, using u128 to avoid overflow.
+    let num = (size.bits() as u128) * 1_000_000_000u128;
+    ((num + (line_speed_bps as u128) / 2) / (line_speed_bps as u128)) as Nanos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GBPS: u64 = 1_000_000_000;
+
+    #[test]
+    fn paper_packet_times_10g() {
+        // Paper §1: on 10 Gbps, 64-byte ≈ 0.05 µs, 1500-byte ≈ 1.2 µs.
+        let t64 = packet_time_ns(PacketSize::ETH_MIN, 10 * GBPS);
+        let t1500 = packet_time_ns(PacketSize::ETH_MTU, 10 * GBPS);
+        assert_eq!(t64, 51); // 512 bits / 10 Gbps = 51.2 ns
+        assert_eq!(t1500, 1200); // 12000 bits / 10 Gbps = 1.2 µs
+    }
+
+    #[test]
+    fn paper_packet_times_1g() {
+        // Paper §4.1: 1500-byte on 1 Gbps = 12 µs; 64-byte = ~500 ns.
+        assert_eq!(packet_time_ns(PacketSize::ETH_MTU, GBPS), 12_000);
+        assert_eq!(packet_time_ns(PacketSize::ETH_MIN, GBPS), 512);
+    }
+
+    #[test]
+    fn packet_time_scales_inversely_with_speed() {
+        let slow = packet_time_ns(PacketSize(1000), GBPS);
+        let fast = packet_time_ns(PacketSize(1000), 2 * GBPS);
+        assert_eq!(slow, 2 * fast);
+    }
+
+    #[test]
+    fn packet_helper_matches_free_function() {
+        let p = Packet {
+            id: PacketId(0),
+            stream: StreamId::new(0).unwrap(),
+            arrival_ns: 0,
+            size: PacketSize(256),
+        };
+        assert_eq!(
+            p.packet_time_ns(GBPS),
+            packet_time_ns(PacketSize(256), GBPS)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "line speed must be positive")]
+    fn zero_line_speed_panics() {
+        packet_time_ns(PacketSize(64), 0);
+    }
+}

@@ -1,0 +1,194 @@
+//! User-facing stream specifications.
+//!
+//! A [`StreamSpec`] is what an application hands to ShareStreams when it
+//! registers a stream: the service class plus the per-class parameters
+//! (request period and window constraint for DWCS/EDF, weight for fair-share,
+//! fixed priority for priority-class). The systems software turns the spec
+//! into Register Base block initial state.
+
+use crate::attrs::WindowConstraint;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The service class requested for a stream.
+///
+/// DWCS's strength (paper §2) is that one parameterization serves EDF,
+/// fair-share, and static-priority streams simultaneously; the variants here
+/// are sugar over the DWCS parameter space plus the two bypass modes of the
+/// canonical architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServiceClass {
+    /// Earliest-deadline-first: packets are due every `request_period` time
+    /// units; no losses tolerated.
+    EarliestDeadline {
+        /// Interval between successive packet deadlines (T_i), in scheduler
+        /// time units.
+        request_period: u16,
+    },
+    /// Window-constrained (full DWCS): deadline every `request_period`, with
+    /// `window` losses tolerated per window.
+    WindowConstrained {
+        /// Interval between successive packet deadlines (T_i).
+        request_period: u16,
+        /// Loss tolerance x/y.
+        window: WindowConstraint,
+    },
+    /// Fair share of link bandwidth proportional to `weight`.
+    FairShare {
+        /// Relative bandwidth weight (e.g. 1:1:2:4 allocations).
+        weight: u32,
+    },
+    /// Fixed priority class; lower value = more urgent.
+    StaticPriority {
+        /// The priority level.
+        level: u8,
+    },
+    /// Best effort: scheduled only when nothing else is eligible.
+    BestEffort,
+}
+
+impl fmt::Display for ServiceClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceClass::EarliestDeadline { request_period } => {
+                write!(f, "EDF(T={request_period})")
+            }
+            ServiceClass::WindowConstrained {
+                request_period,
+                window,
+            } => {
+                write!(f, "DWCS(T={request_period}, W={window})")
+            }
+            ServiceClass::FairShare { weight } => write!(f, "FairShare(w={weight})"),
+            ServiceClass::StaticPriority { level } => write!(f, "StaticPrio({level})"),
+            ServiceClass::BestEffort => write!(f, "BestEffort"),
+        }
+    }
+}
+
+/// Registration-time description of a stream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamSpec {
+    /// Human-readable name (diagnostics only).
+    pub name: String,
+    /// Requested service class.
+    pub class: ServiceClass,
+}
+
+impl StreamSpec {
+    /// Shorthand constructor.
+    pub fn new(name: impl Into<String>, class: ServiceClass) -> Self {
+        Self {
+            name: name.into(),
+            class,
+        }
+    }
+
+    /// The DWCS request period this spec implies (T_i).
+    ///
+    /// Fair-share weights map to request periods inversely proportional to
+    /// weight (a stream with twice the weight is due twice as often); the
+    /// mapping normalizes against `base_period`, the period granted to a
+    /// weight-1 stream. Static-priority and best-effort streams get the base
+    /// period — their ordering comes from the priority field, not deadlines.
+    pub fn request_period(&self, base_period: u16) -> u16 {
+        match self.class {
+            ServiceClass::EarliestDeadline { request_period }
+            | ServiceClass::WindowConstrained { request_period, .. } => request_period,
+            ServiceClass::FairShare { weight } => {
+                let w = weight.max(1);
+                u32::from(base_period.max(1)).div_ceil(w).max(1) as u16
+            }
+            ServiceClass::StaticPriority { .. } | ServiceClass::BestEffort => base_period.max(1),
+        }
+    }
+
+    /// The window constraint this spec implies.
+    ///
+    /// EDF streams tolerate no losses (`0/1`); fair-share and best-effort
+    /// streams are fully loss-tolerant within a window, which lets DWCS bias
+    /// service by deadline spacing alone.
+    pub fn window_constraint(&self) -> WindowConstraint {
+        match self.class {
+            ServiceClass::WindowConstrained { window, .. } => window,
+            ServiceClass::EarliestDeadline { .. } => WindowConstraint::ZERO,
+            ServiceClass::FairShare { .. } | ServiceClass::BestEffort => {
+                WindowConstraint::new(1, 1)
+            }
+            ServiceClass::StaticPriority { .. } => WindowConstraint::new(1, 1),
+        }
+    }
+
+    /// The static priority level (relevant in priority-class mode).
+    pub fn static_priority(&self) -> u8 {
+        match self.class {
+            ServiceClass::StaticPriority { level } => level,
+            ServiceClass::BestEffort => u8::MAX,
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fair_share_period_is_inverse_to_weight() {
+        let w1 = StreamSpec::new("a", ServiceClass::FairShare { weight: 1 });
+        let w2 = StreamSpec::new("b", ServiceClass::FairShare { weight: 2 });
+        let w4 = StreamSpec::new("c", ServiceClass::FairShare { weight: 4 });
+        assert_eq!(w1.request_period(8), 8);
+        assert_eq!(w2.request_period(8), 4);
+        assert_eq!(w4.request_period(8), 2);
+    }
+
+    #[test]
+    fn fair_share_period_never_zero() {
+        let heavy = StreamSpec::new("h", ServiceClass::FairShare { weight: 1_000_000 });
+        assert_eq!(heavy.request_period(4), 1);
+        let zero_weight = StreamSpec::new("z", ServiceClass::FairShare { weight: 0 });
+        assert_eq!(zero_weight.request_period(4), 4); // clamped to weight 1
+    }
+
+    #[test]
+    fn edf_has_zero_window() {
+        let s = StreamSpec::new("edf", ServiceClass::EarliestDeadline { request_period: 5 });
+        assert!(s.window_constraint().is_zero());
+        assert_eq!(s.request_period(100), 5);
+    }
+
+    #[test]
+    fn window_constrained_passes_through() {
+        let w = WindowConstraint::new(2, 5);
+        let s = StreamSpec::new(
+            "wc",
+            ServiceClass::WindowConstrained {
+                request_period: 3,
+                window: w,
+            },
+        );
+        assert_eq!(s.window_constraint(), w);
+        assert_eq!(s.request_period(100), 3);
+    }
+
+    #[test]
+    fn static_priority_levels() {
+        let hi = StreamSpec::new("hi", ServiceClass::StaticPriority { level: 0 });
+        let lo = StreamSpec::new("lo", ServiceClass::StaticPriority { level: 9 });
+        assert_eq!(hi.static_priority(), 0);
+        assert_eq!(lo.static_priority(), 9);
+        let be = StreamSpec::new("be", ServiceClass::BestEffort);
+        assert_eq!(be.static_priority(), u8::MAX);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = ServiceClass::WindowConstrained {
+            request_period: 3,
+            window: WindowConstraint::new(1, 4),
+        };
+        assert_eq!(s.to_string(), "DWCS(T=3, W=1/4)");
+        assert_eq!(ServiceClass::BestEffort.to_string(), "BestEffort");
+    }
+}

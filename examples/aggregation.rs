@@ -1,0 +1,114 @@
+//! Streamlet aggregation: hundreds of flows on a 4-slot fabric.
+//!
+//! ```sh
+//! cargo run --example aggregation
+//! ```
+//!
+//! The paper's scale story (§5.1, Figure 10): when per-stream QoS is not
+//! required, bind many *streamlets* to one Register Base block and let the
+//! Stream processor round-robin among them — FPGA state for 4 slots serves
+//! 400 flows. Slot 4 hosts two weighted sets (set 1 at 2x set 2).
+
+use sharestreams::prelude::*;
+
+fn main() {
+    let fabric = FabricConfig::dwcs(4, FabricConfigKind::WinnerOnly);
+    let mut pipe =
+        EndsystemPipeline::new(EndsystemConfig::paper_endsystem(fabric)).expect("valid config");
+
+    let weights = [1u32, 1, 2, 4];
+    let ids: Vec<StreamId> = weights
+        .iter()
+        .map(|&w| {
+            pipe.register(StreamSpec::new(
+                format!("slot-w{w}"),
+                ServiceClass::FairShare { weight: w },
+            ))
+            .expect("slot free")
+        })
+        .collect();
+
+    for &id in &ids[..3] {
+        pipe.attach_mux(
+            id,
+            &[StreamletSetConfig {
+                streamlets: 100,
+                weight: 1,
+            }],
+        );
+    }
+    pipe.attach_mux(
+        ids[3],
+        &[
+            StreamletSetConfig {
+                streamlets: 50,
+                weight: 2,
+            },
+            StreamletSetConfig {
+                streamlets: 50,
+                weight: 1,
+            },
+        ],
+    );
+
+    // Backlog with per-streamlet demand proportional to its allocation.
+    let budgets: [&[(usize, usize, u64)]; 4] = [
+        &[(0, 100, 60)],
+        &[(0, 100, 60)],
+        &[(0, 100, 120)],
+        &[(0, 50, 320), (1, 50, 160)],
+    ];
+    const PKT_TIME_NS: u64 = 93_750; // staggered tags → fair FCFS tie-breaks
+    for (slot, &id) in ids.iter().enumerate() {
+        for &(set, count, frames) in budgets[slot] {
+            for sl in 0..count {
+                for q in 0..frames {
+                    let t = (q * 4 + slot as u64) * PKT_TIME_NS;
+                    pipe.deposit_streamlet(
+                        id,
+                        set,
+                        sl,
+                        ArrivalEvent {
+                            time_ns: t,
+                            stream: id,
+                            size: PacketSize(1500),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    let report = pipe.run(&[]);
+    println!(
+        "400 streamlets multiplexed onto 4 stream-slots; {} frames in {:.2}s:\n",
+        report.total_packets, report.sim_seconds
+    );
+    println!(
+        "  {:>8} {:>10} {:>14}  per-streamlet kB/s",
+        "slot", "rate MB/s", "streamlets"
+    );
+    for (slot, &id) in ids.iter().enumerate() {
+        let mux = pipe.mux(id).expect("mux attached");
+        let sets = if slot == 3 { 2 } else { 1 };
+        let mut desc = String::new();
+        for set in 0..sets {
+            let n = if sets == 2 { 50 } else { 100 };
+            let bytes: u64 = (0..n).map(|sl| mux.bytes(set, sl)).sum();
+            let per = bytes as f64 / n as f64 / report.sim_seconds / 1e3;
+            desc.push_str(&format!("set{}: {:.1}  ", set + 1, per));
+        }
+        println!(
+            "  {:>8} {:>10.2} {:>14}  {}",
+            slot + 1,
+            report.streams[slot].mean_rate / 1e6,
+            if sets == 2 { "2 x 50" } else { "100" },
+            desc
+        );
+    }
+    println!(
+        "\nFPGA cost stays at 4 Register Base blocks (600 slices) — the other\n\
+         396 flows live in host memory. Per-stream deadlines are traded away;\n\
+         each slot keeps its aggregate delay bound."
+    );
+}

@@ -1,0 +1,92 @@
+//! Hierarchical link sharing: the H-FSC-class baseline in action.
+//!
+//! ```sh
+//! cargo run --example link_sharing
+//! ```
+//!
+//! An ISP-style hierarchy: two customers split the link 60/40; customer A
+//! subdivides between interactive and bulk. Flat fair queuing cannot
+//! express this (all flows compete globally); hierarchical FQ isolates
+//! each subtree — the comparison below makes the difference concrete.
+
+use sharestreams::disciplines::{Discipline, HfqSpec, HierarchicalFq, SwPacket, Wfq};
+
+fn shares<D: Discipline>(d: &mut D, streams: usize, rounds: usize) -> Vec<f64> {
+    let mut bytes = vec![0u64; streams];
+    for now in 0..rounds as u64 {
+        if let Some(p) = d.select(now) {
+            bytes[p.stream] += u64::from(p.size_bytes);
+        }
+    }
+    let total: u64 = bytes.iter().sum();
+    bytes.iter().map(|&b| b as f64 / total as f64).collect()
+}
+
+fn main() {
+    // Streams: 0 = A.interactive, 1..=8 = A.bulk x8, 9 = B.
+    // Hierarchy: root { A(60%): { interactive(50%), bulk(50%): 8 flows },
+    //                   B(40%) }.
+    let bulk: Vec<HfqSpec> = (1..=8).map(|s| HfqSpec::stream(1, s)).collect();
+    let spec = HfqSpec::class(
+        1,
+        vec![
+            HfqSpec::class(
+                3,
+                vec![
+                    HfqSpec::class(1, vec![HfqSpec::stream(1, 0)]),
+                    HfqSpec::class(1, bulk),
+                ],
+            ),
+            HfqSpec::class(2, vec![HfqSpec::stream(1, 9)]),
+        ],
+    );
+    let mut hfq = HierarchicalFq::new(spec);
+    let mut flat = Wfq::new(vec![1; 10]);
+    for s in 0..10usize {
+        for q in 0..20_000u64 {
+            hfq.enqueue(SwPacket::new(s, q, 0, 1000));
+            flat.enqueue(SwPacket::new(s, q, 0, 1000));
+        }
+    }
+
+    let h = shares(&mut hfq, 10, 40_000);
+    let f = shares(&mut flat, 10, 40_000);
+
+    println!("link shares with all flows backlogged:");
+    println!(
+        "  {:<22} {:>12} {:>12} {:>12}",
+        "", "hierarchical", "flat WFQ", "contract"
+    );
+    println!(
+        "  {:<22} {:>11.1}% {:>11.1}% {:>12}",
+        "A.interactive",
+        h[0] * 100.0,
+        f[0] * 100.0,
+        "30%"
+    );
+    let h_bulk: f64 = h[1..=8].iter().sum();
+    let f_bulk: f64 = f[1..=8].iter().sum();
+    println!(
+        "  {:<22} {:>11.1}% {:>11.1}% {:>12}",
+        "A.bulk (8 flows)",
+        h_bulk * 100.0,
+        f_bulk * 100.0,
+        "30%"
+    );
+    println!(
+        "  {:<22} {:>11.1}% {:>11.1}% {:>12}",
+        "customer B",
+        h[9] * 100.0,
+        f[9] * 100.0,
+        "40%"
+    );
+
+    assert!((h[0] - 0.30).abs() < 0.01, "interactive holds its 30%");
+    assert!((h[9] - 0.40).abs() < 0.01, "B holds its 40%");
+    assert!(f[0] < 0.11, "flat WFQ dilutes interactive to 1/10");
+    println!(
+        "\nflat WFQ gives every flow 10% — customer B's contract and A's interactive\n\
+         class both collapse. The hierarchy holds 30/30/40 regardless of flow counts,\n\
+         which is why the paper cites H-FSC as the serious software competitor (§4.1)."
+    );
+}

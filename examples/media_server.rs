@@ -1,0 +1,119 @@
+//! Media server: the paper's §1 motivating workload mix.
+//!
+//! ```sh
+//! cargo run --release --example media_server
+//! ```
+//!
+//! A server cluster node carries "a mix of best-effort web-traffic,
+//! real-time media streams, scientific and transaction processing
+//! workloads". Here: two MPEG video streams (window-constrained — a B-frame
+//! may occasionally be late), a latency-critical transaction stream (EDF),
+//! and bursty best-effort web traffic, all through the endsystem pipeline.
+
+use sharestreams::prelude::*;
+use sharestreams::traffic::{merge, Bursty, MpegFrames, Poisson};
+
+fn main() {
+    let fabric = FabricConfig::dwcs(4, FabricConfigKind::WinnerOnly);
+    let mut cfg = EndsystemConfig::paper_endsystem(fabric);
+    cfg.link_bytes_per_sec = 4_000_000; // a 32 Mbps access link
+    cfg.base_period = 16;
+    let mut pipe = EndsystemPipeline::new(cfg).expect("valid config");
+
+    let video_a = pipe
+        .register(StreamSpec::new(
+            "video-a",
+            ServiceClass::WindowConstrained {
+                request_period: 8,
+                window: WindowConstraint::new(1, 12), // one late frame per GoP
+            },
+        ))
+        .expect("slot");
+    let video_b = pipe
+        .register(StreamSpec::new(
+            "video-b",
+            ServiceClass::WindowConstrained {
+                request_period: 8,
+                window: WindowConstraint::new(1, 12),
+            },
+        ))
+        .expect("slot");
+    let txn = pipe
+        .register(StreamSpec::new(
+            "txn",
+            ServiceClass::EarliestDeadline { request_period: 4 },
+        ))
+        .expect("slot");
+    let web = pipe
+        .register(StreamSpec::new("web", ServiceClass::BestEffort))
+        .expect("slot");
+
+    // 30 fps MPEG (SD GoP sizes), Poisson transactions, bursty web.
+    let sources: Vec<Box<dyn Iterator<Item = ArrivalEvent>>> = vec![
+        Box::new(MpegFrames::typical_sd(video_a, 900)), // 30 s of video
+        Box::new(MpegFrames::typical_sd(video_b, 900)),
+        Box::new(Poisson::new(txn, PacketSize(256), 4_000_000.0, 7, 5_000)),
+        Box::new(Bursty::new(
+            web,
+            PacketSize(1500),
+            200,
+            100_000,
+            80_000_000,
+            0,
+            20_000,
+        )),
+    ];
+    let arrivals: Vec<ArrivalEvent> = merge(sources).collect();
+
+    let report = pipe.run(&arrivals);
+    println!(
+        "media-server mix over a 32 Mbps link ({:.1}s simulated):\n",
+        report.sim_seconds
+    );
+    println!(
+        "  {:>10} {:>8} {:>11} {:>12} {:>12} {:>8}",
+        "stream", "frames", "rate MB/s", "mean delay", "p99 delay", "missed"
+    );
+    for row in &report.streams {
+        println!(
+            "  {:>10} {:>8} {:>11.3} {:>9.2} ms {:>9.2} ms {:>8}",
+            row.name,
+            row.serviced,
+            row.mean_rate / 1e6,
+            row.mean_delay_us / 1e3,
+            row.p99_delay_us / 1e3,
+            row.missed_deadlines
+        );
+    }
+
+    let txn_row = &report.streams[txn.index()];
+    let web_row = &report.streams[web.index()];
+    // Isolation: transactions ride through the web bursts with a fraction
+    // of the web delay. (The txn p99 tail is EDF *rate control* working as
+    // designed: Poisson clumps that exceed the declared request period are
+    // deprioritized until the stream is back within its declared rate.)
+    assert!(
+        txn_row.mean_delay_us < web_row.mean_delay_us / 2.0,
+        "transactions must be isolated from web bursts: {} vs {}",
+        txn_row.mean_delay_us,
+        web_row.mean_delay_us
+    );
+    for v in [video_a, video_b] {
+        let row = &report.streams[v.index()];
+        assert!(
+            row.serviced as f64 >= 0.8 * 900.0,
+            "video must deliver the large majority of frames: {}",
+            row.serviced
+        );
+    }
+    println!(
+        "\nthe EDF transaction stream rides through the web bursts (mean {:.2} ms\n\
+         vs {:.2} ms) — exactly the isolation FCFS cannot give (paper §1) — and\n\
+         the window-constrained videos deliver {}/{} frames, shedding only\n\
+         within their declared loss tolerance.",
+        txn_row.mean_delay_us / 1e3,
+        web_row.mean_delay_us / 1e3,
+        report.streams[video_a.index()].serviced + report.streams[video_b.index()].serviced,
+        1800
+    );
+}

@@ -1,0 +1,68 @@
+//! Ingress shaping + scheduling: token buckets condition the traffic the
+//! fabric sees.
+//!
+//! ```sh
+//! cargo run --release --example shaped_ingress
+//! ```
+//!
+//! The same bursty source is run through the endsystem twice — raw, and
+//! shaped by a token bucket at its declared rate. Shaping trades a little
+//! ingress delay for a drastically calmer queue: the scheduler-side delay
+//! tail collapses.
+
+use sharestreams::prelude::*;
+use sharestreams::traffic::{merge, Bursty, Shaper};
+
+fn run(shaped: bool) -> (f64, f64) {
+    let fabric = FabricConfig::dwcs(2, FabricConfigKind::WinnerOnly);
+    let mut pipe =
+        EndsystemPipeline::new(EndsystemConfig::paper_endsystem(fabric)).expect("valid config");
+    let bursty = pipe
+        .register(StreamSpec::new(
+            "bursty",
+            ServiceClass::FairShare { weight: 1 },
+        ))
+        .expect("slot");
+    let steady = pipe
+        .register(StreamSpec::new(
+            "steady",
+            ServiceClass::FairShare { weight: 1 },
+        ))
+        .expect("slot");
+
+    // Bursty: 500-frame bursts at 20 µs spacing (75 MB/s peak!) against an
+    // 8 MB/s fair share; declared rate 8 MB/s, bucket of 40 frames.
+    let raw = Bursty::new(bursty, PacketSize(1500), 500, 20_000, 120_000_000, 0, 8_000);
+    let src: Box<dyn Iterator<Item = ArrivalEvent>> = if shaped {
+        Box::new(Shaper::new(raw, 8_000_000, 60_000))
+    } else {
+        Box::new(raw)
+    };
+    let steady_src = sharestreams::traffic::Cbr::new(steady, PacketSize(1500), 187_500, 0, 8_000);
+    let arrivals: Vec<ArrivalEvent> = merge(vec![src, Box::new(steady_src)]).collect();
+
+    let report = pipe.run(&arrivals);
+    let row = &report.streams[bursty.index()];
+    (row.mean_delay_us / 1e3, row.p99_delay_us / 1e3)
+}
+
+fn main() {
+    let (raw_mean, raw_p99) = run(false);
+    let (shaped_mean, shaped_p99) = run(true);
+    println!("bursty stream end-to-end delay (includes shaping delay):");
+    println!("  {:<10} {:>12} {:>12}", "", "mean", "p99");
+    println!("  {:<10} {:>9.2} ms {:>9.2} ms", "raw", raw_mean, raw_p99);
+    println!(
+        "  {:<10} {:>9.2} ms {:>9.2} ms",
+        "shaped", shaped_mean, shaped_p99
+    );
+    assert!(
+        shaped_p99 < raw_p99,
+        "shaping must cut the tail: {shaped_p99} vs {raw_p99}"
+    );
+    println!(
+        "\ntoken-bucket ingress shaping cut the p99 delay {:.1}x — the queue the\n\
+         scheduler sees stays near its fair rate instead of absorbing 75 MB/s bursts.",
+        raw_p99 / shaped_p99
+    );
+}

@@ -1,0 +1,386 @@
+//! `sharestreams` — scenario runner CLI.
+//!
+//! ```text
+//! sharestreams demo                 # print a starter scenario JSON
+//! sharestreams run scenario.json    # run it through the endsystem pipeline
+//! sharestreams plan 10 64 16        # capacity-plan a link (Gbps, bytes, slots)
+//! ```
+//!
+//! A scenario binds traffic generators to service classes on a configured
+//! fabric and reports per-stream QoS — the whole library surface behind
+//! one JSON file.
+
+use serde::{Deserialize, Serialize};
+use sharestreams::framework::assess;
+use sharestreams::prelude::*;
+use sharestreams::traffic::{merge, Bursty, Cbr, MpegFrames, OnOff, Poisson};
+use std::process::ExitCode;
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Scenario {
+    fabric: FabricSection,
+    #[serde(default = "default_link")]
+    link_bytes_per_sec: u64,
+    streams: Vec<StreamSection>,
+}
+
+fn default_link() -> u64 {
+    16_000_000
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct FabricSection {
+    slots: usize,
+    /// "winner_only" (max-finding) or "base" (block scheduling).
+    #[serde(default = "default_kind")]
+    kind: String,
+    /// Deadline spacing granted to a weight-1 fair-share stream.
+    #[serde(default)]
+    base_period: Option<u16>,
+}
+
+fn default_kind() -> String {
+    "winner_only".into()
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct StreamSection {
+    name: String,
+    class: ServiceClass,
+    traffic: TrafficSection,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+enum TrafficSection {
+    /// Constant bit rate.
+    Cbr {
+        size_bytes: u32,
+        interval_ns: u64,
+        count: u64,
+    },
+    /// Poisson arrivals.
+    Poisson {
+        size_bytes: u32,
+        mean_interval_ns: f64,
+        seed: u64,
+        count: u64,
+    },
+    /// Bursts with inter-burst gaps.
+    Bursty {
+        size_bytes: u32,
+        burst_len: u64,
+        intra_ns: u64,
+        gap_ns: u64,
+        count: u64,
+    },
+    /// On/off source.
+    OnOff {
+        size_bytes: u32,
+        interval_ns: u64,
+        mean_on_packets: f64,
+        mean_off_ns: f64,
+        seed: u64,
+        count: u64,
+    },
+    /// MPEG group-of-pictures frames.
+    Mpeg {
+        fps: u32,
+        i_bytes: u32,
+        p_bytes: u32,
+        b_bytes: u32,
+        count: u64,
+    },
+}
+
+impl TrafficSection {
+    fn build(&self, stream: StreamId) -> Box<dyn Iterator<Item = ArrivalEvent>> {
+        match *self {
+            TrafficSection::Cbr {
+                size_bytes,
+                interval_ns,
+                count,
+            } => Box::new(Cbr::new(
+                stream,
+                PacketSize(size_bytes),
+                interval_ns,
+                0,
+                count,
+            )),
+            TrafficSection::Poisson {
+                size_bytes,
+                mean_interval_ns,
+                seed,
+                count,
+            } => Box::new(Poisson::new(
+                stream,
+                PacketSize(size_bytes),
+                mean_interval_ns,
+                seed,
+                count,
+            )),
+            TrafficSection::Bursty {
+                size_bytes,
+                burst_len,
+                intra_ns,
+                gap_ns,
+                count,
+            } => Box::new(Bursty::new(
+                stream,
+                PacketSize(size_bytes),
+                burst_len,
+                intra_ns,
+                gap_ns,
+                0,
+                count,
+            )),
+            TrafficSection::OnOff {
+                size_bytes,
+                interval_ns,
+                mean_on_packets,
+                mean_off_ns,
+                seed,
+                count,
+            } => Box::new(OnOff::new(
+                stream,
+                PacketSize(size_bytes),
+                interval_ns,
+                mean_on_packets,
+                mean_off_ns,
+                seed,
+                count,
+            )),
+            TrafficSection::Mpeg {
+                fps,
+                i_bytes,
+                p_bytes,
+                b_bytes,
+                count,
+            } => Box::new(MpegFrames::new(
+                stream,
+                fps,
+                (i_bytes, p_bytes, b_bytes),
+                count,
+            )),
+        }
+    }
+}
+
+fn demo_scenario() -> Scenario {
+    Scenario {
+        fabric: FabricSection {
+            slots: 4,
+            kind: "winner_only".into(),
+            base_period: Some(8),
+        },
+        link_bytes_per_sec: 16_000_000,
+        streams: vec![
+            StreamSection {
+                name: "video".into(),
+                class: ServiceClass::WindowConstrained {
+                    request_period: 8,
+                    window: WindowConstraint::new(1, 12),
+                },
+                traffic: TrafficSection::Mpeg {
+                    fps: 30,
+                    i_bytes: 12_000,
+                    p_bytes: 4_000,
+                    b_bytes: 2_000,
+                    count: 600,
+                },
+            },
+            StreamSection {
+                name: "txn".into(),
+                class: ServiceClass::EarliestDeadline { request_period: 4 },
+                traffic: TrafficSection::Poisson {
+                    size_bytes: 256,
+                    mean_interval_ns: 2_000_000.0,
+                    seed: 7,
+                    count: 4_000,
+                },
+            },
+            StreamSection {
+                name: "bulk".into(),
+                class: ServiceClass::FairShare { weight: 4 },
+                traffic: TrafficSection::Cbr {
+                    size_bytes: 1500,
+                    interval_ns: 150_000,
+                    count: 20_000,
+                },
+            },
+            StreamSection {
+                name: "web".into(),
+                class: ServiceClass::BestEffort,
+                traffic: TrafficSection::Bursty {
+                    size_bytes: 1500,
+                    burst_len: 200,
+                    intra_ns: 100_000,
+                    gap_ns: 100_000_000,
+                    count: 8_000,
+                },
+            },
+        ],
+    }
+}
+
+fn run_scenario(scenario: &Scenario) -> Result<(), String> {
+    let kind = match scenario.fabric.kind.as_str() {
+        "winner_only" | "wr" => FabricConfigKind::WinnerOnly,
+        "base" | "ba" | "block" => FabricConfigKind::Base,
+        other => return Err(format!("unknown fabric kind {other:?} (winner_only|base)")),
+    };
+    let fabric = FabricConfig::dwcs(scenario.fabric.slots, kind);
+    let mut cfg = EndsystemConfig::paper_endsystem(fabric);
+    cfg.link_bytes_per_sec = scenario.link_bytes_per_sec;
+    if let Some(bp) = scenario.fabric.base_period {
+        cfg.base_period = bp;
+    }
+    let mut pipe = EndsystemPipeline::new(cfg).map_err(|e| e.to_string())?;
+
+    let mut sources: Vec<Box<dyn Iterator<Item = ArrivalEvent>>> = Vec::new();
+    for s in &scenario.streams {
+        let id = pipe
+            .register(StreamSpec::new(s.name.clone(), s.class))
+            .map_err(|e| e.to_string())?;
+        sources.push(s.traffic.build(id));
+    }
+    let arrivals: Vec<ArrivalEvent> = merge(sources).collect();
+    println!(
+        "running {} streams, {} arrivals on a {} B/s link...",
+        scenario.streams.len(),
+        arrivals.len(),
+        scenario.link_bytes_per_sec
+    );
+    let report = pipe.run(&arrivals);
+
+    println!(
+        "\n{:>12} {:>8} {:>11} {:>12} {:>12} {:>8} {:>8}",
+        "stream", "frames", "rate MB/s", "mean delay", "p99 delay", "missed", "share%"
+    );
+    let total_bytes: u64 = report.streams.iter().map(|r| r.bytes).sum();
+    for row in &report.streams {
+        println!(
+            "{:>12} {:>8} {:>11.3} {:>9.2} ms {:>9.2} ms {:>8} {:>7.1}%",
+            row.name,
+            row.serviced,
+            row.mean_rate / 1e6,
+            row.mean_delay_us / 1e3,
+            row.p99_delay_us / 1e3,
+            row.missed_deadlines,
+            row.bytes as f64 / total_bytes.max(1) as f64 * 100.0
+        );
+    }
+    println!(
+        "\ntotal {} frames in {:.2}s simulated; {} dropped; host path sustains {:.0} pkt/s",
+        report.total_packets, report.sim_seconds, report.dropped, report.modeled_pps
+    );
+    Ok(())
+}
+
+fn plan(args: &[String]) -> Result<(), String> {
+    let gbps: f64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(10.0);
+    let bytes: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(64);
+    let slots: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let bps = (gbps * 1e9) as u64;
+    for kind in [FabricConfigKind::WinnerOnly, FabricConfigKind::Base] {
+        let f = assess(slots, kind, true, bps, PacketSize(bytes)).map_err(|e| e.to_string())?;
+        println!(
+            "{kind}: required {:.0}/s, achievable {:.0}/s → {}",
+            f.required_hz,
+            f.achievable_hz,
+            if f.feasible {
+                "FEASIBLE".to_string()
+            } else {
+                format!(
+                    "infeasible ({:.0}% sustainable)",
+                    f.sustainable_utilization * 100.0
+                )
+            }
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("demo") => {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&demo_scenario()).expect("serialize")
+            );
+            Ok(())
+        }
+        Some("run") => match args.get(1) {
+            Some(path) => std::fs::read_to_string(path)
+                .map_err(|e| format!("read {path}: {e}"))
+                .and_then(|text| {
+                    serde_json::from_str::<Scenario>(&text).map_err(|e| format!("parse: {e}"))
+                })
+                .and_then(|s| run_scenario(&s)),
+            None => Err("usage: sharestreams run <scenario.json>".into()),
+        },
+        Some("plan") => plan(&args[1..]),
+        _ => {
+            eprintln!("usage: sharestreams <demo | run scenario.json | plan [gbps bytes slots]>");
+            Err(String::new())
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_scenario_roundtrips_through_json() {
+        let demo = demo_scenario();
+        let json = serde_json::to_string_pretty(&demo).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.streams.len(), demo.streams.len());
+        assert_eq!(back.fabric.slots, 4);
+        assert_eq!(back.link_bytes_per_sec, 16_000_000);
+    }
+
+    #[test]
+    fn demo_scenario_runs_clean() {
+        run_scenario(&demo_scenario()).expect("demo must run");
+    }
+
+    #[test]
+    fn bad_fabric_kind_is_rejected() {
+        let mut s = demo_scenario();
+        s.fabric.kind = "sideways".into();
+        let err = run_scenario(&s).unwrap_err();
+        assert!(err.contains("unknown fabric kind"));
+    }
+
+    #[test]
+    fn minimal_scenario_parses_with_defaults() {
+        let json = r#"{
+            "fabric": { "slots": 2 },
+            "streams": [
+                { "name": "x", "class": "BestEffort",
+                  "traffic": { "Cbr": { "size_bytes": 64, "interval_ns": 1000, "count": 10 } } }
+            ]
+        }"#;
+        let s: Scenario = serde_json::from_str(json).unwrap();
+        assert_eq!(s.fabric.kind, "winner_only", "default kind");
+        assert_eq!(s.link_bytes_per_sec, 16_000_000, "default link");
+        run_scenario(&s).expect("runs");
+    }
+
+    #[test]
+    fn plan_accepts_defaults() {
+        plan(&[]).expect("default plan runs");
+        plan(&["1".into(), "1500".into(), "8".into()]).expect("explicit plan runs");
+    }
+}

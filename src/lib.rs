@@ -1,0 +1,84 @@
+//! # ShareStreams
+//!
+//! A from-scratch Rust reproduction of **"Leveraging Block Decisions and
+//! Aggregation in the ShareStreams QoS Architecture"** (Krishnamurthy,
+//! Yalamanchili, Schwan, West — IPPS 2003): a unified canonical
+//! architecture for packet schedulers — priority-class, fair-queuing, and
+//! window-constrained (DWCS) disciplines on one hardware fabric — realized
+//! here as a cycle-level simulation with the paper's endsystem and
+//! line-card system realizations, software baselines, and a full
+//! experiment harness regenerating every table and figure.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sharestreams::prelude::*;
+//!
+//! // A 4-slot DWCS fabric in winner-only (max-finding) configuration.
+//! let config = FabricConfig::dwcs(4, FabricConfigKind::WinnerOnly);
+//! let mut sched = ShareStreamsScheduler::new(config, 4).unwrap();
+//!
+//! // Mix service classes on the same fabric — the paper's headline claim.
+//! let video = sched
+//!     .register(StreamSpec::new("video", ServiceClass::EarliestDeadline { request_period: 2 }))
+//!     .unwrap();
+//! let web = sched
+//!     .register(StreamSpec::new("web", ServiceClass::BestEffort))
+//!     .unwrap();
+//!
+//! for t in 0..100u64 {
+//!     sched.enqueue(video, Wrap16::from_wide(t)).unwrap();
+//!     sched.enqueue(web, Wrap16::from_wide(t)).unwrap();
+//! }
+//! let packets = sched.run_until_frames(150, 10_000);
+//! assert_eq!(packets.len(), 150);
+//!
+//! let report = sched.report();
+//! // The feasible EDF stream never misses a deadline.
+//! assert_eq!(report.streams[video.index()].counters.missed_deadlines, 0);
+//! println!("{report}");
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`types`] | IDs, wrapping 16-bit tags, window constraints, packets |
+//! | [`hwsim`] | cycle-simulation kernel, event queue, stats, Virtex model |
+//! | [`core`] | **the canonical architecture**: Decision blocks, Register Base blocks, recirculating shuffle-exchange, control FSM, scheduler facade |
+//! | [`disciplines`] | software reference schedulers (DWCS, EDF, WFQ, SFQ, DRR, …) |
+//! | [`priorityq`] | related-work hardware priority queues (heap, systolic, shift-register, tree) |
+//! | [`traffic`] | deterministic workload generators |
+//! | [`endsystem`] | host-router realization: SPSC rings, QM, PCI/SRAM models, TE, aggregation, pipeline |
+//! | [`linecard`] | switch line-card realization with dual-ported SRAM |
+//! | [`framework`] | Figure-1 feasibility reasoning |
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
+//! paper-vs-measured results; `cargo run -p ss-bench --bin run_all`
+//! regenerates everything.
+
+#![warn(missing_docs)]
+
+pub use ss_core as core;
+pub use ss_disciplines as disciplines;
+pub use ss_endsystem as endsystem;
+pub use ss_framework as framework;
+pub use ss_hwsim as hwsim;
+pub use ss_linecard as linecard;
+pub use ss_priorityq as priorityq;
+pub use ss_traffic as traffic;
+pub use ss_types as types;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use ss_core::{
+        BlockOrder, DecisionOutcome, Fabric, FabricConfig, FabricConfigKind, ScheduledPacket,
+        SchedulerReport, ShareStreamsScheduler, StreamState,
+    };
+    pub use ss_endsystem::{EndsystemConfig, EndsystemPipeline, StreamletSetConfig};
+    pub use ss_traffic::ArrivalEvent;
+    pub use ss_types::{
+        ComparisonMode, PacketSize, ServiceClass, SlotId, StreamId, StreamSpec, WindowConstraint,
+        Wrap16,
+    };
+}

@@ -1,0 +1,78 @@
+//! "A system with hundreds of streams" (paper §6): 32 stream-slots × 100
+//! streamlets = 3,200 flows through the endsystem pipeline, on the FPGA
+//! state budget of a single XCV1000.
+
+use sharestreams::hwsim::{VirtexDevice, VirtexModel};
+use sharestreams::prelude::*;
+
+#[test]
+fn thirty_two_hundred_flows_on_one_chip() {
+    // The FPGA side: 32 slots fit the XCV1000 (checked against the model).
+    let model = VirtexModel;
+    let est = model.area(32, FabricConfigKind::WinnerOnly).unwrap();
+    assert!(est.total() <= VirtexDevice::xcv1000().slices());
+
+    // The system side: every slot aggregates 100 streamlets.
+    let fabric = FabricConfig::dwcs(32, FabricConfigKind::WinnerOnly);
+    let mut cfg = EndsystemConfig::paper_endsystem(fabric);
+    cfg.link_bytes_per_sec = 64_000_000; // 2 MB/s per slot
+    let mut pipe = EndsystemPipeline::new(cfg).unwrap();
+
+    let mut ids = Vec::new();
+    for slot in 0..32 {
+        let id = pipe
+            .register(StreamSpec::new(
+                format!("slot{slot}"),
+                ServiceClass::FairShare { weight: 1 },
+            ))
+            .unwrap();
+        pipe.attach_mux(
+            id,
+            &[StreamletSetConfig {
+                streamlets: 100,
+                weight: 1,
+            }],
+        );
+        ids.push(id);
+    }
+
+    // 10 frames per streamlet → 32,000 frames total.
+    const PKT_TIME_NS: u64 = 1500 * 1_000_000_000 / 64_000_000;
+    for (slot, &id) in ids.iter().enumerate() {
+        for sl in 0..100usize {
+            for q in 0..10u64 {
+                let t = (q * 32 + slot as u64) * PKT_TIME_NS;
+                pipe.deposit_streamlet(
+                    id,
+                    0,
+                    sl,
+                    ArrivalEvent {
+                        time_ns: t,
+                        stream: id,
+                        size: PacketSize(1500),
+                    },
+                );
+            }
+        }
+    }
+
+    let report = pipe.run(&[]);
+    assert_eq!(report.total_packets, 32_000);
+
+    // Every slot delivered its 1,000 frames; every streamlet exactly 10.
+    for (slot, &id) in ids.iter().enumerate() {
+        assert_eq!(report.streams[slot].serviced, 1_000, "slot {slot}");
+        let mux = pipe.mux(id).unwrap();
+        for sl in 0..100 {
+            assert_eq!(mux.serviced(0, sl), 10, "slot {slot} streamlet {sl}");
+        }
+    }
+
+    // Slots share the link equally (equal weights): byte spread < 1%.
+    let bytes: Vec<u64> = report.streams.iter().map(|s| s.bytes).collect();
+    let (min, max) = (bytes.iter().min().unwrap(), bytes.iter().max().unwrap());
+    assert!(
+        (*max - *min) as f64 / *max as f64 <= 0.01,
+        "slot byte spread too wide: {min}..{max}"
+    );
+}

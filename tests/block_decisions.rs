@@ -1,0 +1,180 @@
+//! The Table 3 claims as fast integration tests (scaled-down runs), plus
+//! block-mode invariants the paper's §5.1 discussion relies on.
+
+use sharestreams::core::{
+    BlockOrder, DecisionOutcome, Fabric, FabricConfig, FabricConfigKind, LatePolicy, StreamState,
+};
+use sharestreams::types::{WindowConstraint, Wrap16};
+
+const FRAMES: u64 = 512;
+const N: usize = 4;
+
+fn build(kind: FabricConfigKind, order: BlockOrder) -> Fabric {
+    let mut config = FabricConfig::edf(N, kind);
+    config.block_order = order;
+    let mut fabric = Fabric::new(config).unwrap();
+    let period = match kind {
+        FabricConfigKind::WinnerOnly => 1,
+        FabricConfigKind::Base => N as u64,
+    };
+    for s in 0..N {
+        fabric
+            .load_stream(
+                s,
+                StreamState {
+                    request_period: period,
+                    original_window: WindowConstraint::ZERO,
+                    static_prio: 0,
+                    late_policy: LatePolicy::ServeLate,
+                },
+                (s + 1) as u64,
+            )
+            .unwrap();
+        for q in 0..FRAMES {
+            fabric.push_arrival(s, Wrap16::from_wide(q)).unwrap();
+        }
+    }
+    fabric
+}
+
+fn drain(fabric: &mut Fabric) -> u64 {
+    let mut transmitted = 0;
+    while transmitted < FRAMES * N as u64 {
+        transmitted += fabric.decision_cycle().packets().len() as u64;
+    }
+    transmitted
+}
+
+#[test]
+fn max_first_block_meets_every_deadline() {
+    let mut fabric = build(FabricConfigKind::Base, BlockOrder::MaxFirst);
+    drain(&mut fabric);
+    for s in 0..N {
+        let c = fabric.slot_counters(s).unwrap();
+        assert_eq!(c.missed_deadlines, 0, "stream {s}");
+        assert_eq!(c.met_deadlines, FRAMES, "stream {s}");
+    }
+}
+
+#[test]
+fn block_mode_needs_4x_fewer_decision_cycles() {
+    let mut wr = build(FabricConfigKind::WinnerOnly, BlockOrder::MaxFirst);
+    let mut ba = build(FabricConfigKind::Base, BlockOrder::MaxFirst);
+    drain(&mut wr);
+    drain(&mut ba);
+    assert_eq!(wr.decision_count(), FRAMES * N as u64);
+    assert_eq!(ba.decision_count(), FRAMES);
+}
+
+#[test]
+fn max_finding_misses_once_per_stream_per_cycle() {
+    let mut fabric = build(FabricConfigKind::WinnerOnly, BlockOrder::MaxFirst);
+    drain(&mut fabric);
+    let total_missed: u64 = (0..N)
+        .map(|s| fabric.slot_counters(s).unwrap().missed_deadlines)
+        .sum();
+    let cycles = fabric.decision_count();
+    // Paper shape: ~4 misses per decision cycle minus a short startup.
+    assert!(
+        total_missed > 4 * cycles - 64 && total_missed <= 4 * cycles,
+        "missed {total_missed} over {cycles} cycles"
+    );
+}
+
+#[test]
+fn min_first_sits_strictly_between() {
+    let mut max_first = build(FabricConfigKind::Base, BlockOrder::MaxFirst);
+    let mut min_first = build(FabricConfigKind::Base, BlockOrder::MinFirst);
+    let mut wr = build(FabricConfigKind::WinnerOnly, BlockOrder::MaxFirst);
+    drain(&mut max_first);
+    drain(&mut min_first);
+    drain(&mut wr);
+    let missed = |f: &Fabric| -> u64 {
+        (0..N)
+            .map(|s| f.slot_counters(s).unwrap().missed_deadlines)
+            .sum()
+    };
+    assert_eq!(missed(&max_first), 0);
+    assert!(missed(&min_first) > 0);
+    assert!(missed(&min_first) < missed(&wr));
+}
+
+#[test]
+fn winner_counts_split_evenly_in_max_finding() {
+    let mut fabric = build(FabricConfigKind::WinnerOnly, BlockOrder::MaxFirst);
+    drain(&mut fabric);
+    for s in 0..N {
+        assert_eq!(fabric.slot_counters(s).unwrap().wins, FRAMES, "stream {s}");
+    }
+}
+
+#[test]
+fn block_transaction_preserves_per_stream_order() {
+    // Within every block, each slot contributes exactly its head packet —
+    // per-stream FIFO order is preserved across blocks.
+    let mut fabric = build(FabricConfigKind::Base, BlockOrder::MaxFirst);
+    let mut last_deadline = [0u64; N];
+    for _ in 0..FRAMES {
+        match fabric.decision_cycle() {
+            DecisionOutcome::Block(packets) => {
+                assert_eq!(packets.len(), N);
+                let mut seen = [false; N];
+                for p in &packets {
+                    let s = p.slot.index();
+                    assert!(!seen[s], "slot {s} appeared twice in one block");
+                    seen[s] = true;
+                    assert!(p.deadline > last_deadline[s], "stream {s} reordered");
+                    last_deadline[s] = p.deadline;
+                }
+            }
+            other => panic!("expected block, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn fair_share_skews_under_block_transmission() {
+    // Paper §5.1: "For fair-share streams requiring fair bandwidth
+    // allocation, transmitting the block ... can skew bandwidth
+    // allocations considerably." With 1:4 weights, block mode transmits
+    // every backlogged head each cycle → equal service regardless of
+    // weights; WR honors the 1:4 split.
+    let weights: [u64; 4] = [8, 8, 8, 2]; // periods (weight ∝ 1/period)
+    let run = |kind: FabricConfigKind| -> Vec<u64> {
+        let mut fabric = Fabric::new(FabricConfig::dwcs(4, kind)).unwrap();
+        for (s, &period) in weights.iter().enumerate() {
+            fabric
+                .load_stream(
+                    s,
+                    StreamState {
+                        request_period: period,
+                        original_window: WindowConstraint::new(1, 1),
+                        static_prio: 0,
+                        late_policy: LatePolicy::Renew,
+                    },
+                    period,
+                )
+                .unwrap();
+            for q in 0..2000u64 {
+                fabric.push_arrival(s, Wrap16::from_wide(q)).unwrap();
+            }
+        }
+        for _ in 0..1000 {
+            fabric.decision_cycle();
+        }
+        (0..4)
+            .map(|s| fabric.slot_counters(s).unwrap().serviced)
+            .collect()
+    };
+    let wr = run(FabricConfigKind::WinnerOnly);
+    let ba = run(FabricConfigKind::Base);
+    // WR: stream 3 (period 2) gets ~4x stream 0 (period 8).
+    let wr_ratio = wr[3] as f64 / wr[0] as f64;
+    assert!(wr_ratio > 3.0, "WR should honor the weights: {wr:?}");
+    // BA block mode: everyone transmits every block → ratio collapses to 1.
+    let ba_ratio = ba[3] as f64 / ba[0] as f64;
+    assert!(
+        (ba_ratio - 1.0).abs() < 0.05,
+        "block transmission skews fair shares to equality: {ba:?}"
+    );
+}
