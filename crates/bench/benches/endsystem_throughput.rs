@@ -7,13 +7,13 @@
 //! * streamlet-mux service cost (the aggregation hot path).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use ss_core::{FabricConfig, FabricConfigKind};
+use ss_core::{Fabric, FabricConfig, FabricConfigKind, LatePolicy, StreamState};
 use ss_endsystem::{
     spsc_ring, EndsystemConfig, EndsystemPipeline, PciModel, StreamletMux, StreamletSetConfig,
     TransferStrategy,
 };
 use ss_traffic::{merge, ArrivalEvent, Cbr};
-use ss_types::{PacketSize, ServiceClass, StreamId, StreamSpec};
+use ss_types::{PacketSize, ServiceClass, StreamId, StreamSpec, WindowConstraint, Wrap16};
 use std::hint::black_box;
 
 fn bench_spsc(c: &mut Criterion) {
@@ -29,6 +29,51 @@ fn bench_spsc(c: &mut Criterion) {
             black_box(rx.pop().unwrap())
         })
     });
+    group.finish();
+}
+
+/// The scheduler thread's inner loop, isolated: one batched arrival deposit
+/// (`push_arrivals`) followed by enough zero-allocation decision cycles
+/// (`decision_cycle_into`) to drain the batch. This is the allocation-free
+/// path `run_threaded` executes between ring drains.
+fn bench_scheduler_core(c: &mut Criterion) {
+    let mut group = c.benchmark_group("endsystem/scheduler_core");
+    const BATCH: usize = 64;
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for slots in [4usize, 16] {
+        let mut fabric = Fabric::new(FabricConfig::dwcs(slots, FabricConfigKind::WinnerOnly)).unwrap();
+        for s in 0..slots {
+            fabric
+                .load_stream(
+                    s,
+                    StreamState {
+                        request_period: slots as u64,
+                        original_window: WindowConstraint::new(1, 2),
+                        static_prio: 0,
+                        late_policy: LatePolicy::ServeLate,
+                    },
+                    (s + 1) as u64,
+                )
+                .unwrap();
+        }
+        let batch: Vec<(usize, Wrap16)> = (0..BATCH)
+            .map(|i| (i % slots, Wrap16::from_wide(i as u64)))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("batch_deposit_drain", slots),
+            &slots,
+            |b, _| {
+                b.iter(|| {
+                    fabric.push_arrivals(&batch).unwrap();
+                    let mut sent = 0usize;
+                    while sent < BATCH {
+                        sent += fabric.decision_cycle_into().len();
+                    }
+                    black_box(sent)
+                })
+            },
+        );
+    }
     group.finish();
 }
 
@@ -118,6 +163,7 @@ fn bench_streamlet_mux(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_spsc,
+    bench_scheduler_core,
     bench_pipeline,
     bench_transfer_strategies,
     bench_streamlet_mux

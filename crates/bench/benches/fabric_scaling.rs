@@ -8,8 +8,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ss_core::{
-    BlockOrder, Fabric, FabricConfig, FabricConfigKind, LatePolicy, RtlFabric, StreamState,
+    BlockOrder, Fabric, FabricConfig, FabricConfigKind, LatePolicy, RtlFabric, ScheduledPacket,
+    StreamState,
 };
+use ss_sharded::ShardedScheduler;
 use ss_types::{WindowConstraint, Wrap16};
 use std::hint::black_box;
 
@@ -58,6 +60,86 @@ fn bench_ba_vs_wr(c: &mut Criterion) {
                 b.iter(|| steady_state_cycle(&mut fabric))
             });
         }
+    }
+    group.finish();
+}
+
+/// Same steady-state cycle through the allocation-free view: the packets
+/// stay in the fabric's persistent block buffer and the refill reads them
+/// by index, so the measured loop never touches the heap.
+fn steady_state_cycle_into(fabric: &mut Fabric) -> usize {
+    let n = fabric.decision_cycle_into().len();
+    for i in 0..n {
+        let slot = fabric.last_block()[i].slot.index();
+        fabric.push_arrival(slot, Wrap16::ZERO).unwrap();
+    }
+    black_box(n)
+}
+
+fn bench_alloc_free(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fabric/alloc_free");
+    for slots in [4usize, 8, 16, 32] {
+        for kind in [FabricConfigKind::Base, FabricConfigKind::WinnerOnly] {
+            let mut fabric = backlogged_fabric(FabricConfig::dwcs(slots, kind));
+            group.bench_with_input(
+                BenchmarkId::new(format!("{kind}_into"), slots),
+                &slots,
+                |b, _| b.iter(|| steady_state_cycle_into(&mut fabric)),
+            );
+        }
+        // Batched driver: 64 cycles per iteration through a preallocated
+        // sink, amortizing dispatch over the batch.
+        let mut fabric = backlogged_fabric(FabricConfig::dwcs(slots, FabricConfigKind::WinnerOnly));
+        let mut sink: Vec<ScheduledPacket> = Vec::with_capacity(64 * slots);
+        group.bench_with_input(BenchmarkId::new("wr_batched_64", slots), &slots, |b, _| {
+            b.iter(|| {
+                sink.clear();
+                let n = fabric.decision_cycles(64, &mut sink);
+                for p in &sink {
+                    fabric.push_arrival(p.slot.index(), Wrap16::ZERO).unwrap();
+                }
+                black_box(n)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sharded(c: &mut Criterion) {
+    // Inline winner-merge frontend: bit-exact against the single fabric,
+    // with per-shard decisions of width N/K.
+    let mut group = c.benchmark_group("fabric/sharded_inline");
+    let slots = 32usize;
+    for shards in [1usize, 2, 4, 8] {
+        let mut sharded =
+            ShardedScheduler::new(FabricConfig::dwcs(slots, FabricConfigKind::WinnerOnly), shards)
+                .unwrap();
+        for s in 0..slots {
+            sharded
+                .load_stream(
+                    s,
+                    StreamState {
+                        request_period: slots as u64,
+                        original_window: WindowConstraint::new(1, 2),
+                        static_prio: 0,
+                        late_policy: LatePolicy::ServeLate,
+                    },
+                    (s + 1) as u64,
+                )
+                .unwrap();
+            for q in 0..64u64 {
+                sharded.push_arrival(s, Wrap16::from_wide(q)).unwrap();
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("32_slots", shards), &shards, |b, _| {
+            b.iter(|| {
+                let p = sharded.decision_cycle();
+                if let Some(p) = p {
+                    sharded.push_arrival(p.slot.index(), Wrap16::ZERO).unwrap();
+                }
+                black_box(p.is_some())
+            })
+        });
     }
     group.finish();
 }
@@ -138,6 +220,8 @@ fn bench_rtl_vs_functional(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_ba_vs_wr,
+    bench_alloc_free,
+    bench_sharded,
     bench_ablations,
     bench_rtl_vs_functional
 );

@@ -1,0 +1,418 @@
+//! Decision-core throughput: the seed's allocating decision cycle versus
+//! the zero-allocation batched core, plus sharded aggregate scaling.
+//!
+//! The optimized `Fabric` delegates its legacy entry points to the
+//! zero-allocation core, so the pre-optimization behaviour no longer exists
+//! in the library. This binary therefore carries a frozen copy of the seed's
+//! decision path (`SeedFabric` below, transcribed from the pre-refactor
+//! `fabric.rs`/`network.rs`): per-cycle attribute-word collection into a
+//! fresh `Vec`, a fresh `Vec` per shuffle-exchange pass, the `Vec<bool>`
+//! serviced mask, and the per-cycle outcome allocation. Both paths run the
+//! same Register Base blocks, Decision blocks, FSM, and priority updater,
+//! so the measured difference is exactly the allocation/copy discipline.
+//!
+//! Emits `BENCH_decision_core.json` at the workspace root: decisions/s for
+//! N ∈ {4, 8, 16, 32} on the single-thread paths (seed baseline vs batched
+//! zero-alloc, BA and WR), and aggregate decisions/s for the threaded
+//! sharded frontend over shards ∈ {1, 2, 4, 8} (per-shard width ≥ 2).
+
+use serde::Serialize;
+use ss_bench::banner;
+use ss_core::{
+    ControlFsm, DecisionBlock, DecisionOutcome, DwcsUpdater, Fabric, FabricConfig,
+    FabricConfigKind, LatePolicy, PriorityUpdater, RegisterBaseBlock, ScheduledPacket, StreamState,
+};
+use ss_sharded::ShardedScheduler;
+use ss_types::{ComparisonMode, SlotId, StreamAttrs, WindowConstraint, Wrap16};
+use std::hint::black_box;
+use std::time::Instant;
+
+// --- Frozen seed decision path (pre-optimization transcript) ---
+
+fn seed_perfect_shuffle(words: &[StreamAttrs]) -> Vec<StreamAttrs> {
+    let n = words.len();
+    let half = n / 2;
+    let mut out = Vec::with_capacity(n);
+    for i in 0..half {
+        out.push(words[i]);
+        out.push(words[i + half]);
+    }
+    out
+}
+
+fn seed_shuffle_exchange_pass(
+    words: &[StreamAttrs],
+    blocks: &mut [DecisionBlock],
+    mode: ComparisonMode,
+) -> Vec<StreamAttrs> {
+    let n = words.len();
+    let shuffled = seed_perfect_shuffle(words);
+    let mut out = Vec::with_capacity(n);
+    for j in 0..n / 2 {
+        let (w, l) = blocks[j].compare(shuffled[2 * j], shuffled[2 * j + 1], mode);
+        out.push(w);
+        out.push(l);
+    }
+    out
+}
+
+fn seed_ba_decision(
+    words: &[StreamAttrs],
+    blocks: &mut [DecisionBlock],
+    mode: ComparisonMode,
+) -> Vec<StreamAttrs> {
+    let passes = words.len().trailing_zeros();
+    let mut cur = words.to_vec();
+    for _ in 0..passes {
+        cur = seed_shuffle_exchange_pass(&cur, blocks, mode);
+    }
+    cur
+}
+
+fn seed_wr_decision(
+    words: &[StreamAttrs],
+    blocks: &mut [DecisionBlock],
+    mode: ComparisonMode,
+) -> StreamAttrs {
+    let mut candidates = words.to_vec();
+    while candidates.len() > 1 {
+        let mut next = Vec::with_capacity(candidates.len() / 2);
+        for (j, pair) in candidates.chunks_exact(2).enumerate() {
+            let (w, _) = blocks[j].compare(pair[0], pair[1], mode);
+            next.push(w);
+        }
+        candidates = next;
+    }
+    candidates[0]
+}
+
+/// The seed's `Fabric`, rebuilt from the same public blocks it was made of.
+struct SeedFabric {
+    config: FabricConfig,
+    registers: Vec<RegisterBaseBlock>,
+    decisions: Vec<DecisionBlock>,
+    fsm: ControlFsm,
+    updater: DwcsUpdater,
+    now: u64,
+    decision_count: u64,
+}
+
+impl SeedFabric {
+    fn new(config: FabricConfig) -> Self {
+        Self {
+            config,
+            registers: (0..config.slots)
+                .map(|i| RegisterBaseBlock::new(SlotId::new_unchecked(i as u8)))
+                .collect(),
+            decisions: (0..config.slots / 2).map(|_| DecisionBlock::new()).collect(),
+            fsm: ControlFsm::new(config.slots.trailing_zeros() as u8, config.priority_update),
+            updater: DwcsUpdater,
+            now: 0,
+            decision_count: 0,
+        }
+    }
+
+    fn load_stream(&mut self, slot: usize, state: StreamState, first_deadline: u64) {
+        self.registers[slot].load(state, first_deadline);
+        self.fsm.load(1);
+    }
+
+    fn push_arrival(&mut self, slot: usize, arrival: Wrap16) {
+        let now = self.now;
+        self.registers[slot].push_arrival(arrival, now);
+    }
+
+    /// Verbatim seed decision cycle, allocations and all.
+    fn decision_cycle(&mut self) -> DecisionOutcome {
+        let words: Vec<_> = self.registers.iter().map(|r| r.attrs()).collect();
+        self.fsm.run_decision();
+        self.decision_count += 1;
+        let updater: &dyn PriorityUpdater = &self.updater;
+
+        match self.config.kind {
+            FabricConfigKind::WinnerOnly => {
+                let winner = seed_wr_decision(&words, &mut self.decisions, self.config.mode);
+                let end = self.now + 1;
+                let outcome = if winner.valid {
+                    let slot = winner.slot.index();
+                    self.registers[slot].record_win();
+                    let (deadline, met) = self.registers[slot]
+                        .service(end, updater)
+                        .expect("valid winner has a queued packet");
+                    Some(ScheduledPacket {
+                        slot: winner.slot,
+                        deadline,
+                        completed_at: end,
+                        met,
+                    })
+                } else {
+                    None
+                };
+                if self.config.priority_update {
+                    let winner_slot = outcome.map(|p| p.slot.index());
+                    for i in 0..self.registers.len() {
+                        if Some(i) != winner_slot {
+                            self.registers[i].expiry_check(end, updater);
+                        }
+                    }
+                }
+                self.now = end;
+                DecisionOutcome::Winner(outcome)
+            }
+            FabricConfigKind::Base => {
+                let block = seed_ba_decision(&words, &mut self.decisions, self.config.mode);
+                let valid: Vec<_> = block.iter().filter(|w| w.valid).copied().collect();
+                if let Some(first) = valid.first() {
+                    self.registers[first.slot.index()].record_win();
+                }
+                let mut scheduled = Vec::with_capacity(valid.len());
+                let mut t = self.now;
+                for w in &valid {
+                    t += 1;
+                    let slot = w.slot.index();
+                    let (deadline, met) = self.registers[slot]
+                        .service(t, updater)
+                        .expect("valid word has a queued packet");
+                    scheduled.push(ScheduledPacket {
+                        slot: w.slot,
+                        deadline,
+                        completed_at: t,
+                        met,
+                    });
+                }
+                if valid.is_empty() {
+                    t += 1;
+                }
+                if self.config.priority_update {
+                    let serviced: Vec<bool> = (0..self.registers.len())
+                        .map(|i| valid.iter().any(|w| w.slot.index() == i))
+                        .collect();
+                    for (i, was_serviced) in serviced.iter().enumerate() {
+                        if !was_serviced {
+                            self.registers[i].expiry_check(t, updater);
+                        }
+                    }
+                }
+                self.now = t;
+                DecisionOutcome::Block(scheduled)
+            }
+        }
+    }
+}
+
+// --- Workload and measurement ---
+
+fn stream_state(slots: usize) -> StreamState {
+    StreamState {
+        request_period: slots as u64,
+        original_window: WindowConstraint::new(1, 2),
+        static_prio: 0,
+        late_policy: LatePolicy::ServeLate,
+    }
+}
+
+/// Cycles per measured run: every slot is preloaded with this many arrivals
+/// so both paths stay fully backlogged for the whole run (no refill on the
+/// hot path — the batched API runs all cycles without returning control).
+const CYCLES: u64 = 20_000;
+const REPS: usize = 5;
+
+fn best_of<F: FnMut() -> f64>(mut f: F) -> f64 {
+    (0..REPS).map(|_| f()).fold(0.0f64, f64::max)
+}
+
+fn seed_decisions_per_s(slots: usize, kind: FabricConfigKind) -> f64 {
+    best_of(|| {
+        let mut f = SeedFabric::new(FabricConfig::dwcs(slots, kind));
+        for s in 0..slots {
+            f.load_stream(s, stream_state(slots), (s + 1) as u64);
+            for q in 0..CYCLES {
+                f.push_arrival(s, Wrap16::from_wide(q));
+            }
+        }
+        let start = Instant::now();
+        let mut packets = 0usize;
+        for _ in 0..CYCLES {
+            packets += f.decision_cycle().packets().len();
+        }
+        black_box(packets);
+        CYCLES as f64 / start.elapsed().as_secs_f64()
+    })
+}
+
+fn zero_alloc_decisions_per_s(slots: usize, kind: FabricConfigKind) -> f64 {
+    best_of(|| {
+        let mut f = Fabric::new(FabricConfig::dwcs(slots, kind)).unwrap();
+        for s in 0..slots {
+            f.load_stream(s, stream_state(slots), (s + 1) as u64).unwrap();
+            for q in 0..CYCLES {
+                f.push_arrival(s, Wrap16::from_wide(q)).unwrap();
+            }
+        }
+        let mut sink: Vec<ScheduledPacket> = Vec::with_capacity(CYCLES as usize * slots);
+        let start = Instant::now();
+        let cycles = f.decision_cycles(CYCLES, &mut sink);
+        black_box(cycles);
+        CYCLES as f64 / start.elapsed().as_secs_f64()
+    })
+}
+
+/// Aggregate shard-local decisions/s through the threaded frontend: every
+/// shard runs a full decision each cycle, so `run_cycles(C)` completes
+/// `C * shards` decisions.
+fn sharded_aggregate_decisions_per_s(slots: usize, shards: usize) -> f64 {
+    best_of(|| {
+        let mut sharded =
+            ShardedScheduler::new(FabricConfig::dwcs(slots, FabricConfigKind::WinnerOnly), shards)
+                .unwrap();
+        for s in 0..slots {
+            sharded
+                .load_stream(s, stream_state(slots), (s + 1) as u64)
+                .unwrap();
+            for q in 0..CYCLES {
+                sharded.push_arrival(s, Wrap16::from_wide(q)).unwrap();
+            }
+        }
+        // Deep proposal rings hold the whole batch: each shard streams its
+        // cycles without blocking on the merger, so the measurement reflects
+        // per-shard decision cost rather than cross-thread handoff latency
+        // (which dominates on few-core hosts with shallow rings).
+        let mut threaded = sharded.into_threaded(CYCLES as usize + 64);
+        let start = Instant::now();
+        let report = threaded.run_cycles(CYCLES);
+        let elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(report.decisions, CYCLES * shards as u64);
+        black_box(report.packets.len());
+        threaded.join();
+        report.decisions as f64 / elapsed
+    })
+}
+
+// --- Artifact ---
+
+#[derive(Debug, Serialize)]
+struct SingleThreadRow {
+    slots: usize,
+    kind: String,
+    seed_decisions_per_s: f64,
+    zero_alloc_decisions_per_s: f64,
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct ShardedRow {
+    slots: usize,
+    shards: usize,
+    aggregate_decisions_per_s: f64,
+    scaling_vs_one_shard: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Checks {
+    single_thread_speedup_at_32: f64,
+    sharded_scaling_at_32_4shards: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    cycles_per_run: u64,
+    reps: usize,
+    single_thread: Vec<SingleThreadRow>,
+    sharded: Vec<ShardedRow>,
+    checks: Checks,
+}
+
+fn main() {
+    banner(
+        "decision-core",
+        "Zero-allocation decision core and sharded frontend throughput",
+    );
+
+    let mut single = Vec::new();
+    println!("  single-thread decisions/s (DWCS, fully backlogged):");
+    println!(
+        "  {:<6} {:<4} {:>14} {:>14} {:>8}",
+        "slots", "kind", "seed", "zero-alloc", "speedup"
+    );
+    for slots in [4usize, 8, 16, 32] {
+        for (kind, label) in [
+            (FabricConfigKind::Base, "BA"),
+            (FabricConfigKind::WinnerOnly, "WR"),
+        ] {
+            let seed = seed_decisions_per_s(slots, kind);
+            let fast = zero_alloc_decisions_per_s(slots, kind);
+            let speedup = fast / seed;
+            println!("  {slots:<6} {label:<4} {seed:>14.0} {fast:>14.0} {speedup:>7.2}x");
+            single.push(SingleThreadRow {
+                slots,
+                kind: label.into(),
+                seed_decisions_per_s: seed,
+                zero_alloc_decisions_per_s: fast,
+                speedup,
+            });
+        }
+    }
+
+    let mut sharded = Vec::new();
+    println!("\n  sharded aggregate decisions/s (WR, threaded frontend):");
+    println!(
+        "  {:<6} {:<7} {:>16} {:>8}",
+        "slots", "shards", "aggregate", "scaling"
+    );
+    for slots in [4usize, 8, 16, 32] {
+        let mut one_shard = 0.0f64;
+        for shards in [1usize, 2, 4, 8] {
+            if slots / shards < 2 || slots % shards != 0 {
+                continue;
+            }
+            let agg = sharded_aggregate_decisions_per_s(slots, shards);
+            if shards == 1 {
+                one_shard = agg;
+            }
+            let scaling = agg / one_shard;
+            println!("  {slots:<6} {shards:<7} {agg:>16.0} {scaling:>7.2}x");
+            sharded.push(ShardedRow {
+                slots,
+                shards,
+                aggregate_decisions_per_s: agg,
+                scaling_vs_one_shard: scaling,
+            });
+        }
+    }
+
+    let best_speedup_32 = single
+        .iter()
+        .filter(|r| r.slots == 32)
+        .map(|r| r.speedup)
+        .fold(0.0f64, f64::max);
+    let scaling_32_4 = sharded
+        .iter()
+        .find(|r| r.slots == 32 && r.shards == 4)
+        .map(|r| r.scaling_vs_one_shard)
+        .unwrap_or(0.0);
+    println!("\n  checks:");
+    println!("    single-thread speedup @ 32 slots: {best_speedup_32:.2}x (target ≥ 2x)");
+    println!("    sharded scaling @ 32 slots, 4 shards: {scaling_32_4:.2}x (target ≥ 3x)");
+
+    let report = Report {
+        cycles_per_run: CYCLES,
+        reps: REPS,
+        single_thread: single,
+        sharded,
+        checks: Checks {
+            single_thread_speedup_at_32: best_speedup_32,
+            sharded_scaling_at_32_4shards: scaling_32_4,
+        },
+    };
+    // The trajectory artifact lives at the workspace root (ISSUE contract),
+    // unlike the lowercase per-figure artifacts under results/.
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_decision_core.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&report).expect("serialize"),
+    )
+    .expect("write BENCH_decision_core.json");
+    println!("  → {}", path.display());
+}

@@ -27,7 +27,7 @@ use crate::network;
 use crate::register::{RegisterBaseBlock, SlotCounters, StreamState};
 use serde::{Deserialize, Serialize};
 use ss_hwsim::FabricConfigKind;
-use ss_types::{ComparisonMode, Cycles, Error, Result, SlotId, Wrap16};
+use ss_types::{ComparisonMode, Cycles, Error, Result, SlotId, StreamAttrs, Wrap16};
 
 /// Which end of the block is circulated for PRIORITY_UPDATE, and the block
 /// transmission order (paper Table 3 modes).
@@ -153,6 +153,24 @@ pub struct Fabric {
     /// Scheduler time in packet-times.
     now: u64,
     decision_count: u64,
+    /// Ping-pong attribute-word scratch buffers for the shuffle-exchange
+    /// hot path — preallocated so the steady-state decision cycle never
+    /// touches the heap (mirroring the fixed register files in hardware).
+    scratch_a: Vec<StreamAttrs>,
+    scratch_b: Vec<StreamAttrs>,
+    /// Canonical attribute words, one per slot — the register-file contents
+    /// as last driven onto the wires. Refreshed incrementally: only slots
+    /// whose register state changed (arrival, service, expiry, load) are
+    /// recomputed, so a decision cycle costs one memcpy instead of N
+    /// attribute-word rebuilds.
+    words: Vec<StreamAttrs>,
+    /// Slots whose canonical word is stale (bit i = slot i); applied at the
+    /// start of the next decision cycle.
+    dirty: u64,
+    /// Persistent block-transaction buffer, reused every cycle.
+    block_buf: Vec<ScheduledPacket>,
+    /// Slots serviced in the most recent cycle (bit i = slot i; slots ≤ 32).
+    serviced: u64,
 }
 
 impl Fabric {
@@ -169,11 +187,15 @@ impl Fabric {
         // Compute-ahead folds the update into the last schedule cycle: the
         // architectural effects are identical, only the cycle cost changes.
         let update_cycle = config.priority_update && !config.compute_ahead;
+        let registers: Vec<RegisterBaseBlock> = (0..config.slots)
+            .map(|i| RegisterBaseBlock::new(SlotId::new_unchecked(i as u8)))
+            .collect();
+        let words: Vec<StreamAttrs> = registers.iter().map(|r| r.attrs()).collect();
+        let scratch_a = words.clone();
+        let scratch_b = words.clone();
         Ok(Self {
             config,
-            registers: (0..config.slots)
-                .map(|i| RegisterBaseBlock::new(SlotId::new_unchecked(i as u8)))
-                .collect(),
+            registers,
             decisions: (0..config.slots / 2)
                 .map(|_| DecisionBlock::new())
                 .collect(),
@@ -181,6 +203,12 @@ impl Fabric {
             updater: Box::new(DwcsUpdater),
             now: 0,
             decision_count: 0,
+            scratch_a,
+            scratch_b,
+            words,
+            dirty: 0,
+            block_buf: Vec::with_capacity(config.slots),
+            serviced: 0,
         })
     }
 
@@ -245,6 +273,7 @@ impl Fabric {
         }
         self.registers[slot].load(state, first_deadline);
         self.fsm.load(1);
+        self.dirty |= 1u64 << slot;
         Ok(())
     }
 
@@ -252,6 +281,7 @@ impl Fabric {
     pub fn unload_stream(&mut self, slot: usize) -> Result<()> {
         self.check_slot(slot)?;
         self.registers[slot].unload();
+        self.dirty |= 1u64 << slot;
         Ok(())
     }
 
@@ -262,6 +292,17 @@ impl Fabric {
         self.check_slot(slot)?;
         let now = self.now;
         self.registers[slot].push_arrival(arrival, now);
+        self.dirty |= 1u64 << slot;
+        Ok(())
+    }
+
+    /// Batched arrival deposit: one bounds-checked pass over `(slot, tag)`
+    /// pairs. Amortizes the per-call dispatch when an endsystem drains a
+    /// whole ring of arrivals at once. Stops at the first invalid slot.
+    pub fn push_arrivals(&mut self, arrivals: &[(usize, Wrap16)]) -> Result<()> {
+        for &(slot, arrival) in arrivals {
+            self.push_arrival(slot, arrival)?;
+        }
         Ok(())
     }
 
@@ -292,90 +333,197 @@ impl Fabric {
         total
     }
 
-    /// Runs one decision cycle. See the module docs for the exact
-    /// WR/BA semantics.
-    pub fn decision_cycle(&mut self) -> DecisionOutcome {
-        let words: Vec<_> = self.registers.iter().map(|r| r.attrs()).collect();
+    /// The zero-allocation decision core: runs one decision and leaves the
+    /// transmitted packets (in transmission order) in the persistent
+    /// `block_buf`. Steady state touches only the preallocated scratch
+    /// buffers — no heap traffic per cycle.
+    fn decision_cycle_core(&mut self) {
+        // Apply deferred refreshes (arrivals, loads since the last cycle)
+        // to the canonical word cache, then LOAD it into the even-pass
+        // scratch buffer (the register-file read in hardware).
+        let mut dirty = self.dirty;
+        self.dirty = 0;
+        while dirty != 0 {
+            let i = dirty.trailing_zeros() as usize;
+            dirty &= dirty - 1;
+            self.words[i] = self.registers[i].attrs();
+        }
+        self.scratch_a.copy_from_slice(&self.words);
         self.fsm.run_decision();
         self.decision_count += 1;
+        self.block_buf.clear();
+        self.serviced = 0;
 
         match self.config.kind {
             FabricConfigKind::WinnerOnly => {
-                let (winner, _) =
-                    network::wr_decision(&words, &mut self.decisions, self.config.mode);
+                let (winner, _) = network::wr_decision_in_place(
+                    &mut self.scratch_a,
+                    &mut self.decisions,
+                    self.config.mode,
+                );
                 let end = self.now + 1;
-                let outcome = if winner.valid {
+                if winner.valid {
                     let slot = winner.slot.index();
                     self.registers[slot].record_win();
                     let (deadline, met) = self.registers[slot]
                         .service(end, self.updater.as_ref())
                         .expect("valid winner has a queued packet");
-                    Some(ScheduledPacket {
+                    self.block_buf.push(ScheduledPacket {
                         slot: winner.slot,
                         deadline,
                         completed_at: end,
                         met,
-                    })
-                } else {
-                    None
-                };
+                    });
+                    self.serviced = 1u64 << slot;
+                    self.words[slot] = self.registers[slot].attrs();
+                }
                 if self.config.priority_update {
-                    let winner_slot = outcome.map(|p| p.slot.index());
                     for i in 0..self.registers.len() {
-                        if Some(i) != winner_slot {
-                            self.registers[i].expiry_check(end, self.updater.as_ref());
+                        if self.serviced & (1u64 << i) == 0
+                            && self.registers[i].expiry_check(end, self.updater.as_ref())
+                        {
+                            self.words[i] = self.registers[i].attrs();
                         }
                     }
                 }
                 self.now = end;
-                DecisionOutcome::Winner(outcome)
             }
             FabricConfigKind::Base => {
-                let (mut block, _) =
-                    network::ba_decision(&words, &mut self.decisions, self.config.mode);
-                if self.config.block_order == BlockOrder::MinFirst {
-                    block.reverse();
-                }
-                // The block transaction carries only occupied slots.
-                let valid: Vec<_> = block.iter().filter(|w| w.valid).copied().collect();
-                // Circulated winner: highest-priority occupied slot in
-                // MaxFirst, lowest-priority in MinFirst — in both cases the
-                // first element of the transmission order.
-                if let Some(first) = valid.first() {
-                    self.registers[first.slot.index()].record_win();
-                }
-                let mut scheduled = Vec::with_capacity(valid.len());
+                let (in_a, _) = network::ba_decision_ping_pong(
+                    &mut self.scratch_a,
+                    &mut self.scratch_b,
+                    &mut self.decisions,
+                    self.config.mode,
+                );
+                let n = self.config.slots;
                 let mut t = self.now;
-                for w in &valid {
-                    t += 1;
+                // The block transaction carries only occupied slots, in
+                // transmission order: MaxFirst walks the block forward,
+                // MinFirst backward. The circulated winner — the first
+                // occupied slot in transmission order — records the win.
+                for k in 0..n {
+                    let idx = match self.config.block_order {
+                        BlockOrder::MaxFirst => k,
+                        BlockOrder::MinFirst => n - 1 - k,
+                    };
+                    let w = if in_a {
+                        self.scratch_a[idx]
+                    } else {
+                        self.scratch_b[idx]
+                    };
+                    if !w.valid {
+                        continue;
+                    }
                     let slot = w.slot.index();
+                    if self.block_buf.is_empty() {
+                        self.registers[slot].record_win();
+                    }
+                    t += 1;
                     let (deadline, met) = self.registers[slot]
                         .service(t, self.updater.as_ref())
                         .expect("valid word has a queued packet");
-                    scheduled.push(ScheduledPacket {
+                    self.block_buf.push(ScheduledPacket {
                         slot: w.slot,
                         deadline,
                         completed_at: t,
                         met,
                     });
+                    self.serviced |= 1u64 << slot;
+                    self.words[slot] = self.registers[slot].attrs();
                 }
-                if valid.is_empty() {
+                if self.block_buf.is_empty() {
                     t += 1; // idle packet-time
                 }
                 if self.config.priority_update {
-                    let serviced: Vec<bool> = (0..self.registers.len())
-                        .map(|i| valid.iter().any(|w| w.slot.index() == i))
-                        .collect();
-                    for (i, was_serviced) in serviced.iter().enumerate() {
-                        if !was_serviced {
-                            self.registers[i].expiry_check(t, self.updater.as_ref());
+                    for i in 0..self.registers.len() {
+                        if self.serviced & (1u64 << i) == 0
+                            && self.registers[i].expiry_check(t, self.updater.as_ref())
+                        {
+                            self.words[i] = self.registers[i].attrs();
                         }
                     }
                 }
                 self.now = t;
-                DecisionOutcome::Block(scheduled)
             }
         }
+    }
+
+    /// Runs one decision cycle. See the module docs for the exact
+    /// WR/BA semantics.
+    pub fn decision_cycle(&mut self) -> DecisionOutcome {
+        self.decision_cycle_core();
+        match self.config.kind {
+            FabricConfigKind::WinnerOnly => DecisionOutcome::Winner(self.block_buf.first().copied()),
+            FabricConfigKind::Base => DecisionOutcome::Block(self.block_buf.clone()),
+        }
+    }
+
+    /// Runs one decision cycle without allocating, returning a view of the
+    /// transmitted packets (in transmission order) in the fabric's
+    /// persistent block buffer. For WR the slice holds at most one packet.
+    /// The slice is invalidated by the next decision cycle.
+    pub fn decision_cycle_into(&mut self) -> &[ScheduledPacket] {
+        self.decision_cycle_core();
+        &self.block_buf
+    }
+
+    /// The packets transmitted by the most recent decision cycle.
+    pub fn last_block(&self) -> &[ScheduledPacket] {
+        &self.block_buf
+    }
+
+    /// Runs `n` decision cycles back-to-back, appending every transmitted
+    /// packet to `sink` in transmission order. Returns the number of packets
+    /// appended. With a sink of sufficient capacity the whole batch is
+    /// allocation-free; the FSM dispatch and bounds checks are amortized
+    /// across the batch.
+    pub fn decision_cycles(&mut self, n: u64, sink: &mut Vec<ScheduledPacket>) -> usize {
+        let mut appended = 0;
+        for _ in 0..n {
+            self.decision_cycle_core();
+            sink.extend_from_slice(&self.block_buf);
+            appended += self.block_buf.len();
+        }
+        appended
+    }
+
+    /// Computes what the WR tournament would select right now, with no side
+    /// effects: no service, no counters, no time advance. A min-reduction
+    /// under [`crate::decision::order`] is equivalent to the tournament
+    /// because the Table 2 rule chain with the slot tie-break is a total
+    /// order. This is the probe a sharded frontend uses to collect shard
+    /// proposals before the global merge decides who transmits.
+    pub fn peek_winner(&self) -> StreamAttrs {
+        let mode = self.config.mode;
+        let mut best = self.registers[0].attrs();
+        for r in &self.registers[1..] {
+            let w = r.attrs();
+            if crate::decision::order(&w, &best, mode).0 == std::cmp::Ordering::Less {
+                best = w;
+            }
+        }
+        best
+    }
+
+    /// Advances one packet-time without a transmission grant: every slot
+    /// runs the deadline-expiry check that losers receive, exactly as if
+    /// another stream (on another shard) had won this packet-time. The
+    /// shuffle-exchange still clocks (the FSM advances), but nothing is
+    /// serviced and the block buffer is left empty.
+    pub fn expire_cycle(&mut self) {
+        self.fsm.run_decision();
+        self.decision_count += 1;
+        self.block_buf.clear();
+        self.serviced = 0;
+        let end = self.now + 1;
+        if self.config.priority_update {
+            for i in 0..self.registers.len() {
+                if self.registers[i].expiry_check(end, self.updater.as_ref()) {
+                    self.words[i] = self.registers[i].attrs();
+                }
+            }
+        }
+        self.now = end;
     }
 }
 
@@ -627,6 +775,73 @@ mod tests {
         // 3 passes × 4 decision blocks = 12 comparisons.
         assert_eq!(rc.total(), 12);
         assert!(rc.earliest_deadline > 0);
+    }
+
+    #[test]
+    fn batched_cycles_match_legacy_ba() {
+        let mut legacy = backlogged_edf(8, FabricConfigKind::Base, 16);
+        let mut batched = backlogged_edf(8, FabricConfigKind::Base, 16);
+        let mut expected = Vec::new();
+        for _ in 0..6 {
+            expected.extend_from_slice(legacy.decision_cycle().packets());
+        }
+        let mut sink = Vec::new();
+        let appended = batched.decision_cycles(6, &mut sink);
+        assert_eq!(appended, sink.len());
+        assert_eq!(sink, expected);
+        assert_eq!(batched.now(), legacy.now());
+        assert_eq!(batched.decision_count(), legacy.decision_count());
+    }
+
+    #[test]
+    fn batched_cycles_match_legacy_wr() {
+        let mut legacy = backlogged_edf(4, FabricConfigKind::WinnerOnly, 16);
+        let mut batched = backlogged_edf(4, FabricConfigKind::WinnerOnly, 16);
+        let mut expected = Vec::new();
+        for _ in 0..10 {
+            expected.extend_from_slice(legacy.decision_cycle().packets());
+        }
+        let mut sink = Vec::new();
+        batched.decision_cycles(10, &mut sink);
+        assert_eq!(sink, expected);
+        for s in 0..4 {
+            assert_eq!(
+                batched.slot_counters(s).unwrap(),
+                legacy.slot_counters(s).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn decision_cycle_into_matches_packets_view() {
+        let mut a = backlogged_edf(8, FabricConfigKind::Base, 4);
+        let mut b = backlogged_edf(8, FabricConfigKind::Base, 4);
+        let out = a.decision_cycle();
+        let view = b.decision_cycle_into().to_vec();
+        assert_eq!(view, out.packets());
+        assert_eq!(b.last_block(), out.packets());
+    }
+
+    #[test]
+    fn push_arrivals_batch_equals_singles() {
+        let mut single = Fabric::new(FabricConfig::edf(4, FabricConfigKind::Base)).unwrap();
+        let mut batch = Fabric::new(FabricConfig::edf(4, FabricConfigKind::Base)).unwrap();
+        for s in 0..4 {
+            single.load_stream(s, edf_state(2), (s + 1) as u64).unwrap();
+            batch.load_stream(s, edf_state(2), (s + 1) as u64).unwrap();
+        }
+        let arrivals: Vec<(usize, Wrap16)> =
+            (0..8).map(|i| (i % 4, Wrap16::from_wide(i as u64))).collect();
+        for &(s, a) in &arrivals {
+            single.push_arrival(s, a).unwrap();
+        }
+        batch.push_arrivals(&arrivals).unwrap();
+        for s in 0..4 {
+            assert_eq!(batch.backlog(s).unwrap(), single.backlog(s).unwrap());
+        }
+        assert_eq!(single.decision_cycle(), batch.decision_cycle());
+        // Out-of-range slot anywhere in the batch is rejected.
+        assert!(batch.push_arrivals(&[(0, Wrap16(0)), (9, Wrap16(0))]).is_err());
     }
 
     #[test]

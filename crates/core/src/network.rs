@@ -28,18 +28,48 @@ fn check_n(n: usize) {
     );
 }
 
+/// The perfect shuffle permutation, written into a caller-provided buffer
+/// (`dst[2i] = src[i]`, `dst[2i+1] = src[i + n/2]`). This is the hot-path
+/// form: no allocation, mirroring the hardware's fixed wiring.
+pub fn perfect_shuffle_into<T: Copy>(src: &[T], dst: &mut [T]) {
+    let n = src.len();
+    assert!(n.is_power_of_two() && n >= 2);
+    assert_eq!(dst.len(), n, "shuffle buffers must match in length");
+    let half = n / 2;
+    for i in 0..half {
+        dst[2 * i] = src[i];
+        dst[2 * i + 1] = src[i + half];
+    }
+}
+
 /// The perfect shuffle permutation: interleaves the first and second halves
 /// (`new[2i] = old[i]`, `new[2i+1] = old[i + n/2]`).
 pub fn perfect_shuffle<T: Copy>(words: &[T]) -> Vec<T> {
-    let n = words.len();
-    assert!(n.is_power_of_two() && n >= 2);
-    let half = n / 2;
-    let mut out = Vec::with_capacity(n);
-    for i in 0..half {
-        out.push(words[i]);
-        out.push(words[i + half]);
-    }
+    let mut out = vec![words[0]; words.len()];
+    perfect_shuffle_into(words, &mut out);
     out
+}
+
+/// One cycle of the recirculating shuffle-exchange network, writing the
+/// result into `dst`: shuffle `src` into `dst`, then compare-exchange each
+/// adjacent pair in place (winner to the even port, loser to the odd port).
+/// This is the BA (Base Architecture) datapath where both winners and losers
+/// are routed. No allocation.
+pub fn shuffle_exchange_pass_into(
+    src: &[StreamAttrs],
+    dst: &mut [StreamAttrs],
+    blocks: &mut [DecisionBlock],
+    mode: ComparisonMode,
+) {
+    let n = src.len();
+    check_n(n);
+    assert_eq!(blocks.len(), n / 2, "need N/2 decision blocks");
+    perfect_shuffle_into(src, dst);
+    for j in 0..n / 2 {
+        let (w, l) = blocks[j].compare(dst[2 * j], dst[2 * j + 1], mode);
+        dst[2 * j] = w;
+        dst[2 * j + 1] = l;
+    }
 }
 
 /// One cycle of the recirculating shuffle-exchange network: shuffle, then
@@ -51,17 +81,36 @@ pub fn shuffle_exchange_pass(
     blocks: &mut [DecisionBlock],
     mode: ComparisonMode,
 ) -> Vec<StreamAttrs> {
-    let n = words.len();
-    check_n(n);
-    assert_eq!(blocks.len(), n / 2, "need N/2 decision blocks");
-    let shuffled = perfect_shuffle(words);
-    let mut out = Vec::with_capacity(n);
-    for j in 0..n / 2 {
-        let (w, l) = blocks[j].compare(shuffled[2 * j], shuffled[2 * j + 1], mode);
-        out.push(w);
-        out.push(l);
-    }
+    let mut out = vec![words[0]; words.len()];
+    shuffle_exchange_pass_into(words, &mut out, blocks, mode);
     out
+}
+
+/// Runs the full BA decision by ping-ponging between two caller-owned
+/// scratch buffers: the input words start in `a`, each pass shuffles the
+/// current buffer into the other, and no allocation occurs. Returns
+/// `(result_in_a, cycles)` where `result_in_a` says which buffer holds the
+/// final block (position 0 = highest priority, position N−1 = lowest).
+pub fn ba_decision_ping_pong(
+    a: &mut [StreamAttrs],
+    b: &mut [StreamAttrs],
+    blocks: &mut [DecisionBlock],
+    mode: ComparisonMode,
+) -> (bool, u64) {
+    let n = a.len();
+    check_n(n);
+    assert_eq!(b.len(), n, "scratch buffers must match in length");
+    let passes = n.trailing_zeros() as u64;
+    let mut src_is_a = true;
+    for _ in 0..passes {
+        if src_is_a {
+            shuffle_exchange_pass_into(a, b, blocks, mode);
+        } else {
+            shuffle_exchange_pass_into(b, a, blocks, mode);
+        }
+        src_is_a = !src_is_a;
+    }
+    (src_is_a, passes)
 }
 
 /// Runs the full BA decision: log2(N) shuffle-exchange cycles, returning the
@@ -72,14 +121,35 @@ pub fn ba_decision(
     blocks: &mut [DecisionBlock],
     mode: ComparisonMode,
 ) -> (Vec<StreamAttrs>, u64) {
-    let n = words.len();
+    let mut a = words.to_vec();
+    let mut b = a.clone();
+    let (in_a, passes) = ba_decision_ping_pong(&mut a, &mut b, blocks, mode);
+    (if in_a { a } else { b }, passes)
+}
+
+/// Runs the WR (winner-only / max-finding) tournament in place: each round
+/// compacts the winners into the front of `scratch`, so the buffer is
+/// clobbered but nothing is allocated. Returns the winning attribute word
+/// and the number of network cycles consumed.
+pub fn wr_decision_in_place(
+    scratch: &mut [StreamAttrs],
+    blocks: &mut [DecisionBlock],
+    mode: ComparisonMode,
+) -> (StreamAttrs, u64) {
+    let n = scratch.len();
     check_n(n);
-    let passes = n.trailing_zeros() as u64;
-    let mut cur = words.to_vec();
-    for _ in 0..passes {
-        cur = shuffle_exchange_pass(&cur, blocks, mode);
+    assert_eq!(blocks.len(), n / 2, "need N/2 decision blocks");
+    let mut live = n;
+    let mut cycles = 0u64;
+    while live > 1 {
+        for j in 0..live / 2 {
+            let (w, _) = blocks[j].compare(scratch[2 * j], scratch[2 * j + 1], mode);
+            scratch[j] = w;
+        }
+        live /= 2;
+        cycles += 1;
     }
-    (cur, passes)
+    (scratch[0], cycles)
 }
 
 /// Runs the WR (winner-only / max-finding) decision: a log2(N)-cycle
@@ -90,21 +160,8 @@ pub fn wr_decision(
     blocks: &mut [DecisionBlock],
     mode: ComparisonMode,
 ) -> (StreamAttrs, u64) {
-    let n = words.len();
-    check_n(n);
-    assert_eq!(blocks.len(), n / 2, "need N/2 decision blocks");
-    let mut candidates = words.to_vec();
-    let mut cycles = 0u64;
-    while candidates.len() > 1 {
-        let mut next = Vec::with_capacity(candidates.len() / 2);
-        for (j, pair) in candidates.chunks_exact(2).enumerate() {
-            let (w, _) = blocks[j].compare(pair[0], pair[1], mode);
-            next.push(w);
-        }
-        candidates = next;
-        cycles += 1;
-    }
-    (candidates[0], cycles)
+    let mut scratch = words.to_vec();
+    wr_decision_in_place(&mut scratch, blocks, mode)
 }
 
 /// Runs a bitonic sorting schedule on the same N/2 Decision blocks,
@@ -215,6 +272,32 @@ mod tests {
         assert_eq!(perfect_shuffle(&v), vec![0, 4, 1, 5, 2, 6, 3, 7]);
         let v4: Vec<u32> = (0..4).collect();
         assert_eq!(perfect_shuffle(&v4), vec![0, 2, 1, 3]);
+    }
+
+    #[test]
+    fn shuffle_into_parity_all_sizes() {
+        // The in-place hot-path shuffle must match the wiring definition
+        // (dst[2i] = src[i], dst[2i+1] = src[i + n/2]) and the allocating
+        // API at every supported fabric width.
+        for n in [2usize, 4, 8, 16, 32] {
+            let src: Vec<u32> = (0..n as u32).collect();
+            let mut dst = vec![0u32; n];
+            perfect_shuffle_into(&src, &mut dst);
+            let half = n / 2;
+            for i in 0..half {
+                assert_eq!(dst[2 * i] as usize, i, "even port, n={n}");
+                assert_eq!(dst[2 * i + 1] as usize, i + half, "odd port, n={n}");
+            }
+            assert_eq!(perfect_shuffle(&src), dst, "Vec API parity, n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "match in length")]
+    fn shuffle_into_rejects_mismatched_buffers() {
+        let src = [0u32, 1, 2, 3];
+        let mut dst = [0u32; 8];
+        perfect_shuffle_into(&src, &mut dst);
     }
 
     #[test]

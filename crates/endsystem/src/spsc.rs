@@ -12,11 +12,34 @@
 //! stores. Slots use `MaybeUninit` so no default value is required; the
 //! ring drops any remaining items when both endpoints are gone.
 
-use crossbeam::utils::CachePadded;
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
+use std::ops::Deref;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Pads and aligns a value to 128 bytes so the producer- and consumer-owned
+/// pointers live on separate cache lines (no false sharing between the two
+/// threads). Stands in for `crossbeam::utils::CachePadded`; 128 covers the
+/// spatial-prefetcher pairing on x86_64 and the line size on aarch64.
+#[repr(align(128))]
+#[derive(Debug, Default)]
+struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
 
 struct Ring<T> {
     buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
@@ -292,6 +315,109 @@ mod tests {
         }
         producer.join().unwrap();
         assert_eq!(sum, N * (N - 1) / 2);
+    }
+
+    #[test]
+    fn full_empty_boundary_at_exact_capacity() {
+        // Repeatedly fill to exactly capacity and drain to exactly empty:
+        // the full/empty disambiguation (monotonic counters, not wrapped
+        // indices) must hold across many wraps of the index space.
+        let (mut p, mut c) = spsc_ring(8);
+        for round in 0..100u32 {
+            for i in 0..8 {
+                p.push(round * 8 + i).unwrap();
+            }
+            assert_eq!(p.push(u32::MAX), Err(u32::MAX), "round {round}: full");
+            assert_eq!(c.len(), 8);
+            for i in 0..8 {
+                assert_eq!(c.pop(), Some(round * 8 + i));
+            }
+            assert_eq!(c.pop(), None, "round {round}: empty");
+            assert!(c.is_empty());
+        }
+    }
+
+    #[test]
+    fn wraparound_with_partial_occupancy() {
+        // Keep the ring partially full while the pointers wrap the usize
+        // index space modulo capacity many times over.
+        let (mut p, mut c) = spsc_ring(4);
+        p.push(0u64).unwrap();
+        p.push(1).unwrap();
+        for i in 0..10_000u64 {
+            p.push(i + 2).unwrap();
+            assert_eq!(c.pop(), Some(i));
+            assert_eq!(c.len(), 2);
+        }
+    }
+
+    #[test]
+    fn drop_producer_first_with_items_in_flight() {
+        // Producer dies with items still queued: the consumer must drain
+        // every queued item, observe the disconnect, and the queued heap
+        // payloads must drop exactly once.
+        let tracker = Arc::new(());
+        let (mut p, mut c) = spsc_ring(8);
+        for _ in 0..6 {
+            p.push(tracker.clone()).unwrap();
+        }
+        drop(p);
+        assert!(c.is_disconnected());
+        let mut drained = 0;
+        while c.pop().is_some() {
+            drained += 1;
+        }
+        assert_eq!(drained, 6);
+        drop(c);
+        assert_eq!(Arc::strong_count(&tracker), 1);
+    }
+
+    #[test]
+    fn drop_consumer_first_with_items_in_flight() {
+        // Consumer dies first: the producer sees the disconnect; items it
+        // already queued (and any it keeps pushing into remaining space)
+        // are dropped exactly once when the ring itself goes away.
+        let tracker = Arc::new(());
+        let (mut p, c) = spsc_ring(4);
+        for _ in 0..3 {
+            p.push(tracker.clone()).unwrap();
+        }
+        drop(c);
+        assert!(p.is_disconnected());
+        p.push(tracker.clone()).unwrap(); // last free slot still accepts
+        assert!(p.push(tracker.clone()).is_err(), "ring full");
+        drop(p);
+        assert_eq!(Arc::strong_count(&tracker), 1);
+    }
+
+    #[test]
+    fn threaded_stress_bursty_producer() {
+        // Bursts against a tiny ring force constant full/empty boundary
+        // crossings from both sides at once. Back off with yield_now, not
+        // spin_loop: with a 2-slot ring on a single-core host a spinning
+        // side would burn its whole timeslice making no progress.
+        const N: u64 = 20_000;
+        let (mut p, mut c) = spsc_ring(2);
+        let producer = std::thread::spawn(move || {
+            let mut i = 0u64;
+            while i < N {
+                // Burst until the ring rejects, then back off.
+                while i < N && p.push(i).is_ok() {
+                    i += 1;
+                }
+                std::thread::yield_now();
+            }
+        });
+        let mut expected = 0u64;
+        while expected < N {
+            if let Some(v) = c.pop() {
+                assert_eq!(v, expected);
+                expected += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        producer.join().unwrap();
     }
 
     proptest! {

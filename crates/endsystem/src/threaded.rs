@@ -16,7 +16,7 @@
 //! end-to-end rate.
 
 use crate::spsc::spsc_ring;
-use ss_core::{DecisionOutcome, Fabric, FabricConfig};
+use ss_core::{Fabric, FabricConfig};
 use ss_core::{LatePolicy, StreamState};
 use ss_types::{Result, Wrap16};
 use std::time::Instant;
@@ -91,14 +91,22 @@ pub fn run_threaded(
 
     let scheduler = std::thread::spawn(move || {
         let mut pending = 0u64;
+        // Reusable batch buffer: arrivals are drained from the ring in one
+        // sweep and deposited with `push_arrivals`, and the decision cycle
+        // runs through the zero-allocation `decision_cycle_into` view — the
+        // scheduler thread's steady-state loop never touches the heap.
+        let mut arr_batch: Vec<(usize, Wrap16)> = Vec::with_capacity(4096);
         loop {
-            // Drain arrivals into the fabric.
-            while let Some(msg) = arr_rx.pop() {
-                fabric
-                    .push_arrival(msg.slot, msg.tag)
-                    .expect("slot in range");
-                pending += 1;
+            // Drain arrivals into the fabric (one batched deposit).
+            arr_batch.clear();
+            while arr_batch.len() < arr_batch.capacity() {
+                match arr_rx.pop() {
+                    Some(msg) => arr_batch.push((msg.slot, msg.tag)),
+                    None => break,
+                }
             }
+            fabric.push_arrivals(&arr_batch).expect("slots in range");
+            pending += arr_batch.len() as u64;
             if pending == 0 {
                 if arr_rx.is_disconnected() && arr_rx.is_empty() {
                     break;
@@ -106,14 +114,10 @@ pub fn run_threaded(
                 std::hint::spin_loop();
                 continue;
             }
-            let outcome = fabric.decision_cycle();
-            let packets: Vec<u8> = match outcome {
-                DecisionOutcome::Winner(Some(p)) => vec![p.slot.raw()],
-                DecisionOutcome::Winner(None) => vec![],
-                DecisionOutcome::Block(v) => v.iter().map(|p| p.slot.raw()).collect(),
-            };
+            let packets = fabric.decision_cycle_into();
             pending -= packets.len() as u64;
-            for mut id in packets {
+            for p in packets {
+                let mut id = p.slot.raw();
                 loop {
                     match id_tx.push(id) {
                         Ok(()) => break,

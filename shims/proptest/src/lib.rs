@@ -1,0 +1,316 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace uses: the
+//! `proptest!` test macro, `prop_assert!`/`prop_assert_eq!`/`prop_assume!`,
+//! `prop_oneof!`, `any::<T>()`, `Just`, range strategies, tuple strategies,
+//! `prop_map`, and `collection::vec`.
+//!
+//! Differences from the real crate: cases are generated from a seed derived
+//! deterministically from the test's module path and name (fully reproducible
+//! runs), there is **no shrinking** (a failure reports the failing inputs via
+//! `Debug` where available, or the assertion message), and the default case
+//! count is 64.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+
+pub use strategy::{any, BoxedStrategy, Just, Strategy};
+
+/// Outcome of one generated test case body.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is retried, not failed.
+    Reject(String),
+    /// `prop_assert!`-style failure.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure (used by the assert macros).
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Build a rejection (used by `prop_assume!`).
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Runner configuration; only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic per-test seed: FNV-1a over the fully qualified test name.
+pub fn seed_for(test_path: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Drives the generate/run loop for one `proptest!` function.
+/// Kept out of the macro so the macro body stays small.
+pub fn run_cases<F>(test_path: &str, config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = StdRng::seed_from_u64(seed_for(test_path));
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    while passed < config.cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.cases.saturating_mul(100).max(1_000) {
+                    panic!(
+                        "{test_path}: too many prop_assume! rejections \
+                         ({rejected} rejects for {passed} passes)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "{test_path}: property failed after {passed} passing case(s): {msg}\n\
+                     (deterministic seed {:#x}; re-run reproduces this failure)",
+                    seed_for(test_path)
+                );
+            }
+        }
+    }
+}
+
+/// Strategy re-exports under the paths the real crate uses.
+pub mod collection {
+    pub use crate::strategy::vec;
+}
+
+/// `use proptest::prelude::*;` surface.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig, TestCaseError,
+    };
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::rngs::StdRng;
+    pub use rand::{Rng, RngCore, SeedableRng};
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { body }` item
+/// becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = ($config:expr); ) => {};
+    (config = ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        // Attributes pass through verbatim; like the real crate, callers
+        // write `#[test]` themselves inside the `proptest!` block.
+        $(#[$meta])*
+        fn $name() {
+            let __path = concat!(module_path!(), "::", stringify!($name));
+            let __config = $config;
+            $crate::run_cases(__path, &__config, |__rng| {
+                let ($($arg,)+) = (
+                    $( $crate::Strategy::generate(&($strat), __rng), )+
+                );
+                $body
+                ::std::result::Result::Ok(())
+            });
+        }
+        $crate::__proptest_fns!{ config = ($config); $($rest)* }
+    };
+}
+
+/// Assert inside a `proptest!` body; failure reports the message and aborts
+/// the case (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), __l, __r,
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                ::std::format!($($fmt)+), __l, __r,
+            )));
+        }
+    }};
+}
+
+/// Inequality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left), stringify!($right), __l,
+            )));
+        }
+    }};
+}
+
+/// Discard the current case (retried with fresh inputs) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Choose among strategies, optionally weighted (`weight => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $( (($weight) as u32, $crate::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $( (1u32, $crate::Strategy::boxed($strat)) ),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum Tri {
+        A,
+        B,
+        C(u8),
+    }
+
+    fn arb_tri() -> impl Strategy<Value = Tri> {
+        prop_oneof![
+            2 => Just(Tri::A),
+            1 => Just(Tri::B),
+            1 => (1u8..4).prop_map(Tri::C),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Doc comments before proptest fns must parse.
+        #[test]
+        fn ranges_in_bounds(x in 1u8..8, f in 0.0f64..1.0) {
+            prop_assert!((1..8).contains(&x));
+            prop_assert!((0.0..1.0).contains(&f), "f was {}", f);
+        }
+
+        #[test]
+        fn tuples_and_vec(
+            pair in (any::<u8>(), 0u16..100),
+            items in collection::vec(any::<u64>(), 0..10),
+        ) {
+            prop_assert!(pair.1 < 100);
+            prop_assert!(items.len() < 10);
+        }
+
+        #[test]
+        fn assume_retries(x in 0u8..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+
+        #[test]
+        fn oneof_covers(t in arb_tri()) {
+            match t {
+                Tri::C(n) => prop_assert!((1..4).contains(&n)),
+                Tri::A | Tri::B => {}
+            }
+        }
+    }
+
+    #[test]
+    fn union_weighting_hits_all_branches() {
+        use crate::__rt::SeedableRng;
+        let strat = arb_tri();
+        let mut rng = crate::__rt::StdRng::seed_from_u64(1);
+        let mut saw = [false; 3];
+        for _ in 0..200 {
+            match strat.generate(&mut rng) {
+                Tri::A => saw[0] = true,
+                Tri::B => saw[1] = true,
+                Tri::C(_) => saw[2] = true,
+            }
+        }
+        assert!(saw.iter().all(|&s| s), "all branches reachable: {saw:?}");
+    }
+}

@@ -50,6 +50,7 @@
 //! | [`priorityq`] | related-work hardware priority queues (heap, systolic, shift-register, tree) |
 //! | [`traffic`] | deterministic workload generators |
 //! | [`endsystem`] | host-router realization: SPSC rings, QM, PCI/SRAM models, TE, aggregation, pipeline |
+//! | [`sharded`] | scale-out frontend: K fabric shards with a Table-2 comparator winner-merge, inline (exact) and thread-per-shard modes |
 //! | [`linecard`] | switch line-card realization with dual-ported SRAM |
 //! | [`framework`] | Figure-1 feasibility reasoning |
 //!
@@ -66,6 +67,7 @@ pub use ss_framework as framework;
 pub use ss_hwsim as hwsim;
 pub use ss_linecard as linecard;
 pub use ss_priorityq as priorityq;
+pub use ss_sharded as sharded;
 pub use ss_traffic as traffic;
 pub use ss_types as types;
 
@@ -76,6 +78,7 @@ pub mod prelude {
         SchedulerReport, ShareStreamsScheduler, StreamState,
     };
     pub use ss_endsystem::{EndsystemConfig, EndsystemPipeline, StreamletSetConfig};
+    pub use ss_sharded::{ShardedScheduler, StreamletReport, ThreadedShards};
     pub use ss_traffic::ArrivalEvent;
     pub use ss_types::{
         ComparisonMode, PacketSize, ServiceClass, SlotId, StreamId, StreamSpec, WindowConstraint,

@@ -1,0 +1,159 @@
+//! Steady-state heap guard: the decision core must not allocate.
+//!
+//! A counting global allocator wraps the system allocator; after a warmup
+//! that lets every buffer (fabric scratch, per-slot VecDeques, sinks) reach
+//! its high-water capacity, thousands of decision cycles — WR, BA, batched,
+//! and the inline sharded merge — must leave the allocation counter
+//! untouched. This file holds exactly one `#[test]` so no sibling test
+//! thread can pollute the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sharestreams::core::{Fabric, LatePolicy, StreamState};
+use sharestreams::prelude::*;
+use sharestreams::sharded::ShardedScheduler;
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static COUNTING: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+fn edf_state() -> StreamState {
+    StreamState {
+        request_period: 1,
+        original_window: WindowConstraint::ZERO,
+        static_prio: 0,
+        late_policy: LatePolicy::ServeLate,
+    }
+}
+
+/// Builds a fully backlogged fabric with `depth` queued arrivals per slot.
+fn backlogged(slots: usize, kind: FabricConfigKind, depth: usize) -> Fabric {
+    let mut f = Fabric::new(FabricConfig::edf(slots, kind)).unwrap();
+    for s in 0..slots {
+        f.load_stream(s, edf_state(), (s + 1) as u64).unwrap();
+        for a in 0..depth {
+            f.push_arrival(s, Wrap16::from_wide(a as u64)).unwrap();
+        }
+    }
+    f
+}
+
+/// Refills exactly the slots serviced this cycle, so queue depth — and thus
+/// VecDeque capacity — never grows past the warmed-up high-water mark.
+fn refill(f: &mut Fabric, tag: &mut u64) {
+    for i in 0..f.last_block().len() {
+        let slot = f.last_block()[i].slot.index();
+        *tag += 1;
+        f.push_arrival(slot, Wrap16::from_wide(*tag)).unwrap();
+    }
+}
+
+#[test]
+fn steady_state_decision_cycles_do_not_allocate() {
+    const SLOTS: usize = 32;
+    const DEPTH: usize = 16;
+    const WARMUP: u64 = 200;
+    const MEASURED: u64 = 5_000;
+
+    // --- WR fabric, per-cycle API ---
+    let mut wr = backlogged(SLOTS, FabricConfigKind::WinnerOnly, DEPTH);
+    let mut tag = 0u64;
+    for _ in 0..WARMUP {
+        wr.decision_cycle_into();
+        refill(&mut wr, &mut tag);
+    }
+    let before = allocations();
+    for _ in 0..MEASURED {
+        wr.decision_cycle_into();
+        refill(&mut wr, &mut tag);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "WR decision_cycle_into allocated in steady state"
+    );
+
+    // --- BA fabric, per-cycle API (full blocks every cycle) ---
+    let mut ba = backlogged(SLOTS, FabricConfigKind::Base, DEPTH);
+    for _ in 0..WARMUP {
+        ba.decision_cycle_into();
+        refill(&mut ba, &mut tag);
+    }
+    let before = allocations();
+    for _ in 0..MEASURED {
+        ba.decision_cycle_into();
+        refill(&mut ba, &mut tag);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "BA decision_cycle_into allocated in steady state"
+    );
+
+    // --- Batched API with a preallocated sink ---
+    let mut batch = backlogged(SLOTS, FabricConfigKind::Base, DEPTH);
+    let mut sink: Vec<ScheduledPacket> = Vec::new();
+    sink.reserve((MEASURED as usize + WARMUP as usize) * SLOTS);
+    batch.decision_cycles(WARMUP, &mut sink);
+    let before = allocations();
+    batch.decision_cycles(MEASURED / 10, &mut sink);
+    assert_eq!(
+        allocations() - before,
+        0,
+        "decision_cycles allocated with a preallocated sink"
+    );
+
+    // --- Inline sharded winner-merge ---
+    let mut sharded =
+        ShardedScheduler::new(FabricConfig::edf(SLOTS, FabricConfigKind::WinnerOnly), 4).unwrap();
+    for s in 0..SLOTS {
+        sharded.load_stream(s, edf_state(), (s + 1) as u64).unwrap();
+        for a in 0..DEPTH {
+            sharded.push_arrival(s, Wrap16::from_wide(a as u64)).unwrap();
+        }
+    }
+    for _ in 0..WARMUP {
+        if let Some(p) = sharded.decision_cycle() {
+            tag += 1;
+            sharded.push_arrival(p.slot.index(), Wrap16::from_wide(tag)).unwrap();
+        }
+    }
+    let before = allocations();
+    for _ in 0..MEASURED {
+        if let Some(p) = sharded.decision_cycle() {
+            tag += 1;
+            sharded.push_arrival(p.slot.index(), Wrap16::from_wide(tag)).unwrap();
+        }
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "sharded inline decision_cycle allocated in steady state"
+    );
+}
