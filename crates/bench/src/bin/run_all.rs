@@ -1,9 +1,15 @@
 //! Runs every experiment binary in sequence (the full reproduction).
 //!
 //! Equivalent to invoking each `exp_*` binary yourself; artifacts land in
-//! `results/`.
+//! `results/`, including `results/run_summary.json` — a machine-readable
+//! per-experiment pass/fail and duration report in the `ss-telemetry`
+//! snapshot schema (the same JSON shape the live schedulers export).
+//! Finishes with `bench_telemetry_overhead` built `--features telemetry`
+//! so the instrumentation-cost artifact regenerates with the figures.
 
+use ss_bench::results_dir;
 use std::process::Command;
+use std::time::Instant;
 
 const EXPERIMENTS: &[&str] = &[
     "exp_table1",
@@ -21,34 +27,89 @@ const EXPERIMENTS: &[&str] = &[
     "exp_transfer_sweep",
 ];
 
+fn run_bin(extra_args: &[&str], bin: &str) -> (bool, f64) {
+    let start = Instant::now();
+    let status = Command::new(env!("CARGO"))
+        .args(["run", "--quiet", "--release", "-p", "ss-bench"])
+        .args(extra_args)
+        .args(["--bin", bin])
+        .status()
+        .expect("spawn cargo");
+    (status.success(), start.elapsed().as_secs_f64())
+}
+
 fn main() {
+    let registry = ss_telemetry::Registry::new();
+    let passed = registry.counter(
+        "ss_bench_experiments_passed_total",
+        "Experiment binaries that exited successfully",
+    );
+    let failed = registry.counter(
+        "ss_bench_experiments_failed_total",
+        "Experiment binaries that exited with an error",
+    );
     let mut failures = Vec::new();
     for exp in EXPERIMENTS {
-        let status = Command::new(env!("CARGO"))
-            .args([
-                "run",
-                "--quiet",
-                "--release",
-                "-p",
-                "ss-bench",
-                "--bin",
-                exp,
-            ])
-            .status()
-            .expect("spawn cargo");
-        if !status.success() {
+        let (ok, secs) = run_bin(&[], exp);
+        let labels: &[(&str, &str)] = &[("experiment", exp)];
+        registry
+            .gauge_labeled(
+                "ss_bench_experiment_ok",
+                labels,
+                "1 when the experiment passed its shape checks, else 0",
+            )
+            .set(ok as i64);
+        registry
+            .gauge_labeled(
+                "ss_bench_experiment_duration_ms",
+                labels,
+                "Wall-clock runtime of the experiment binary",
+            )
+            .set((secs * 1e3) as i64);
+        if ok {
+            passed.inc();
+        } else {
+            failed.inc();
             failures.push(*exp);
         }
     }
+
+    // The instrumentation-cost bench needs the feature-on build of every
+    // scheduler layer; its pass/fail is the artifact's own ≤5% check.
+    let (bench_ok, bench_secs) = run_bin(&["--features", "telemetry"], "bench_telemetry_overhead");
+    let labels: &[(&str, &str)] = &[("experiment", "bench_telemetry_overhead")];
+    registry
+        .gauge_labeled(
+            "ss_bench_experiment_ok",
+            labels,
+            "1 when the experiment passed its shape checks, else 0",
+        )
+        .set(bench_ok as i64);
+    registry
+        .gauge_labeled(
+            "ss_bench_experiment_duration_ms",
+            labels,
+            "Wall-clock runtime of the experiment binary",
+        )
+        .set((bench_secs * 1e3) as i64);
+    if !bench_ok {
+        failures.push("bench_telemetry_overhead");
+    }
+
+    let summary_path = results_dir().join("run_summary.json");
+    std::fs::write(&summary_path, registry.snapshot().to_json_pretty())
+        .expect("write run_summary.json");
+
     println!("\n=== reproduction summary ===");
     println!(
         "  {} experiments, {} failed",
-        EXPERIMENTS.len(),
+        EXPERIMENTS.len() + 1,
         failures.len()
     );
     for f in &failures {
         println!("  FAILED: {f}");
     }
+    println!("  → {}", summary_path.display());
     if !failures.is_empty() {
         std::process::exit(1);
     }

@@ -171,6 +171,9 @@ pub struct Fabric {
     block_buf: Vec<ScheduledPacket>,
     /// Slots serviced in the most recent cycle (bit i = slot i; slots ≤ 32).
     serviced: u64,
+    /// Instrumentation hooks — a zero-sized no-op unless the `telemetry`
+    /// feature is enabled and a registry is attached.
+    telem: crate::telem::FabricTelemetry,
 }
 
 impl Fabric {
@@ -209,6 +212,7 @@ impl Fabric {
             dirty: 0,
             block_buf: Vec::with_capacity(config.slots),
             serviced: 0,
+            telem: crate::telem::FabricTelemetry::new(),
         })
     }
 
@@ -353,6 +357,7 @@ impl Fabric {
         self.decision_count += 1;
         self.block_buf.clear();
         self.serviced = 0;
+        let mut expired = 0u32;
 
         match self.config.kind {
             FabricConfigKind::WinnerOnly => {
@@ -383,6 +388,7 @@ impl Fabric {
                             && self.registers[i].expiry_check(end, self.updater.as_ref())
                         {
                             self.words[i] = self.registers[i].attrs();
+                            expired += 1;
                         }
                     }
                 }
@@ -440,12 +446,15 @@ impl Fabric {
                             && self.registers[i].expiry_check(t, self.updater.as_ref())
                         {
                             self.words[i] = self.registers[i].attrs();
+                            expired += 1;
                         }
                     }
                 }
                 self.now = t;
             }
         }
+        self.telem
+            .on_decision(self.decision_count, &self.block_buf, expired);
     }
 
     /// Runs one decision cycle. See the module docs for the exact
@@ -487,6 +496,75 @@ impl Fabric {
         appended
     }
 
+    /// Attaches this fabric to a telemetry registry: metrics are published
+    /// under a `shard="<shard>"` label and the last `trace_capacity`
+    /// decision-cycle events are kept in a drop-counting trace ring. All
+    /// buffers are allocated here, once — the per-decision hooks stay
+    /// allocation-free.
+    #[cfg(feature = "telemetry")]
+    pub fn attach_telemetry(
+        &mut self,
+        registry: &ss_telemetry::Registry,
+        shard: u16,
+        trace_capacity: usize,
+    ) {
+        self.telem.attach(
+            registry,
+            shard,
+            trace_capacity,
+            self.config.slots,
+            self.decision_count,
+            self.config.priority_update,
+            matches!(self.config.kind, FabricConfigKind::Base),
+        );
+    }
+
+    /// The fabric's instrumentation state (trace ring, latency tracker).
+    #[cfg(feature = "telemetry")]
+    pub fn telemetry(&self) -> &crate::telem::FabricTelemetry {
+        &self.telem
+    }
+
+    /// Drains telemetry's local accumulators into the registry now. The
+    /// hooks batch observations locally and auto-flush every few thousand
+    /// decisions (and on drop), so this is only needed before reading the
+    /// registry while the fabric is mid-run.
+    #[cfg(feature = "telemetry")]
+    pub fn flush_telemetry(&mut self) {
+        self.telem.flush();
+    }
+
+    /// Per-stream QoS accounting (the paper's Table 3 quantities) in the
+    /// shared `ss-telemetry` schema. Winner-selection-latency histograms
+    /// are filled when telemetry is attached, empty otherwise.
+    #[cfg(feature = "telemetry")]
+    pub fn qos_snapshot(&self) -> ss_telemetry::QosSet {
+        let mut set = ss_telemetry::QosSet {
+            decision_cycles: self.decision_count,
+            streams: self
+                .registers
+                .iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    let c = r.counters();
+                    ss_telemetry::StreamQos {
+                        slot: i as u8,
+                        serviced: c.serviced,
+                        met_deadlines: c.met_deadlines,
+                        missed_deadlines: c.missed_deadlines,
+                        violations: c.violations,
+                        dropped: c.dropped,
+                        wins: c.wins,
+                        window_resets: c.window_resets,
+                        win_latency_cycles: ss_telemetry::HistogramSnapshot::default(),
+                    }
+                })
+                .collect(),
+        };
+        self.telem.fill_win_latency(&mut set);
+        set
+    }
+
     /// Computes what the WR tournament would select right now, with no side
     /// effects: no service, no counters, no time advance. A min-reduction
     /// under [`crate::decision::order`] is equivalent to the tournament
@@ -515,15 +593,18 @@ impl Fabric {
         self.decision_count += 1;
         self.block_buf.clear();
         self.serviced = 0;
+        let mut expired = 0u32;
         let end = self.now + 1;
         if self.config.priority_update {
             for i in 0..self.registers.len() {
                 if self.registers[i].expiry_check(end, self.updater.as_ref()) {
                     self.words[i] = self.registers[i].attrs();
+                    expired += 1;
                 }
             }
         }
         self.now = end;
+        self.telem.on_expire_cycle(self.decision_count, expired);
     }
 }
 
@@ -842,6 +923,98 @@ mod tests {
         assert_eq!(single.decision_cycle(), batch.decision_cycle());
         // Out-of-range slot anywhere in the batch is rejected.
         assert!(batch.push_arrivals(&[(0, Wrap16(0)), (9, Wrap16(0))]).is_err());
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn telemetry_counts_decisions_and_traces() {
+        use ss_telemetry::{MetricValue, Registry, TraceKind};
+        let registry = Registry::new();
+        let mut f = backlogged_edf(4, FabricConfigKind::WinnerOnly, 8);
+        f.attach_telemetry(&registry, 3, 64);
+        for _ in 0..8 {
+            f.decision_cycle();
+        }
+        f.expire_cycle();
+        // Observations batch locally until the flush window or drop; force
+        // a drain so the registry reflects this mid-run fabric.
+        f.flush_telemetry();
+        let snap = registry.snapshot();
+        let get = |name: &str| {
+            snap.metrics
+                .iter()
+                .find(|m| m.name == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+        };
+        let decisions = get("ss_fabric_decision_cycles_total");
+        assert_eq!(decisions.labels, vec![("shard".into(), "3".into())]);
+        assert_eq!(decisions.value, MetricValue::Counter(9));
+        assert_eq!(
+            get("ss_fabric_packets_total").value,
+            MetricValue::Counter(8),
+            "every WR cycle transmitted one packet"
+        );
+        match &get("ss_fabric_win_gap_cycles").value {
+            MetricValue::Histogram(h) => assert_eq!(h.count, 8),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Always-backlogged losers expire every cycle.
+        match get("ss_fabric_expired_slots_total").value {
+            MetricValue::Counter(c) => assert!(c > 0),
+            ref other => panic!("unexpected {other:?}"),
+        }
+        let trace = f.telemetry().trace().expect("attached");
+        assert!(!trace.is_empty());
+        assert!(trace
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::Winner { .. })));
+        assert!(trace.iter().any(|e| matches!(e.kind, TraceKind::Fsm { .. })));
+        assert!(trace.iter().all(|e| e.shard == 3));
+
+        let qos = f.qos_snapshot();
+        assert_eq!(qos.decision_cycles, 9);
+        assert_eq!(qos.streams.len(), 4);
+        let total_wins: u64 = qos.streams.iter().map(|s| s.wins).sum();
+        assert_eq!(total_wins, 8);
+        let tracked: u64 = qos
+            .streams
+            .iter()
+            .map(|s| s.win_latency_cycles.count)
+            .sum();
+        assert_eq!(tracked, 8, "every win recorded a latency gap");
+        assert!(qos.service_fairness() > 0.0);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn telemetry_ba_records_block_lengths() {
+        use ss_telemetry::{MetricValue, Registry, TraceKind};
+        let registry = Registry::new();
+        let mut f = backlogged_edf(4, FabricConfigKind::Base, 2);
+        f.attach_telemetry(&registry, 0, 16);
+        f.decision_cycle(); // full block of 4
+        f.decision_cycle(); // full block of 4
+        f.decision_cycle(); // empty → idle
+        f.flush_telemetry();
+        let snap = registry.snapshot();
+        let block_len = snap
+            .metrics
+            .iter()
+            .find(|m| m.name == "ss_fabric_block_len_packets")
+            .unwrap();
+        match &block_len.value {
+            MetricValue::Histogram(h) => {
+                assert_eq!(h.count, 2);
+                assert_eq!(h.min, Some(4));
+                assert_eq!(h.max, Some(4));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let trace = f.telemetry().trace().unwrap();
+        assert!(trace
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::Block { len: 4 })));
+        assert!(trace.iter().any(|e| matches!(e.kind, TraceKind::Idle)));
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod network;
 pub mod register;
 pub mod rtl;
 pub mod scheduler;
+pub mod telem;
 
 pub use control::{ControlFsm, FsmState, TimelineEntry};
 pub use decision::{DecisionBlock, DecisionRule, RuleCounters};
@@ -57,6 +58,7 @@ pub use fabric::{BlockOrder, DecisionOutcome, Fabric, FabricConfig, ScheduledPac
 pub use register::{LatePolicy, RegisterBaseBlock, SlotCounters, StreamState};
 pub use rtl::{RtlFabric, RtlWires};
 pub use scheduler::{SchedulerReport, ShareStreamsScheduler};
+pub use telem::FabricTelemetry;
 
 // Re-export the hwsim configuration enum used throughout.
 pub use ss_hwsim::FabricConfigKind;

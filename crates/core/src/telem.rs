@@ -1,0 +1,355 @@
+//! Fabric instrumentation behind the `telemetry` cargo feature.
+//!
+//! With the feature **on**, [`FabricTelemetry`] holds handles into an
+//! `ss-telemetry` [`Registry`](ss_telemetry::Registry), a per-slot
+//! winner-selection-latency tracker, and a fixed-capacity decision-cycle
+//! trace ring. With the feature **off**, the same type is a zero-sized
+//! struct whose methods are inlined empty bodies — the hook arguments are
+//! dead and the optimizer erases the call sites, so the uninstrumented
+//! fabric is bit-for-bit the PR-1 zero-allocation core.
+//!
+//! The enabled hooks never allocate and touch no shared memory on the
+//! per-decision path: observations accumulate in plain local counters and
+//! [`LocalHistogram`](ss_telemetry::LocalHistogram)s plus stores into the
+//! preallocated [`EventRing`](ss_telemetry::EventRing), and drain into the
+//! registry's striped atomics every [`FLUSH_EVERY`](enabled::FLUSH_EVERY)
+//! decisions (and on drop / explicit flush). Registry readers on other
+//! threads therefore lag the fabric by at most one flush window.
+
+#[cfg(feature = "telemetry")]
+mod enabled {
+    use crate::fabric::ScheduledPacket;
+    use ss_telemetry::{
+        Counter, EventRing, FsmPhase, Histogram, LocalHistogram, QosSet, Registry, TraceEvent,
+        TraceKind, WinLatencyTracker,
+    };
+
+    /// Decisions between automatic drains of the local accumulators into
+    /// the registry. Chosen so the amortized flush cost disappears next to
+    /// a 32-slot decision cycle while keeping cross-thread readers fresh.
+    pub const FLUSH_EVERY: u32 = 4096;
+
+    /// Live instrumentation for one fabric (`telemetry` feature on).
+    /// Detached by default — hooks are cheap no-ops until
+    /// [`FabricTelemetry::attach`] wires them to a registry.
+    #[derive(Debug, Default)]
+    pub struct FabricTelemetry {
+        inner: Option<Attached>,
+    }
+
+    #[derive(Debug)]
+    struct Attached {
+        shard: u16,
+        /// `true` when every decision runs the PRIORITY_UPDATE phase.
+        priority_update: bool,
+        /// `true` for BA (block) fabrics, `false` for WR.
+        is_block: bool,
+        /// Last FSM phase recorded in the trace. Steady-state repeats of
+        /// the SCHEDULE↔PRIORITY_UPDATE alternation are coalesced: the
+        /// ring records each distinct transition once, not per cycle.
+        last_phase: FsmPhase,
+        // Registry handles — flush targets, shared striped atomics.
+        decisions: Counter,
+        packets: Counter,
+        idle_cycles: Counter,
+        expired_slots: Counter,
+        priority_updates: Counter,
+        block_len: Histogram,
+        win_gap: Histogram,
+        // Per-decision accumulators — plain locals, drained by `flush`.
+        d_decisions: u64,
+        d_packets: u64,
+        d_idle: u64,
+        d_expired: u64,
+        d_prio: u64,
+        d_block_len: LocalHistogram,
+        /// The win-latency tracker's merged state at the previous flush;
+        /// the registry `win_gap` histogram receives only the growth since
+        /// then, so the hot path records each gap exactly once (into the
+        /// tracker).
+        win_gap_base: LocalHistogram,
+        since_flush: u32,
+        win_latency: WinLatencyTracker,
+        trace: EventRing,
+    }
+
+    impl Attached {
+        /// Drains every local accumulator into the registry handles.
+        fn flush(&mut self) {
+            if self.d_decisions > 0 {
+                self.decisions.add(self.d_decisions);
+                self.d_decisions = 0;
+            }
+            if self.d_packets > 0 {
+                self.packets.add(self.d_packets);
+                self.d_packets = 0;
+            }
+            if self.d_idle > 0 {
+                self.idle_cycles.add(self.d_idle);
+                self.d_idle = 0;
+            }
+            if self.d_expired > 0 {
+                self.expired_slots.add(self.d_expired);
+                self.d_expired = 0;
+            }
+            if self.d_prio > 0 {
+                self.priority_updates.add(self.d_prio);
+                self.d_prio = 0;
+            }
+            if self.d_block_len.count() > 0 {
+                self.block_len.merge_local(&self.d_block_len);
+                self.d_block_len.clear();
+            }
+            let merged = self.win_latency.merged_local();
+            if merged.count() > self.win_gap_base.count() {
+                self.win_gap.merge_cumulative_since(&merged, &self.win_gap_base);
+                self.win_gap_base = merged;
+            }
+            self.since_flush = 0;
+        }
+    }
+
+    impl Drop for Attached {
+        fn drop(&mut self) {
+            self.flush();
+        }
+    }
+
+    impl FabricTelemetry {
+        /// A detached telemetry slot: hooks are cheap branches until
+        /// [`FabricTelemetry::attach`] wires in a registry.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Wires this fabric into `registry` under a `shard` label,
+        /// allocating the trace ring and latency tracker up front so the
+        /// per-decision hooks stay allocation-free.
+        #[allow(clippy::too_many_arguments)]
+        pub fn attach(
+            &mut self,
+            registry: &Registry,
+            shard: u16,
+            trace_capacity: usize,
+            slots: usize,
+            start_cycle: u64,
+            priority_update: bool,
+            is_block: bool,
+        ) {
+            let s = shard.to_string();
+            let labels: &[(&str, &str)] = &[("shard", &s)];
+            self.inner = Some(Attached {
+                shard,
+                priority_update,
+                is_block,
+                last_phase: FsmPhase::Load,
+                decisions: registry.counter_labeled(
+                    "ss_fabric_decision_cycles_total",
+                    labels,
+                    "Decision cycles completed by the fabric",
+                ),
+                packets: registry.counter_labeled(
+                    "ss_fabric_packets_total",
+                    labels,
+                    "Packets transmitted by decision cycles",
+                ),
+                idle_cycles: registry.counter_labeled(
+                    "ss_fabric_idle_cycles_total",
+                    labels,
+                    "Decision cycles that found every slot idle",
+                ),
+                expired_slots: registry.counter_labeled(
+                    "ss_fabric_expired_slots_total",
+                    labels,
+                    "Loser/expiry checks that expired a waiting head packet",
+                ),
+                priority_updates: registry.counter_labeled(
+                    "ss_fabric_priority_updates_total",
+                    labels,
+                    "PRIORITY_UPDATE phases executed",
+                ),
+                block_len: registry.histogram_labeled(
+                    "ss_fabric_block_len_packets",
+                    labels,
+                    "Packets per BA block transaction",
+                ),
+                win_gap: registry.histogram_labeled(
+                    "ss_fabric_win_gap_cycles",
+                    labels,
+                    "Winner-selection latency: decision cycles between a stream's wins",
+                ),
+                d_decisions: 0,
+                d_packets: 0,
+                d_idle: 0,
+                d_expired: 0,
+                d_prio: 0,
+                d_block_len: LocalHistogram::new(),
+                win_gap_base: LocalHistogram::new(),
+                since_flush: 0,
+                win_latency: WinLatencyTracker::new(slots, start_cycle),
+                trace: EventRing::with_capacity(trace_capacity),
+            });
+        }
+
+        /// `true` once attached to a registry.
+        pub fn is_attached(&self) -> bool {
+            self.inner.is_some()
+        }
+
+        /// Drains the local accumulators into the registry now. Call
+        /// before reading the registry while the fabric is still live;
+        /// dropping the fabric (or detaching) flushes automatically.
+        pub fn flush(&mut self) {
+            if let Some(a) = &mut self.inner {
+                a.flush();
+            }
+        }
+
+        /// The decision-cycle trace ring, once attached.
+        pub fn trace(&self) -> Option<&EventRing> {
+            self.inner.as_ref().map(|a| &a.trace)
+        }
+
+        /// Per-slot winner-selection-latency tracker, once attached.
+        pub fn win_latency(&self) -> Option<&WinLatencyTracker> {
+            self.inner.as_ref().map(|a| &a.win_latency)
+        }
+
+        /// Fills the `win_latency_cycles` column of a QoS report from the
+        /// tracker (rows must be indexed by slot).
+        pub fn fill_win_latency(&self, qos: &mut QosSet) {
+            if let Some(a) = &self.inner {
+                for (slot, row) in qos.streams.iter_mut().enumerate() {
+                    if slot < a.win_latency.slots() {
+                        row.win_latency_cycles = a.win_latency.snapshot(slot);
+                    }
+                }
+            }
+        }
+
+        /// Hook: one decision cycle completed. `block` is the transmitted
+        /// packets in transmission order; `expired` counts loser slots whose
+        /// head packet expired this cycle.
+        #[inline]
+        pub fn on_decision(&mut self, cycle: u64, block: &[ScheduledPacket], expired: u32) {
+            let Some(a) = &mut self.inner else { return };
+            a.d_decisions += 1;
+            if a.last_phase == FsmPhase::Load {
+                a.trace.push(TraceEvent {
+                    cycle,
+                    shard: a.shard,
+                    kind: TraceKind::Fsm {
+                        from: FsmPhase::Load,
+                        to: FsmPhase::Schedule,
+                    },
+                });
+            }
+            if block.is_empty() {
+                a.d_idle += 1;
+                a.trace.push(TraceEvent {
+                    cycle,
+                    shard: a.shard,
+                    kind: TraceKind::Idle,
+                });
+            } else {
+                a.d_packets += block.len() as u64;
+                // The circulated winner is the first packet in
+                // transmission order.
+                let winner = block[0].slot.index();
+                a.win_latency.record_win(winner, cycle);
+                let kind = if a.is_block {
+                    a.d_block_len.record(block.len() as u64);
+                    TraceKind::Block {
+                        len: block.len() as u8,
+                    }
+                } else {
+                    TraceKind::Winner { slot: winner as u8 }
+                };
+                a.trace.push(TraceEvent {
+                    cycle,
+                    shard: a.shard,
+                    kind,
+                });
+            }
+            Self::expiry_and_update(a, cycle, expired);
+            a.since_flush += 1;
+            if a.since_flush >= FLUSH_EVERY {
+                a.flush();
+            }
+        }
+
+        /// Hook: one grant-less expiry cycle completed (the fabric lost the
+        /// packet-time to another shard).
+        #[inline]
+        pub fn on_expire_cycle(&mut self, cycle: u64, expired: u32) {
+            let Some(a) = &mut self.inner else { return };
+            a.d_decisions += 1;
+            a.d_idle += 1;
+            Self::expiry_and_update(a, cycle, expired);
+            a.since_flush += 1;
+            if a.since_flush >= FLUSH_EVERY {
+                a.flush();
+            }
+        }
+
+        fn expiry_and_update(a: &mut Attached, cycle: u64, expired: u32) {
+            if expired > 0 {
+                a.d_expired += expired as u64;
+                a.trace.push(TraceEvent {
+                    cycle,
+                    shard: a.shard,
+                    kind: TraceKind::Expired {
+                        slots: expired.min(u8::MAX as u32) as u8,
+                    },
+                });
+            }
+            if a.priority_update {
+                a.d_prio += 1;
+                if a.last_phase != FsmPhase::PriorityUpdate {
+                    a.trace.push(TraceEvent {
+                        cycle,
+                        shard: a.shard,
+                        kind: TraceKind::Fsm {
+                            from: FsmPhase::Schedule,
+                            to: FsmPhase::PriorityUpdate,
+                        },
+                    });
+                }
+                a.last_phase = FsmPhase::PriorityUpdate;
+            } else {
+                a.last_phase = FsmPhase::Schedule;
+            }
+        }
+    }
+}
+
+#[cfg(not(feature = "telemetry"))]
+mod disabled {
+    use crate::fabric::ScheduledPacket;
+
+    /// Zero-sized stand-in compiled when the `telemetry` feature is off.
+    /// Every hook is an inlined empty body, so instrumentation call sites
+    /// vanish from the optimized decision core.
+    #[derive(Debug, Default)]
+    pub struct FabricTelemetry;
+
+    impl FabricTelemetry {
+        /// The zero-sized stand-in (mirrors the enabled constructor).
+        pub fn new() -> Self {
+            Self
+        }
+
+        /// Hook: one decision cycle completed (no-op).
+        #[inline(always)]
+        pub fn on_decision(&mut self, _cycle: u64, _block: &[ScheduledPacket], _expired: u32) {}
+
+        /// Hook: one grant-less expiry cycle completed (no-op).
+        #[inline(always)]
+        pub fn on_expire_cycle(&mut self, _cycle: u64, _expired: u32) {}
+    }
+}
+
+#[cfg(feature = "telemetry")]
+pub use enabled::FabricTelemetry;
+#[cfg(not(feature = "telemetry"))]
+pub use disabled::FabricTelemetry;

@@ -51,7 +51,10 @@ pub use pci::{PciModel, TransferStrategy};
 pub use pipeline::{EndsystemConfig, EndsystemPipeline, EndsystemReport, StreamPipelineStats};
 pub use queue_manager::QueueManager;
 pub use red::{RedConfig, RedQueue, RedVerdict};
-pub use spsc::{spsc_ring, Consumer, Producer};
+pub use spsc::{spsc_ring, Consumer, Producer, RingStats};
 pub use sram::{BankOwner, BankedSram};
 pub use streaming::{StreamingReport, StreamingUnit};
+pub use threaded::{run_threaded, run_threaded_edf, ThreadedReport};
+#[cfg(feature = "telemetry")]
+pub use threaded::run_threaded_instrumented;
 pub use transmission::TransmissionEngine;

@@ -17,6 +17,11 @@ pub struct QueueManager {
     capacity: usize,
     deposited: u64,
     dropped: u64,
+    /// Batched drains toward the card ([`QueueManager::pop_batch`] calls
+    /// that moved at least one packet).
+    transfer_batches: u64,
+    /// Packets moved by batched drains.
+    transferred: u64,
 }
 
 impl QueueManager {
@@ -35,6 +40,8 @@ impl QueueManager {
             capacity,
             deposited: 0,
             dropped: 0,
+            transfer_batches: 0,
+            transferred: 0,
         }
     }
 
@@ -67,6 +74,38 @@ impl QueueManager {
     /// Engine when the card schedules that stream).
     pub fn pop(&mut self, stream: usize) -> Option<ArrivalEvent> {
         self.queues.get_mut(stream)?.pop_front()
+    }
+
+    /// Drains up to `max` head packets of `stream` into `out` — one PCI
+    /// transfer batch toward the card. Returns the number of packets moved
+    /// and accounts the batch in [`QueueManager::transfer_batches`] /
+    /// [`QueueManager::transferred`].
+    pub fn pop_batch(&mut self, stream: usize, max: usize, out: &mut Vec<ArrivalEvent>) -> usize {
+        let Some(q) = self.queues.get_mut(stream) else {
+            return 0;
+        };
+        let n = max.min(q.len());
+        out.extend(q.drain(..n));
+        if n > 0 {
+            self.transfer_batches += 1;
+            self.transferred += n as u64;
+        }
+        n
+    }
+
+    /// Batched drains that moved at least one packet.
+    pub fn transfer_batches(&self) -> u64 {
+        self.transfer_batches
+    }
+
+    /// Packets moved by batched drains.
+    pub fn transferred(&self) -> u64 {
+        self.transferred
+    }
+
+    /// Mean packets per transfer batch (`None` before the first batch).
+    pub fn mean_batch_len(&self) -> Option<f64> {
+        (self.transfer_batches > 0).then(|| self.transferred as f64 / self.transfer_batches as f64)
     }
 
     /// Head packet of `stream` without dequeuing.
@@ -145,6 +184,29 @@ mod tests {
         ));
         assert_eq!(qm.dropped(), 1);
         assert_eq!(qm.backlog(0), 2);
+    }
+
+    #[test]
+    fn pop_batch_drains_and_accounts() {
+        let mut qm = QueueManager::new(2, 16);
+        for t in 0..10 {
+            qm.deposit(ev(0, t)).unwrap();
+        }
+        qm.deposit(ev(1, 99)).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(qm.pop_batch(0, 4, &mut out), 4);
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0].time_ns, 0, "FIFO order preserved");
+        assert_eq!(out[3].time_ns, 3);
+        assert_eq!(qm.backlog(0), 6);
+        // Short remainder, empty queue, and bad stream index.
+        assert_eq!(qm.pop_batch(0, 100, &mut out), 6);
+        assert_eq!(qm.pop_batch(0, 4, &mut out), 0, "empty drains nothing");
+        assert_eq!(qm.pop_batch(7, 4, &mut out), 0, "bad stream drains nothing");
+        assert_eq!(qm.transfer_batches(), 2, "empty batches not counted");
+        assert_eq!(qm.transferred(), 10);
+        assert_eq!(qm.mean_batch_len(), Some(5.0));
+        assert_eq!(qm.backlog(1), 1, "other stream untouched");
     }
 
     #[test]

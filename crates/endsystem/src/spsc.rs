@@ -12,10 +12,11 @@
 //! stores. Slots use `MaybeUninit` so no default value is required; the
 //! ring drops any remaining items when both endpoints are gone.
 
+use serde::{Deserialize, Serialize};
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::ops::Deref;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Pads and aligns a value to 128 bytes so the producer- and consumer-owned
@@ -41,6 +42,34 @@ impl<T> Deref for CachePadded<T> {
     }
 }
 
+/// Point-in-time ring statistics. Rejections are the ring's *visible*
+/// drop counter: every `push` the ring turned away (whether the producer
+/// then retried or discarded the item). The occupancy high-water mark is
+/// the producer's view (`write + 1 − cached_read`); a stale cached read
+/// pointer can only over-estimate occupancy, so the mark is a safe upper
+/// bound and saturates at `capacity` exactly when the ring filled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RingStats {
+    /// Successful enqueues.
+    pub pushes: u64,
+    /// Enqueue attempts rejected because the ring was full.
+    pub rejections: u64,
+    /// Highest producer-observed occupancy (≤ capacity).
+    pub high_water: usize,
+    /// Ring capacity.
+    pub capacity: usize,
+}
+
+/// Stats mirror shared through the ring, published by the producer (on
+/// drop or explicit read) so the consumer side can read final counts
+/// after the producer thread is gone.
+#[derive(Debug, Default)]
+struct SharedStats {
+    pushes: AtomicU64,
+    rejections: AtomicU64,
+    high_water: AtomicUsize,
+}
+
 struct Ring<T> {
     buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
     mask: usize,
@@ -48,6 +77,8 @@ struct Ring<T> {
     write: CachePadded<AtomicUsize>,
     /// Next slot the consumer will read.
     read: CachePadded<AtomicUsize>,
+    /// Published statistics (own cache line: written rarely, read rarely).
+    stats: CachePadded<SharedStats>,
 }
 
 // Safety: the SPSC protocol guarantees a slot is accessed by exactly one
@@ -76,6 +107,11 @@ pub struct Producer<T> {
     /// Cached copy of the consumer's read pointer (refresh on apparent
     /// full).
     cached_read: usize,
+    /// Producer-local statistics — plain integers on the hot path,
+    /// published to the shared ring on drop / explicit read.
+    pushes: u64,
+    rejections: u64,
+    high_water: usize,
 }
 
 /// The consuming endpoint.
@@ -101,11 +137,15 @@ pub fn spsc_ring<T: Send>(cap: usize) -> (Producer<T>, Consumer<T>) {
         mask: cap - 1,
         write: CachePadded::new(AtomicUsize::new(0)),
         read: CachePadded::new(AtomicUsize::new(0)),
+        stats: CachePadded::new(SharedStats::default()),
     });
     (
         Producer {
             ring: ring.clone(),
             cached_read: 0,
+            pushes: 0,
+            rejections: 0,
+            high_water: 0,
         },
         Consumer {
             ring,
@@ -122,6 +162,7 @@ impl<T: Send> Producer<T> {
             // Apparently full: refresh the read pointer.
             self.cached_read = self.ring.read.load(Ordering::Acquire);
             if write - self.cached_read > self.ring.mask {
+                self.rejections += 1;
                 return Err(value);
             }
         }
@@ -129,6 +170,11 @@ impl<T: Send> Producer<T> {
         // Safety: slot is outside [read, write) — exclusively ours.
         unsafe { (*slot.get()).write(value) };
         self.ring.write.store(write + 1, Ordering::Release);
+        self.pushes += 1;
+        let occupancy = write + 1 - self.cached_read;
+        if occupancy > self.high_water {
+            self.high_water = occupancy;
+        }
         Ok(())
     }
 
@@ -140,6 +186,35 @@ impl<T: Send> Producer<T> {
     /// `true` if the consumer endpoint has been dropped.
     pub fn is_disconnected(&self) -> bool {
         Arc::strong_count(&self.ring) == 1
+    }
+
+    /// This ring's statistics (exact — read from the producer's own
+    /// counters) and publishes them for the consumer side.
+    pub fn stats(&self) -> RingStats {
+        self.publish_stats();
+        RingStats {
+            pushes: self.pushes,
+            rejections: self.rejections,
+            high_water: self.high_water,
+            capacity: self.capacity(),
+        }
+    }
+}
+
+impl<T> Producer<T> {
+    fn publish_stats(&self) {
+        let s = &self.ring.stats;
+        s.pushes.store(self.pushes, Ordering::Relaxed);
+        s.rejections.store(self.rejections, Ordering::Relaxed);
+        s.high_water.store(self.high_water, Ordering::Release);
+    }
+}
+
+impl<T> Drop for Producer<T> {
+    fn drop(&mut self) {
+        // Final publication so `Consumer::stats` is exact once the
+        // producer thread is gone.
+        self.publish_stats();
     }
 }
 
@@ -176,6 +251,19 @@ impl<T: Send> Consumer<T> {
     /// `true` if the producer endpoint has been dropped.
     pub fn is_disconnected(&self) -> bool {
         Arc::strong_count(&self.ring) == 1
+    }
+
+    /// The statistics as last published by the producer (exact once the
+    /// producer has dropped or called [`Producer::stats`]).
+    pub fn stats(&self) -> RingStats {
+        let s = &self.ring.stats;
+        let high_water = s.high_water.load(Ordering::Acquire);
+        RingStats {
+            pushes: s.pushes.load(Ordering::Relaxed),
+            rejections: s.rejections.load(Ordering::Relaxed),
+            high_water,
+            capacity: self.ring.mask + 1,
+        }
     }
 }
 
@@ -418,6 +506,75 @@ mod tests {
             }
         }
         producer.join().unwrap();
+    }
+
+    #[test]
+    fn stats_count_pushes_rejections_and_high_water() {
+        let (mut p, mut c) = spsc_ring(4);
+        for i in 0..3 {
+            p.push(i).unwrap();
+        }
+        let s = p.stats();
+        assert_eq!(s.pushes, 3);
+        assert_eq!(s.rejections, 0);
+        assert_eq!(s.high_water, 3);
+        assert_eq!(s.capacity, 4);
+        p.push(3).unwrap();
+        assert_eq!(p.push(4), Err(4), "full ring rejects");
+        assert_eq!(p.push(5), Err(5));
+        let s = p.stats();
+        assert_eq!(s.pushes, 4);
+        assert_eq!(s.rejections, 2);
+        assert_eq!(s.high_water, 4, "saturates at capacity when full");
+        // Drain and refill: high-water stays at its maximum.
+        while c.pop().is_some() {}
+        p.push(9).unwrap();
+        assert_eq!(p.stats().high_water, 4);
+        // The consumer sees the published numbers.
+        assert_eq!(c.stats(), p.stats());
+    }
+
+    #[test]
+    fn consumer_reads_final_stats_after_producer_drops() {
+        let (mut p, mut c) = spsc_ring(8);
+        for i in 0..5 {
+            p.push(i).unwrap();
+        }
+        drop(p);
+        let s = c.stats();
+        assert_eq!(s.pushes, 5);
+        assert_eq!(s.high_water, 5);
+        while c.pop().is_some() {}
+        assert_eq!(c.stats().pushes, 5, "stats survive draining");
+    }
+
+    #[test]
+    fn cross_thread_stats_are_exact_after_join() {
+        const N: u64 = 50_000;
+        let (mut p, mut c) = spsc_ring(64);
+        let producer = std::thread::spawn(move || {
+            let mut i = 0u64;
+            while i < N {
+                if p.push(i).is_ok() {
+                    i += 1;
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        });
+        let mut got = 0u64;
+        while got < N {
+            if c.pop().is_some() {
+                got += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+        let s = c.stats();
+        assert_eq!(s.pushes, N);
+        assert!(s.high_water <= 64);
+        assert!(s.high_water >= 1);
     }
 
     proptest! {

@@ -15,7 +15,7 @@
 //! bench; [`run_threaded`] returns per-stream counts and the measured
 //! end-to-end rate.
 
-use crate::spsc::spsc_ring;
+use crate::spsc::{spsc_ring, RingStats};
 use ss_core::{Fabric, FabricConfig};
 use ss_core::{LatePolicy, StreamState};
 use ss_types::{Result, Wrap16};
@@ -41,6 +41,12 @@ pub struct ThreadedReport {
     pub wall_seconds: f64,
     /// End-to-end packets/second.
     pub pps: f64,
+    /// Producer → scheduler arrival-ring statistics (pushes, backpressure
+    /// rejections, occupancy high-water). Rejections here mean the producer
+    /// observed a full ring and had to retry — previously invisible.
+    pub arr_ring: RingStats,
+    /// Scheduler → transmitter winner-ID-ring statistics.
+    pub id_ring: RingStats,
 }
 
 /// Runs the three-thread pipeline: `arrivals_per_slot` packets are pushed
@@ -54,6 +60,77 @@ pub fn run_threaded(
     states: Vec<StreamState>,
     arrivals_per_slot: u64,
 ) -> Result<ThreadedReport> {
+    run_threaded_inner(config, states, arrivals_per_slot, |_| {}).map(|(report, _)| report)
+}
+
+/// Like [`run_threaded`], but attaches the fabric to a telemetry registry
+/// (shard 0) before the pipeline starts and returns the per-stream QoS
+/// report alongside the throughput report. Ring and pipeline statistics
+/// are published into the registry (`ss_endsystem_*`) after the run.
+#[cfg(feature = "telemetry")]
+pub fn run_threaded_instrumented(
+    config: FabricConfig,
+    states: Vec<StreamState>,
+    arrivals_per_slot: u64,
+    registry: &ss_telemetry::Registry,
+    trace_capacity: usize,
+) -> Result<(ThreadedReport, ss_telemetry::QosSet)> {
+    let reg = registry.clone();
+    let (report, mut fabric) = run_threaded_inner(config, states, arrivals_per_slot, move |f| {
+        f.attach_telemetry(&reg, 0, trace_capacity)
+    })?;
+    // The fabric batches its observations locally; drain them so the
+    // registry is complete before this function's snapshot-style returns.
+    fabric.flush_telemetry();
+    publish_ring_stats(registry, "arrivals", &report.arr_ring);
+    publish_ring_stats(registry, "ids", &report.id_ring);
+    registry
+        .counter(
+            "ss_endsystem_packets_total",
+            "Packets through the threaded pipeline",
+        )
+        .add(report.total);
+    registry
+        .gauge(
+            "ss_endsystem_pps",
+            "End-to-end packets per second of the last threaded run",
+        )
+        .set(report.pps as i64);
+    Ok((report, fabric.qos_snapshot()))
+}
+
+#[cfg(feature = "telemetry")]
+fn publish_ring_stats(registry: &ss_telemetry::Registry, ring: &str, stats: &RingStats) {
+    let labels: &[(&str, &str)] = &[("ring", ring)];
+    registry
+        .counter_labeled(
+            "ss_endsystem_ring_pushes_total",
+            labels,
+            "Successful SPSC ring enqueues",
+        )
+        .add(stats.pushes);
+    registry
+        .counter_labeled(
+            "ss_endsystem_ring_rejections_total",
+            labels,
+            "SPSC ring enqueues rejected by a full ring (backpressure)",
+        )
+        .add(stats.rejections);
+    registry
+        .gauge_labeled(
+            "ss_endsystem_ring_high_water",
+            labels,
+            "Producer-observed SPSC ring occupancy high-water mark",
+        )
+        .fetch_max(stats.high_water as i64);
+}
+
+fn run_threaded_inner(
+    config: FabricConfig,
+    states: Vec<StreamState>,
+    arrivals_per_slot: u64,
+    attach: impl FnOnce(&mut Fabric),
+) -> Result<(ThreadedReport, Fabric)> {
     assert_eq!(states.len(), config.slots, "one StreamState per slot");
     let slots = config.slots;
     let mut fabric = Fabric::new(config)?;
@@ -61,6 +138,7 @@ pub fn run_threaded(
         let period = st.request_period;
         fabric.load_stream(i, st, period)?;
     }
+    attach(&mut fabric);
 
     let (mut arr_tx, mut arr_rx) = spsc_ring::<ArrivalMsg>(4096);
     let (mut id_tx, mut id_rx) = spsc_ring::<u8>(4096);
@@ -129,6 +207,9 @@ pub fn run_threaded(
                 }
             }
         }
+        // The loop only exits once the producer disconnected, so its final
+        // ring stats are published and exact here.
+        (arr_rx.stats(), fabric)
     });
 
     // Transmitter runs on the calling thread.
@@ -151,16 +232,23 @@ pub fn run_threaded(
     }
 
     producer.join().expect("producer thread");
-    scheduler.join().expect("scheduler thread");
+    let (arr_ring, fabric) = scheduler.join().expect("scheduler thread");
+    // The scheduler has dropped its id_tx endpoint — its stats are final.
+    let id_ring = id_rx.stats();
 
     let wall_seconds = start.elapsed().as_secs_f64();
     let total: u64 = per_slot.iter().sum();
-    Ok(ThreadedReport {
-        per_slot,
-        total,
-        wall_seconds,
-        pps: total as f64 / wall_seconds,
-    })
+    Ok((
+        ThreadedReport {
+            per_slot,
+            total,
+            wall_seconds,
+            pps: total as f64 / wall_seconds,
+            arr_ring,
+            id_ring,
+        },
+        fabric,
+    ))
 }
 
 /// Convenience: an EDF fabric of `slots` always-backlogged streams
@@ -196,6 +284,51 @@ mod tests {
             assert_eq!(count, 2_000, "slot {slot}");
         }
         assert!(report.pps > 0.0);
+        // Transmission conservation, now visible end to end: every arrival
+        // entered the arrival ring and every winner ID left the ID ring.
+        assert_eq!(report.arr_ring.pushes, 8_000);
+        assert_eq!(report.id_ring.pushes, 8_000);
+        assert!(report.arr_ring.high_water <= report.arr_ring.capacity);
+        assert!(report.id_ring.high_water >= 1);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn instrumented_run_publishes_metrics_and_qos() {
+        use ss_telemetry::{MetricValue, Registry};
+        let registry = Registry::new();
+        let config = FabricConfig::edf(4, FabricConfigKind::WinnerOnly);
+        let states = (0..4)
+            .map(|_| StreamState {
+                request_period: 4,
+                original_window: ss_types::WindowConstraint::ZERO,
+                static_prio: 0,
+                late_policy: LatePolicy::ServeLate,
+            })
+            .collect();
+        let (report, qos) =
+            run_threaded_instrumented(config, states, 500, &registry, 128).unwrap();
+        assert_eq!(report.total, 2_000);
+        assert_eq!(qos.streams.len(), 4);
+        let qos_serviced: u64 = qos.streams.iter().map(|s| s.serviced).sum();
+        assert_eq!(qos_serviced, 2_000);
+        assert!(qos.service_fairness() > 0.9, "EDF round-robins equally");
+        let snap = registry.snapshot();
+        let pushes: u64 = snap
+            .metrics
+            .iter()
+            .filter(|m| m.name == "ss_endsystem_ring_pushes_total")
+            .map(|m| match m.value {
+                MetricValue::Counter(c) => c,
+                _ => panic!("counter expected"),
+            })
+            .sum();
+        assert_eq!(pushes, 4_000, "both rings carried every packet");
+        assert!(snap
+            .metrics
+            .iter()
+            .any(|m| m.name == "ss_fabric_decision_cycles_total"));
+        assert!(snap.to_prometheus().contains("ss_endsystem_ring_high_water"));
     }
 
     #[test]

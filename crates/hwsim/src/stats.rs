@@ -6,6 +6,8 @@
 //!   yields a bandwidth-over-time series (Figure 8/10 allocations).
 //! * [`TimeSeries`] — ordered (x, y) samples with CSV export, the common
 //!   output format of every `exp_*` binary.
+//! * [`Summary`] — Welford mean/variance accumulator, re-exported from
+//!   `ss-telemetry` (the canonical home since the telemetry crate landed).
 
 use serde::{Deserialize, Serialize};
 use ss_types::Nanos;
@@ -97,6 +99,30 @@ impl Histogram {
     /// Exact maximum, or `None` when empty.
     pub fn max(&self) -> Option<u64> {
         (self.count > 0).then_some(self.max)
+    }
+
+    /// Exports the histogram in the workspace-wide telemetry schema:
+    /// occupied buckets keyed by their floor value (strictly ascending, by
+    /// construction of `bucket_floor`), so hwsim measurement artifacts and
+    /// live scheduler metrics serialize identically.
+    pub fn snapshot(&self) -> ss_telemetry::HistogramSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &count)| count > 0)
+            .map(|(idx, &count)| ss_telemetry::Bucket {
+                lower: Self::bucket_floor(idx),
+                count,
+            })
+            .collect();
+        ss_telemetry::HistogramSnapshot {
+            count: self.count,
+            sum: u64::try_from(self.sum).unwrap_or(u64::MAX),
+            min: (self.count > 0).then_some(self.min),
+            max: (self.count > 0).then_some(self.max),
+            buckets,
+        }
     }
 
     /// Approximate `q`-quantile (`0.0..=1.0`); resolution ~6%.
@@ -233,6 +259,12 @@ impl TimeSeries {
     }
 }
 
+/// The Welford mean/variance accumulator, re-exported from the telemetry
+/// crate so the whole workspace shares one summary-statistics schema. It
+/// originated here; `ss-telemetry` is now the canonical home (its
+/// [`Summary::snapshot`] feeds the exporter pipeline).
+pub use ss_telemetry::Summary;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,6 +341,30 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_round_trips_through_telemetry_schema() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 4, 100] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.sum, 110);
+        assert_eq!(snap.min, Some(1));
+        assert_eq!(snap.max, Some(100));
+        assert_eq!(snap.buckets.iter().map(|b| b.count).sum::<u64>(), 5);
+        // Strictly ascending floors, each at or below its observation.
+        for pair in snap.buckets.windows(2) {
+            assert!(pair[0].lower < pair[1].lower);
+        }
+        // Quantiles agree between the live histogram and its snapshot —
+        // both report the floor of the bucket holding the q-th sample.
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            assert_eq!(h.quantile(q), snap.quantile(q), "q={q}");
+        }
+        assert_eq!(Histogram::new().snapshot(), Default::default());
+    }
+
+    #[test]
     fn rate_meter_bins_and_rates() {
         // 1 ms windows; 1000 bytes at t=0.5ms and 3000 at t=1.5ms.
         let mut m = RateMeter::new(1_000_000);
@@ -351,100 +407,5 @@ mod tests {
         let ts = TimeSeries::new("t", "v");
         assert_eq!(ts.mean_y(), None);
         assert!(ts.is_empty());
-    }
-}
-
-/// Streaming mean/variance accumulator (Welford's algorithm): exact mean
-/// and unbiased standard deviation without storing samples.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
-pub struct Summary {
-    count: u64,
-    mean: f64,
-    m2: f64,
-    min: f64,
-    max: f64,
-}
-
-impl Summary {
-    /// Creates an empty accumulator.
-    pub fn new() -> Self {
-        Self { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
-    }
-
-    /// Records one observation.
-    pub fn record(&mut self, value: f64) {
-        self.count += 1;
-        let delta = value - self.mean;
-        self.mean += delta / self.count as f64;
-        self.m2 += delta * (value - self.mean);
-        self.min = self.min.min(value);
-        self.max = self.max.max(value);
-    }
-
-    /// Number of observations.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean (`None` when empty).
-    pub fn mean(&self) -> Option<f64> {
-        (self.count > 0).then_some(self.mean)
-    }
-
-    /// Sample standard deviation (`None` with fewer than two samples).
-    pub fn std_dev(&self) -> Option<f64> {
-        (self.count > 1).then(|| (self.m2 / (self.count - 1) as f64).sqrt())
-    }
-
-    /// Minimum (`None` when empty).
-    pub fn min(&self) -> Option<f64> {
-        (self.count > 0).then_some(self.min)
-    }
-
-    /// Maximum (`None` when empty).
-    pub fn max(&self) -> Option<f64> {
-        (self.count > 0).then_some(self.max)
-    }
-}
-
-#[cfg(test)]
-mod summary_tests {
-    use super::*;
-
-    #[test]
-    fn matches_two_pass_computation() {
-        let samples = [3.0f64, 7.0, 7.0, 19.0, 24.0, 1.5];
-        let mut s = Summary::new();
-        for &v in &samples {
-            s.record(v);
-        }
-        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
-            / (samples.len() - 1) as f64;
-        assert!((s.mean().unwrap() - mean).abs() < 1e-12);
-        assert!((s.std_dev().unwrap() - var.sqrt()).abs() < 1e-12);
-        assert_eq!(s.min(), Some(1.5));
-        assert_eq!(s.max(), Some(24.0));
-        assert_eq!(s.count(), 6);
-    }
-
-    #[test]
-    fn empty_and_single_sample_edge_cases() {
-        let mut s = Summary::new();
-        assert_eq!(s.mean(), None);
-        assert_eq!(s.std_dev(), None);
-        assert_eq!(s.min(), None);
-        s.record(5.0);
-        assert_eq!(s.mean(), Some(5.0));
-        assert_eq!(s.std_dev(), None, "need two samples for std dev");
-    }
-
-    #[test]
-    fn constant_stream_has_zero_deviation() {
-        let mut s = Summary::new();
-        for _ in 0..1000 {
-            s.record(42.0);
-        }
-        assert!(s.std_dev().unwrap().abs() < 1e-12);
     }
 }

@@ -59,6 +59,50 @@ enum Cmd {
     Batch(u64),
 }
 
+/// Frontend instrumentation shared by the inline and threaded drive modes
+/// (`telemetry` feature): per-shard winner counters, an idle-cycle counter,
+/// and the merge-latency histogram. Handles are `Arc`-backed, so the struct
+/// moves freely between the scheduler and its threaded runtime.
+#[cfg(feature = "telemetry")]
+#[derive(Debug)]
+struct ShardedTelemetry {
+    shard_wins: Vec<ss_telemetry::Counter>,
+    idle_cycles: ss_telemetry::Counter,
+    merge_latency: ss_telemetry::Histogram,
+}
+
+#[cfg(feature = "telemetry")]
+impl ShardedTelemetry {
+    fn new(registry: &ss_telemetry::Registry, shards: usize) -> Self {
+        let shard_wins = (0..shards)
+            .map(|k| {
+                let s = k.to_string();
+                registry.counter_labeled(
+                    "ss_sharded_shard_wins_total",
+                    &[("shard", &s)],
+                    "Global decision cycles won by this shard's proposal",
+                )
+            })
+            .collect();
+        Self {
+            shard_wins,
+            idle_cycles: registry.counter(
+                "ss_sharded_idle_cycles_total",
+                "Global decision cycles in which every shard was idle",
+            ),
+            merge_latency: registry.histogram(
+                "ss_sharded_merge_latency_ns",
+                "Nanoseconds spent in the cross-shard winner merge",
+            ),
+        }
+    }
+
+    fn fairness(&self) -> f64 {
+        let wins: Vec<u64> = self.shard_wins.iter().map(|c| c.value()).collect();
+        ss_telemetry::jain_fairness(&wins)
+    }
+}
+
 /// The sharded frontend: K fabric shards plus the comparator merge.
 pub struct ShardedScheduler {
     shards: Vec<Fabric>,
@@ -66,6 +110,8 @@ pub struct ShardedScheduler {
     total_slots: usize,
     mode: ComparisonMode,
     decision_count: u64,
+    #[cfg(feature = "telemetry")]
+    telem: Option<ShardedTelemetry>,
 }
 
 impl ShardedScheduler {
@@ -84,7 +130,7 @@ impl ShardedScheduler {
                 "sharded frontend requires a WinnerOnly fabric (winner-merge)".into(),
             ));
         }
-        if shards == 0 || config.slots % shards != 0 {
+        if shards == 0 || !config.slots.is_multiple_of(shards) {
             return Err(Error::Config(format!(
                 "shard count {shards} must divide the slot count {}",
                 config.slots
@@ -110,7 +156,48 @@ impl ShardedScheduler {
             total_slots: config.slots,
             mode: config.mode,
             decision_count: 0,
+            #[cfg(feature = "telemetry")]
+            telem: None,
         })
+    }
+
+    /// Attaches telemetry to the frontend and every shard fabric
+    /// (`telemetry` feature). Each shard registers its fabric metrics under
+    /// a `shard="<k>"` label; the frontend adds per-shard winner counters,
+    /// an idle-cycle counter and the merge-latency histogram. Call before
+    /// [`ShardedScheduler::into_threaded`] — the instrumentation moves onto
+    /// the workers with the fabrics.
+    #[cfg(feature = "telemetry")]
+    pub fn attach_telemetry(&mut self, registry: &ss_telemetry::Registry, trace_capacity: usize) {
+        for (k, fabric) in self.shards.iter_mut().enumerate() {
+            fabric.attach_telemetry(registry, k as u16, trace_capacity);
+        }
+        self.telem = Some(ShardedTelemetry::new(registry, self.shards.len()));
+    }
+
+    /// Jain's fairness index over per-shard global-cycle wins, or `None`
+    /// before [`ShardedScheduler::attach_telemetry`]. 1.0 means every shard
+    /// wins equally often; 1/K means one shard monopolizes the link.
+    #[cfg(feature = "telemetry")]
+    pub fn shard_fairness(&self) -> Option<f64> {
+        self.telem.as_ref().map(ShardedTelemetry::fairness)
+    }
+
+    /// Per-stream QoS accounting across all shards, with slot IDs remapped
+    /// to global coordinates (`telemetry` feature).
+    #[cfg(feature = "telemetry")]
+    pub fn qos_snapshot(&self) -> ss_telemetry::QosSet {
+        let mut set = ss_telemetry::QosSet {
+            decision_cycles: self.decision_count,
+            streams: Vec::with_capacity(self.total_slots),
+        };
+        for (k, fabric) in self.shards.iter().enumerate() {
+            for mut row in fabric.qos_snapshot().streams {
+                row.slot = (k * self.per_shard + row.slot as usize) as u8;
+                set.streams.push(row);
+            }
+        }
+        set
     }
 
     /// Number of shards.
@@ -226,7 +313,19 @@ impl ShardedScheduler {
     /// packet-time.
     pub fn decision_cycle(&mut self) -> Option<ScheduledPacket> {
         self.decision_count += 1;
+        // Clock reads only happen when instrumentation is attached, so the
+        // detached (and feature-off) hot path never calls `Instant::now`.
+        #[cfg(feature = "telemetry")]
+        let merge_start = self.telem.as_ref().map(|_| std::time::Instant::now());
         let winner = self.merge_pick();
+        #[cfg(feature = "telemetry")]
+        if let (Some(t0), Some(tm)) = (merge_start, self.telem.as_ref()) {
+            tm.merge_latency.record(t0.elapsed().as_nanos() as u64);
+            match winner {
+                Some(k) => tm.shard_wins[k].inc(),
+                None => tm.idle_cycles.inc(),
+            }
+        }
         let mut out = None;
         for k in 0..self.shards.len() {
             if Some(k) == winner {
@@ -303,6 +402,8 @@ pub struct ThreadedShards {
     mode: ComparisonMode,
     /// Per-cycle merge scratch (≤ K entries), reused across cycles.
     merge_scratch: Vec<(StreamAttrs, ScheduledPacket, usize)>,
+    #[cfg(feature = "telemetry")]
+    telem: Option<ShardedTelemetry>,
 }
 
 impl ThreadedShards {
@@ -311,6 +412,8 @@ impl ThreadedShards {
         let total_slots = sched.total_slots;
         let mode = sched.mode;
         let shard_count = sched.shards.len();
+        #[cfg(feature = "telemetry")]
+        let telem = sched.telem;
         let links = sched
             .shards
             .into_iter()
@@ -363,12 +466,23 @@ impl ThreadedShards {
             total_slots,
             mode,
             merge_scratch: Vec::with_capacity(shard_count),
+            #[cfg(feature = "telemetry")]
+            telem,
         }
     }
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.links.len()
+    }
+
+    /// Jain's fairness index over per-shard lane services, or `None` if the
+    /// source scheduler was never instrumented. In threaded mode every
+    /// non-idle shard services its own lane each cycle, so this measures
+    /// how evenly the offered load spreads across shards.
+    #[cfg(feature = "telemetry")]
+    pub fn shard_fairness(&self) -> Option<f64> {
+        self.telem.as_ref().map(ShardedTelemetry::fairness)
     }
 
     /// Routes one arrival to its shard's ring. Fails with `QueueFull` if
@@ -434,6 +548,11 @@ impl ThreadedShards {
                     self.merge_scratch.push((proposal.word, p, k));
                 }
             }
+            // The merge latency window covers ordering and emission only —
+            // the proposal spin-wait above measures worker speed, not the
+            // comparator tree. Timed only when instrumentation is attached.
+            #[cfg(feature = "telemetry")]
+            let merge_start = self.telem.as_ref().map(|_| std::time::Instant::now());
             // Insertion sort by the merge order — K ≤ 16, and the scratch
             // is already in ascending shard order so slot ties stay put.
             let scratch = &mut self.merge_scratch;
@@ -454,6 +573,17 @@ impl ThreadedShards {
                     slot: SlotId::new_unchecked((k * per_shard + p.slot.index()) as u8),
                     ..p
                 });
+            }
+            #[cfg(feature = "telemetry")]
+            if let (Some(t0), Some(tm)) = (merge_start, self.telem.as_ref()) {
+                tm.merge_latency.record(t0.elapsed().as_nanos() as u64);
+                if self.merge_scratch.is_empty() {
+                    tm.idle_cycles.inc();
+                } else {
+                    for &(_, _, k) in self.merge_scratch.iter() {
+                        tm.shard_wins[k].inc();
+                    }
+                }
             }
         }
         report
@@ -616,6 +746,92 @@ mod tests {
         assert!(t.push_arrival(9, Wrap16(0)).is_err());
         let report = t.run_cycles(4);
         assert_eq!(report.packets.len(), 4, "one packet per slot");
+        t.join();
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn telemetry_counts_inline_wins_and_fairness() {
+        // Interleave deadlines across the shard boundary — shard 0 holds
+        // the odd deadlines 1,3,5,7 and shard 1 the even 2,4,6,8 — with one
+        // arrival per slot, so the 8 winners alternate shards: 4 wins each.
+        let mut s =
+            ShardedScheduler::new(FabricConfig::edf(8, FabricConfigKind::WinnerOnly), 2).unwrap();
+        for g in 0..8 {
+            let deadline = if g < 4 { 2 * g + 1 } else { 2 * (g - 4) + 2 };
+            s.load_stream(g, edf_state(1), deadline as u64).unwrap();
+            s.push_arrival(g, Wrap16(0)).unwrap();
+        }
+        assert_eq!(s.shard_fairness(), None, "detached until attach");
+        let registry = ss_telemetry::Registry::new();
+        s.attach_telemetry(&registry, 16);
+        for _ in 0..8 {
+            s.decision_cycle().expect("backlogged");
+        }
+        let fairness = s.shard_fairness().expect("attached");
+        assert!((fairness - 1.0).abs() < 1e-9, "balanced wins: {fairness}");
+        let snap = registry.snapshot();
+        let wins: Vec<u64> = ["0", "1"]
+            .iter()
+            .map(|k| {
+                snap.metrics
+                    .iter()
+                    .find(|m| {
+                        m.name == "ss_sharded_shard_wins_total"
+                            && m.labels.iter().any(|(_, v)| v == k)
+                    })
+                    .and_then(|m| match m.value {
+                        ss_telemetry::MetricValue::Counter(c) => Some(c),
+                        _ => None,
+                    })
+                    .expect("win counter")
+            })
+            .collect();
+        assert_eq!(wins, vec![4, 4]);
+        assert!(
+            snap.metrics
+                .iter()
+                .any(|m| m.name == "ss_sharded_merge_latency_ns"),
+            "merge latency registered"
+        );
+        // Shard fabrics were attached with shard labels: global QoS rows
+        // cover all 8 slots with one win each.
+        let qos = s.qos_snapshot();
+        assert_eq!(qos.streams.len(), 8);
+        let mut slots: Vec<u8> = qos.streams.iter().map(|r| r.slot).collect();
+        slots.sort_unstable();
+        assert_eq!(slots, (0..8).collect::<Vec<u8>>(), "global slot remap");
+        for row in &qos.streams {
+            assert_eq!(row.wins, 1, "slot {} wins", row.slot);
+        }
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn telemetry_survives_into_threaded() {
+        let registry = ss_telemetry::Registry::new();
+        let mut s = backlogged(8, 4, 10);
+        s.attach_telemetry(&registry, 8);
+        let mut t = s.into_threaded(1024);
+        // 4 shards × 2 slots × 10 arrivals: each shard services one packet
+        // per cycle, so 10 cycles drain 40 packets.
+        let report = t.run_cycles(10);
+        assert_eq!(report.packets.len(), 40);
+        // Every shard serviced its lane every cycle: 10 wins apiece.
+        let fairness = t.shard_fairness().expect("carried across spawn");
+        assert!((fairness - 1.0).abs() < 1e-9, "lane fairness: {fairness}");
+        let snap = registry.snapshot();
+        let merge = snap
+            .metrics
+            .iter()
+            .find(|m| m.name == "ss_sharded_merge_latency_ns")
+            .expect("merge histogram");
+        match &merge.value {
+            ss_telemetry::MetricValue::Histogram(h) => {
+                assert_eq!(h.count, 10, "one merge per cycle")
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
         t.join();
     }
 }

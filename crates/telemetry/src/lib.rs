@@ -1,0 +1,61 @@
+//! Observability for the ShareStreams fabric, endsystem, and sharded
+//! frontends — built so it can run under heavy traffic without perturbing
+//! the allocation-free hot path.
+//!
+//! The paper evaluates ShareStreams entirely through externally observed
+//! quantities — decision-cycle latency, winner throughput, per-stream
+//! window-constraint violations (Table 3), PCI transfer cost. This crate
+//! makes those quantities first-class at runtime:
+//!
+//! * [`metrics`] — a lock-free metric registry with monotonic
+//!   [`Counter`]s, [`Gauge`]s, and log2-bucketed [`Histogram`]s. Hot-path
+//!   updates are relaxed atomic adds striped across per-thread cells (no
+//!   shared cache line between recording threads); stripes are merged only
+//!   on [`Registry::snapshot`].
+//! * [`ring`] — [`EventRing`], a fixed-capacity, drop-counting trace ring
+//!   for decision-cycle events (cycle number, winner slot, FSM state
+//!   transitions LOAD→SCHEDULE↔PRIORITY_UPDATE, shard ID). Steady state
+//!   never allocates: the ring overwrites its oldest entry and counts the
+//!   overwrite.
+//! * [`qos`] — per-stream QoS accounting matching the paper's Table 3
+//!   quantities: deadlines met/missed, window-constraint (x/y) violations,
+//!   and winner-selection latency in decision cycles.
+//! * [`snapshot`] — the one reporting schema ([`Snapshot`],
+//!   [`HistogramSnapshot`], [`SummarySnapshot`]) shared by the live
+//!   schedulers and the `ss-hwsim` measurement instruments, with JSON and
+//!   Prometheus-text exporters.
+//! * [`stats`] — [`Summary`], the Welford mean/variance accumulator
+//!   (moved here from `ss-hwsim` so both report through one schema).
+//!
+//! # Feature gating
+//!
+//! This crate always compiles its real types. The *consumers* (`ss-core`,
+//! `ss-endsystem`, `ss-sharded`, the `sharestreams` facade) each expose a
+//! `telemetry` cargo feature; with the feature off their instrumentation
+//! shims compile to inlined empty functions on zero-sized types, so the
+//! decision core's zero-allocation guarantees and throughput are exactly
+//! the uninstrumented build's. `tests/zero_alloc.rs` additionally proves
+//! the *enabled* path allocates nothing in steady state.
+//!
+//! # Metric naming
+//!
+//! Metrics follow the Prometheus convention
+//! `ss_<layer>_<quantity>_<unit>`, e.g. `ss_fabric_decision_cycles_total`,
+//! `ss_sharded_merge_latency_ns`. Per-shard series carry a
+//! `shard="<k>"` label.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod qos;
+pub mod ring;
+pub mod snapshot;
+pub mod stats;
+
+pub use metrics::{Counter, Gauge, Histogram, LocalHistogram, Registry};
+pub use qos::{jain_fairness, QosSet, StreamQos, WinLatencyTracker};
+pub use ring::{EventRing, FsmPhase, TraceEvent, TraceKind};
+pub use snapshot::{
+    Bucket, HistogramSnapshot, MetricSnapshot, MetricValue, Snapshot, SummarySnapshot,
+};
+pub use stats::Summary;

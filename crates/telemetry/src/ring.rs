@@ -1,0 +1,237 @@
+//! Fixed-capacity, drop-counting trace ring for decision-cycle events.
+//!
+//! The ring is owned by one recorder (a fabric, a shard worker): pushes
+//! are plain stores into a preallocated buffer, so the steady state never
+//! allocates. When full, the *oldest* event is overwritten and the
+//! overwrite is counted — the ring always holds the most recent
+//! `capacity` events and [`EventRing::dropped`] says how many the window
+//! lost, so a reader can tell a complete trace from a truncated one.
+
+use serde::{Deserialize, Serialize};
+
+/// Control-FSM phase, as circulated in trace events. Mirrors
+/// `ss_core::FsmState` without the schedule-pass payload (the pass count
+/// is a config constant; the transition sequence is what Figure 6 shows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FsmPhase {
+    /// Loading Register Base blocks.
+    Load,
+    /// Driving the shuffle-exchange network.
+    Schedule,
+    /// Circulating the winner ID.
+    PriorityUpdate,
+}
+
+/// What happened, attached to a cycle number and shard ID in
+/// [`TraceEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// The control FSM moved between phases.
+    Fsm {
+        /// Phase left.
+        from: FsmPhase,
+        /// Phase entered.
+        to: FsmPhase,
+    },
+    /// A WR decision selected this slot (shard-local ID).
+    Winner {
+        /// Winning slot.
+        slot: u8,
+    },
+    /// A BA decision transmitted a block of this many packets.
+    Block {
+        /// Packets in the block transaction.
+        len: u8,
+    },
+    /// A decision cycle found every slot idle.
+    Idle,
+    /// A loser/expiry pass expired this many waiting head packets.
+    Expired {
+        /// Slots whose head packet missed its deadline this cycle.
+        slots: u8,
+    },
+}
+
+/// One trace event: when (decision cycle), where (shard), what (kind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Decision-cycle number at the recording fabric.
+    pub cycle: u64,
+    /// Shard ID of the recording fabric (0 for unsharded).
+    pub shard: u16,
+    /// The event.
+    pub kind: TraceKind,
+}
+
+/// The fixed-capacity, drop-counting event ring.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    buf: Vec<TraceEvent>,
+    cap: usize,
+    /// Index of the oldest event once the buffer has wrapped.
+    head: usize,
+    /// Events lost to overwrite.
+    dropped: u64,
+    /// Events ever pushed.
+    total: u64,
+}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events. The buffer is allocated
+    /// here, once; pushes never allocate.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "event ring capacity must be positive");
+        Self {
+            buf: Vec::with_capacity(capacity),
+            cap: capacity,
+            head: 0,
+            dropped: 0,
+            total: 0,
+        }
+    }
+
+    /// Records an event, overwriting (and counting) the oldest when full.
+    #[inline]
+    pub fn push(&mut self, event: TraceEvent) {
+        self.total += 1;
+        if self.buf.len() < self.cap {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Events lost to overwrite since creation (or the last
+    /// [`EventRing::clear`]).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events ever recorded.
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Iterates the held events oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf[self.head..].iter().chain(self.buf[..self.head].iter())
+    }
+
+    /// Copies the held events (oldest → newest) into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<TraceEvent> {
+        self.iter().copied().collect()
+    }
+
+    /// Empties the ring and resets the drop/total counters.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+        self.dropped = 0;
+        self.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            shard: 0,
+            kind: TraceKind::Idle,
+        }
+    }
+
+    #[test]
+    fn fills_then_overwrites_oldest() {
+        let mut r = EventRing::with_capacity(3);
+        for c in 0..3 {
+            r.push(ev(c));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 0);
+        r.push(ev(3));
+        r.push(ev(4));
+        assert_eq!(r.len(), 3, "capacity is fixed");
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.total_recorded(), 5);
+        let cycles: Vec<u64> = r.iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![2, 3, 4], "keeps the most recent window");
+    }
+
+    #[test]
+    fn iteration_order_after_many_wraps() {
+        let mut r = EventRing::with_capacity(4);
+        for c in 0..103 {
+            r.push(ev(c));
+        }
+        let cycles: Vec<u64> = r.to_vec().iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![99, 100, 101, 102]);
+        assert_eq!(r.dropped(), 99);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut r = EventRing::with_capacity(2);
+        r.push(ev(1));
+        r.push(ev(2));
+        r.push(ev(3));
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.total_recorded(), 0);
+        r.push(ev(9));
+        assert_eq!(r.to_vec()[0].cycle, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        EventRing::with_capacity(0);
+    }
+
+    #[test]
+    fn steady_state_does_not_grow() {
+        let mut r = EventRing::with_capacity(8);
+        for c in 0..1000 {
+            r.push(ev(c));
+        }
+        assert_eq!(r.buf.capacity(), 8, "buffer never reallocates");
+    }
+
+    #[test]
+    fn events_serialize() {
+        let e = TraceEvent {
+            cycle: 7,
+            shard: 2,
+            kind: TraceKind::Fsm {
+                from: FsmPhase::Load,
+                to: FsmPhase::Schedule,
+            },
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: TraceEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+}

@@ -220,7 +220,7 @@ impl Arbitrary for f64 {
 impl<T: Arbitrary> Arbitrary for Option<T> {
     fn arbitrary(rng: &mut StdRng) -> Self {
         // ~1 in 4 None, matching proptest's weighted default closely enough.
-        if rng.next_u64() % 4 == 0 {
+        if rng.next_u64().is_multiple_of(4) {
             None
         } else {
             Some(T::arbitrary(rng))

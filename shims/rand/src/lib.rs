@@ -194,7 +194,7 @@ mod tests {
             let x = rng.gen_range(0.0..1.0);
             assert!((0.0..1.0).contains(&x));
             let y = rng.gen_range(f64::EPSILON..=1.0);
-            assert!(y >= f64::EPSILON && y <= 1.0);
+            assert!((f64::EPSILON..=1.0).contains(&y));
         }
     }
 

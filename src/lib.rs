@@ -53,6 +53,7 @@
 //! | [`sharded`] | scale-out frontend: K fabric shards with a Table-2 comparator winner-merge, inline (exact) and thread-per-shard modes |
 //! | [`linecard`] | switch line-card realization with dual-ported SRAM |
 //! | [`framework`] | Figure-1 feasibility reasoning |
+//! | `telemetry` | (cargo feature `telemetry`) lock-free metric registry, Table-3 QoS accounting, decision-cycle trace rings, JSON/Prometheus exporters |
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
 //! paper-vs-measured results; `cargo run -p ss-bench --bin run_all`
@@ -68,6 +69,8 @@ pub use ss_hwsim as hwsim;
 pub use ss_linecard as linecard;
 pub use ss_priorityq as priorityq;
 pub use ss_sharded as sharded;
+#[cfg(feature = "telemetry")]
+pub use ss_telemetry as telemetry;
 pub use ss_traffic as traffic;
 pub use ss_types as types;
 

@@ -86,22 +86,22 @@ fn assert_exact_equivalence(mode_label: &str, config: FabricConfig, shards: usiz
 #[test]
 fn inline_sharded_exactly_matches_single_fabric_edf() {
     let config = FabricConfig::edf(32, FabricConfigKind::WinnerOnly);
-    assert_exact_equivalence("edf", config, 2, 0xE0F_1);
-    assert_exact_equivalence("edf", config, 4, 0xE0F_2);
+    assert_exact_equivalence("edf", config, 2, 0xE0F1);
+    assert_exact_equivalence("edf", config, 4, 0xE0F2);
 }
 
 #[test]
 fn inline_sharded_exactly_matches_single_fabric_dwcs() {
     let config = FabricConfig::dwcs(32, FabricConfigKind::WinnerOnly);
-    assert_exact_equivalence("dwcs", config, 2, 0xD3C5_1);
-    assert_exact_equivalence("dwcs", config, 4, 0xD3C5_2);
+    assert_exact_equivalence("dwcs", config, 2, 0xD3C51);
+    assert_exact_equivalence("dwcs", config, 4, 0xD3C52);
 }
 
 #[test]
 fn inline_sharded_exactly_matches_single_fabric_service_tag() {
     let config = FabricConfig::service_tag(16, FabricConfigKind::WinnerOnly);
-    assert_exact_equivalence("service_tag", config, 2, 0x5EF_1);
-    assert_exact_equivalence("service_tag", config, 4, 0x5EF_2);
+    assert_exact_equivalence("service_tag", config, 2, 0x5EF1);
+    assert_exact_equivalence("service_tag", config, 4, 0x5EF2);
 }
 
 /// Threaded streamlet mode: a finite backlogged workload drains to the same

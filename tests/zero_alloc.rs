@@ -5,10 +5,15 @@
 //! its high-water capacity, thousands of decision cycles — WR, BA, batched,
 //! and the inline sharded merge — must leave the allocation counter
 //! untouched. This file holds exactly one `#[test]` so no sibling test
-//! thread can pollute the counter.
+//! thread can pollute the counter, and the counter itself is per-thread:
+//! the libtest harness thread occasionally allocates while the test runs
+//! (timing-dependent), and a process-wide count would misattribute that
+//! to the decision core. The thread-local is const-initialized and holds
+//! a plain `Cell<u64>`, so reading it inside the allocator neither lazily
+//! initializes TLS nor registers a destructor — no recursion.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 
 use sharestreams::core::{Fabric, LatePolicy, StreamState};
 use sharestreams::prelude::*;
@@ -16,19 +21,25 @@ use sharestreams::sharded::ShardedScheduler;
 
 struct CountingAlloc;
 
-static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    static ALLOC_CALLS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump() {
+    ALLOC_CALLS.with(|c| c.set(c.get() + 1));
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        bump();
         System.alloc(layout)
     }
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        bump();
         System.alloc_zeroed(layout)
     }
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        bump();
         System.realloc(ptr, layout, new_size)
     }
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
@@ -40,7 +51,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static COUNTING: CountingAlloc = CountingAlloc;
 
 fn allocations() -> u64 {
-    ALLOC_CALLS.load(Ordering::Relaxed)
+    ALLOC_CALLS.with(|c| c.get())
 }
 
 fn edf_state() -> StreamState {
@@ -118,8 +129,8 @@ fn steady_state_decision_cycles_do_not_allocate() {
 
     // --- Batched API with a preallocated sink ---
     let mut batch = backlogged(SLOTS, FabricConfigKind::Base, DEPTH);
-    let mut sink: Vec<ScheduledPacket> = Vec::new();
-    sink.reserve((MEASURED as usize + WARMUP as usize) * SLOTS);
+    let mut sink: Vec<ScheduledPacket> =
+        Vec::with_capacity((MEASURED as usize + WARMUP as usize) * SLOTS);
     batch.decision_cycles(WARMUP, &mut sink);
     let before = allocations();
     batch.decision_cycles(MEASURED / 10, &mut sink);
@@ -156,4 +167,64 @@ fn steady_state_decision_cycles_do_not_allocate() {
         0,
         "sharded inline decision_cycle allocated in steady state"
     );
+
+    // --- Attached telemetry: hooks and periodic flushes stay heap-free ---
+    // All instrumentation buffers (trace ring, latency tracker, registry
+    // entries) are allocated at attach time; the measured span crosses the
+    // 4096-decision auto-flush boundary, so the counter also proves the
+    // local-accumulator drain into the striped registry never allocates.
+    #[cfg(feature = "telemetry")]
+    {
+        let registry = sharestreams::telemetry::Registry::new();
+        let mut wr = backlogged(SLOTS, FabricConfigKind::WinnerOnly, DEPTH);
+        wr.attach_telemetry(&registry, 0, 256);
+        for _ in 0..WARMUP {
+            wr.decision_cycle_into();
+            refill(&mut wr, &mut tag);
+        }
+        let before = allocations();
+        for _ in 0..MEASURED {
+            wr.decision_cycle_into();
+            refill(&mut wr, &mut tag);
+        }
+        wr.flush_telemetry();
+        assert_eq!(
+            allocations() - before,
+            0,
+            "attached WR decision_cycle_into allocated in steady state"
+        );
+
+        let mut sharded =
+            ShardedScheduler::new(FabricConfig::edf(SLOTS, FabricConfigKind::WinnerOnly), 4)
+                .unwrap();
+        for s in 0..SLOTS {
+            sharded.load_stream(s, edf_state(), (s + 1) as u64).unwrap();
+            for a in 0..DEPTH {
+                sharded.push_arrival(s, Wrap16::from_wide(a as u64)).unwrap();
+            }
+        }
+        sharded.attach_telemetry(&registry, 256);
+        for _ in 0..WARMUP {
+            if let Some(p) = sharded.decision_cycle() {
+                tag += 1;
+                sharded
+                    .push_arrival(p.slot.index(), Wrap16::from_wide(tag))
+                    .unwrap();
+            }
+        }
+        let before = allocations();
+        for _ in 0..MEASURED {
+            if let Some(p) = sharded.decision_cycle() {
+                tag += 1;
+                sharded
+                    .push_arrival(p.slot.index(), Wrap16::from_wide(tag))
+                    .unwrap();
+            }
+        }
+        assert_eq!(
+            allocations() - before,
+            0,
+            "attached sharded decision_cycle allocated in steady state"
+        );
+    }
 }
