@@ -41,7 +41,8 @@ fn bench_scheduler_core(c: &mut Criterion) {
     const BATCH: usize = 64;
     group.throughput(Throughput::Elements(BATCH as u64));
     for slots in [4usize, 16] {
-        let mut fabric = Fabric::new(FabricConfig::dwcs(slots, FabricConfigKind::WinnerOnly)).unwrap();
+        let mut fabric =
+            Fabric::new(FabricConfig::dwcs(slots, FabricConfigKind::WinnerOnly)).unwrap();
         for s in 0..slots {
             fabric
                 .load_stream(

@@ -111,9 +111,11 @@ fn bench_sharded(c: &mut Criterion) {
     let mut group = c.benchmark_group("fabric/sharded_inline");
     let slots = 32usize;
     for shards in [1usize, 2, 4, 8] {
-        let mut sharded =
-            ShardedScheduler::new(FabricConfig::dwcs(slots, FabricConfigKind::WinnerOnly), shards)
-                .unwrap();
+        let mut sharded = ShardedScheduler::new(
+            FabricConfig::dwcs(slots, FabricConfigKind::WinnerOnly),
+            shards,
+        )
+        .unwrap();
         for s in 0..slots {
             sharded
                 .load_stream(

@@ -104,7 +104,9 @@ impl SeedFabric {
             registers: (0..config.slots)
                 .map(|i| RegisterBaseBlock::new(SlotId::new_unchecked(i as u8)))
                 .collect(),
-            decisions: (0..config.slots / 2).map(|_| DecisionBlock::new()).collect(),
+            decisions: (0..config.slots / 2)
+                .map(|_| DecisionBlock::new())
+                .collect(),
             fsm: ControlFsm::new(config.slots.trailing_zeros() as u8, config.priority_update),
             updater: DwcsUpdater,
             now: 0,
@@ -244,7 +246,8 @@ fn zero_alloc_decisions_per_s(slots: usize, kind: FabricConfigKind) -> f64 {
     best_of(|| {
         let mut f = Fabric::new(FabricConfig::dwcs(slots, kind)).unwrap();
         for s in 0..slots {
-            f.load_stream(s, stream_state(slots), (s + 1) as u64).unwrap();
+            f.load_stream(s, stream_state(slots), (s + 1) as u64)
+                .unwrap();
             for q in 0..CYCLES {
                 f.push_arrival(s, Wrap16::from_wide(q)).unwrap();
             }
@@ -262,9 +265,11 @@ fn zero_alloc_decisions_per_s(slots: usize, kind: FabricConfigKind) -> f64 {
 /// `C * shards` decisions.
 fn sharded_aggregate_decisions_per_s(slots: usize, shards: usize) -> f64 {
     best_of(|| {
-        let mut sharded =
-            ShardedScheduler::new(FabricConfig::dwcs(slots, FabricConfigKind::WinnerOnly), shards)
-                .unwrap();
+        let mut sharded = ShardedScheduler::new(
+            FabricConfig::dwcs(slots, FabricConfigKind::WinnerOnly),
+            shards,
+        )
+        .unwrap();
         for s in 0..slots {
             sharded
                 .load_stream(s, stream_state(slots), (s + 1) as u64)
@@ -313,6 +318,20 @@ struct Checks {
     sharded_scaling_at_32_4shards: f64,
 }
 
+/// Faults-off regression guard: the zero-alloc numbers measured by this run
+/// compared row-by-row against the previous artifact. With the `faults`
+/// feature off every injection hook is a zero-sized no-op, so the ratio must
+/// stay within noise of 1.0; `SS_BENCH_ENFORCE=1` turns a violation into a
+/// hard failure (the CI sanity leg sets it).
+#[derive(Debug, Serialize)]
+struct FaultsOffSanity {
+    faults_compiled: bool,
+    baseline_found: bool,
+    min_ratio_vs_baseline: f64,
+    threshold: f64,
+    pass: bool,
+}
+
 #[derive(Debug, Serialize)]
 struct Report {
     cycles_per_run: u64,
@@ -320,6 +339,58 @@ struct Report {
     single_thread: Vec<SingleThreadRow>,
     sharded: Vec<ShardedRow>,
     checks: Checks,
+    faults_off_sanity: FaultsOffSanity,
+}
+
+/// Reads the previous artifact's zero-alloc rows and returns the smallest
+/// current/baseline throughput ratio across matching (slots, kind) rows.
+fn faults_off_sanity(path: &std::path::Path, single: &[SingleThreadRow]) -> FaultsOffSanity {
+    const THRESHOLD: f64 = 0.75;
+    let faults_compiled = cfg!(feature = "faults");
+    let baseline: Option<serde_json::Value> = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok());
+    let mut min_ratio = f64::INFINITY;
+    let mut matched = false;
+    if let Some(rows) = baseline
+        .as_ref()
+        .and_then(|v| v.get("single_thread"))
+        .and_then(|v| v.as_array())
+    {
+        for row in rows {
+            let (Some(slots), Some(kind), Some(prev)) = (
+                row.get("slots").and_then(|v| v.as_u64()),
+                row.get("kind").and_then(|v| v.as_str()),
+                row.get("zero_alloc_decisions_per_s")
+                    .and_then(|v| v.as_f64()),
+            ) else {
+                continue;
+            };
+            let Some(cur) = single
+                .iter()
+                .find(|r| r.slots as u64 == slots && r.kind == kind)
+            else {
+                continue;
+            };
+            if prev > 0.0 {
+                matched = true;
+                min_ratio = min_ratio.min(cur.zero_alloc_decisions_per_s / prev);
+            }
+        }
+    }
+    if !matched {
+        min_ratio = 1.0;
+    }
+    // A faults-on build measures the (cheap but nonzero) injected hooks, so
+    // only the faults-off configuration owes the baseline a flat profile.
+    let pass = faults_compiled || !matched || min_ratio >= THRESHOLD;
+    FaultsOffSanity {
+        faults_compiled,
+        baseline_found: matched,
+        min_ratio_vs_baseline: min_ratio,
+        threshold: THRESHOLD,
+        pass,
+    }
 }
 
 fn main() {
@@ -394,6 +465,27 @@ fn main() {
     println!("    single-thread speedup @ 32 slots: {best_speedup_32:.2}x (target ≥ 2x)");
     println!("    sharded scaling @ 32 slots, 4 shards: {scaling_32_4:.2}x (target ≥ 3x)");
 
+    // The trajectory artifact lives at the workspace root (ISSUE contract),
+    // unlike the lowercase per-figure artifacts under results/.
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_decision_core.json");
+
+    let sanity = faults_off_sanity(&path, &single);
+    println!(
+        "    faults-off sanity vs baseline: min ratio {:.2} (threshold {:.2}, faults {}) → {}",
+        sanity.min_ratio_vs_baseline,
+        sanity.threshold,
+        if sanity.faults_compiled { "on" } else { "off" },
+        if sanity.pass { "pass" } else { "FAIL" },
+    );
+    let enforce = std::env::var("SS_BENCH_ENFORCE").is_ok_and(|v| v == "1");
+    assert!(
+        sanity.pass || !enforce,
+        "faults-off throughput regressed below {:.2}x of the committed baseline",
+        sanity.threshold
+    );
+
     let report = Report {
         cycles_per_run: CYCLES,
         reps: REPS,
@@ -403,12 +495,8 @@ fn main() {
             single_thread_speedup_at_32: best_speedup_32,
             sharded_scaling_at_32_4shards: scaling_32_4,
         },
+        faults_off_sanity: sanity,
     };
-    // The trajectory artifact lives at the workspace root (ISSUE contract),
-    // unlike the lowercase per-figure artifacts under results/.
-    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("BENCH_decision_core.json");
     std::fs::write(
         &path,
         serde_json::to_string_pretty(&report).expect("serialize"),

@@ -27,7 +27,9 @@ use crate::network;
 use crate::register::{RegisterBaseBlock, SlotCounters, StreamState};
 use serde::{Deserialize, Serialize};
 use ss_hwsim::FabricConfigKind;
-use ss_types::{ComparisonMode, Cycles, Error, Result, SlotId, StreamAttrs, Wrap16};
+use ss_types::{
+    ComparisonMode, Cycles, Error, Result, SlotId, StreamAttrs, WindowConstraint, Wrap16,
+};
 
 /// Which end of the block is circulated for PRIORITY_UPDATE, and the block
 /// transmission order (paper Table 3 modes).
@@ -110,6 +112,23 @@ impl FabricConfig {
     }
 }
 
+/// Host-visible read-out of one stream-slot's register state: what a
+/// failover supervisor needs to rebuild an equivalent software scheduler
+/// when the hardware path is declared stuck. Produced by
+/// [`Fabric::register_snapshot`]; deadlines are *wide* (u64) scheduler
+/// time, so continuity across a path switch is exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisterSnapshot {
+    /// The bound stream's static configuration.
+    pub state: StreamState,
+    /// Deadline of the head request, in wide scheduler time.
+    pub head_deadline: u64,
+    /// The current (dynamic) window constraint `W'`.
+    pub window: WindowConstraint,
+    /// Queued packets waiting in this slot.
+    pub backlog: usize,
+}
+
 /// One transmitted packet, as reported by a decision cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ScheduledPacket {
@@ -174,6 +193,9 @@ pub struct Fabric {
     /// Instrumentation hooks — a zero-sized no-op unless the `telemetry`
     /// feature is enabled and a registry is attached.
     telem: crate::telem::FabricTelemetry,
+    /// Fault-injection hooks — a zero-sized no-op unless the `faults`
+    /// feature is enabled and an injector is attached.
+    faults: crate::faults::FabricFaults,
 }
 
 impl Fabric {
@@ -213,6 +235,7 @@ impl Fabric {
             block_buf: Vec::with_capacity(config.slots),
             serviced: 0,
             telem: crate::telem::FabricTelemetry::new(),
+            faults: crate::faults::FabricFaults::new(),
         })
     }
 
@@ -328,6 +351,23 @@ impl Fabric {
         Ok(&self.registers[slot])
     }
 
+    /// Reads `slot`'s register state for a failover supervisor:
+    /// `Ok(None)` for an unconfigured slot, otherwise the bound stream's
+    /// configuration, wide head deadline, current window constraint, and
+    /// queue depth. Read-only — no counters move, no time advances — and
+    /// it works even on a wedged or crashed fabric, which is exactly when
+    /// a supervisor needs it.
+    pub fn register_snapshot(&self, slot: usize) -> Result<Option<RegisterSnapshot>> {
+        self.check_slot(slot)?;
+        let r = &self.registers[slot];
+        Ok(r.state().map(|state| RegisterSnapshot {
+            state: state.clone(),
+            head_deadline: r.head_deadline(),
+            window: r.current_window(),
+            backlog: r.backlog(),
+        }))
+    }
+
     /// Rule-firing counters merged across all Decision blocks.
     pub fn rule_counters(&self) -> RuleCounters {
         let mut total = RuleCounters::default();
@@ -342,6 +382,10 @@ impl Fabric {
     /// `block_buf`. Steady state touches only the preallocated scratch
     /// buffers — no heap traffic per cycle.
     fn decision_cycle_core(&mut self) {
+        if self.faults.begin_cycle() {
+            self.blocked_cycle();
+            return;
+        }
         // Apply deferred refreshes (arrivals, loads since the last cycle)
         // to the canonical word cache, then LOAD it into the even-pass
         // scratch buffer (the register-file read in hardware).
@@ -462,7 +506,9 @@ impl Fabric {
     pub fn decision_cycle(&mut self) -> DecisionOutcome {
         self.decision_cycle_core();
         match self.config.kind {
-            FabricConfigKind::WinnerOnly => DecisionOutcome::Winner(self.block_buf.first().copied()),
+            FabricConfigKind::WinnerOnly => {
+                DecisionOutcome::Winner(self.block_buf.first().copied())
+            }
             FabricConfigKind::Base => DecisionOutcome::Block(self.block_buf.clone()),
         }
     }
@@ -589,6 +635,10 @@ impl Fabric {
     /// shuffle-exchange still clocks (the FSM advances), but nothing is
     /// serviced and the block buffer is left empty.
     pub fn expire_cycle(&mut self) {
+        if self.faults.begin_cycle() {
+            self.blocked_cycle();
+            return;
+        }
         self.fsm.run_decision();
         self.decision_count += 1;
         self.block_buf.clear();
@@ -605,6 +655,64 @@ impl Fabric {
         }
         self.now = end;
         self.telem.on_expire_cycle(self.decision_count, expired);
+    }
+
+    /// A blocked (wedged or crashed) cycle: the packet-time elapses, the
+    /// attempt is counted, but the FSM does not clock and no register
+    /// state — service, expiry, priority update — changes. This is what a
+    /// stuck SCHEDULE↔PRIORITY_UPDATE loop looks like from outside: time
+    /// passes, nothing is scheduled.
+    #[cfg_attr(not(feature = "faults"), allow(dead_code))]
+    fn blocked_cycle(&mut self) {
+        self.decision_count += 1;
+        self.block_buf.clear();
+        self.serviced = 0;
+        self.now += 1;
+        self.telem
+            .on_fault_stall(self.decision_count, self.faults.crashed());
+    }
+
+    /// `true` while the decision path is making progress: no stuck-FSM
+    /// wedge, no crash. Always `true` without the `faults` feature. This is
+    /// the cheap health probe a failover supervisor polls alongside the
+    /// [`crate::watchdog::DecisionWatchdog`]'s behavioral detection.
+    pub fn probe_health(&self) -> bool {
+        self.faults.healthy()
+    }
+
+    /// `true` once the fabric has been crashed (permanently blocked).
+    /// Always `false` without the `faults` feature.
+    pub fn is_crashed(&self) -> bool {
+        self.faults.crashed()
+    }
+
+    /// `true` if any configured slot has a queued packet — the watchdog's
+    /// "should this cycle have produced something" input.
+    pub fn has_backlog(&self) -> bool {
+        self.registers
+            .iter()
+            .any(|r| r.is_configured() && r.backlog() > 0)
+    }
+
+    /// Wires this fabric to a shared fault injector: each decision/expiry
+    /// cycle samples the injector's decision-cycle stream and may wedge or
+    /// stay blocked per the seeded schedule.
+    #[cfg(feature = "faults")]
+    pub fn attach_faults(&mut self, injector: std::sync::Arc<ss_faults::FaultInjector>) {
+        self.faults.attach(injector);
+    }
+
+    /// Permanently blocks this fabric, as a shard-crash fault does.
+    #[cfg(feature = "faults")]
+    pub fn inject_crash(&mut self) {
+        self.faults.crash();
+    }
+
+    /// Clears any wedge/crash state (supervisor re-adoption after
+    /// degraded-mode recovery).
+    #[cfg(feature = "faults")]
+    pub fn clear_faults(&mut self) {
+        self.faults.clear();
     }
 }
 
@@ -911,8 +1019,9 @@ mod tests {
             single.load_stream(s, edf_state(2), (s + 1) as u64).unwrap();
             batch.load_stream(s, edf_state(2), (s + 1) as u64).unwrap();
         }
-        let arrivals: Vec<(usize, Wrap16)> =
-            (0..8).map(|i| (i % 4, Wrap16::from_wide(i as u64))).collect();
+        let arrivals: Vec<(usize, Wrap16)> = (0..8)
+            .map(|i| (i % 4, Wrap16::from_wide(i as u64)))
+            .collect();
         for &(s, a) in &arrivals {
             single.push_arrival(s, a).unwrap();
         }
@@ -922,7 +1031,9 @@ mod tests {
         }
         assert_eq!(single.decision_cycle(), batch.decision_cycle());
         // Out-of-range slot anywhere in the batch is rejected.
-        assert!(batch.push_arrivals(&[(0, Wrap16(0)), (9, Wrap16(0))]).is_err());
+        assert!(batch
+            .push_arrivals(&[(0, Wrap16(0)), (9, Wrap16(0))])
+            .is_err());
     }
 
     #[cfg(feature = "telemetry")]
@@ -968,7 +1079,9 @@ mod tests {
         assert!(trace
             .iter()
             .any(|e| matches!(e.kind, TraceKind::Winner { .. })));
-        assert!(trace.iter().any(|e| matches!(e.kind, TraceKind::Fsm { .. })));
+        assert!(trace
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::Fsm { .. })));
         assert!(trace.iter().all(|e| e.shard == 3));
 
         let qos = f.qos_snapshot();
@@ -976,11 +1089,7 @@ mod tests {
         assert_eq!(qos.streams.len(), 4);
         let total_wins: u64 = qos.streams.iter().map(|s| s.wins).sum();
         assert_eq!(total_wins, 8);
-        let tracked: u64 = qos
-            .streams
-            .iter()
-            .map(|s| s.win_latency_cycles.count)
-            .sum();
+        let tracked: u64 = qos.streams.iter().map(|s| s.win_latency_cycles.count).sum();
         assert_eq!(tracked, 8, "every win recorded a latency gap");
         assert!(qos.service_fairness() > 0.0);
     }
@@ -1015,6 +1124,93 @@ mod tests {
             .iter()
             .any(|e| matches!(e.kind, TraceKind::Block { len: 4 })));
         assert!(trace.iter().any(|e| matches!(e.kind, TraceKind::Idle)));
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn certain_fault_rate_blocks_every_cycle() {
+        use ss_faults::{FaultConfig, FaultInjector};
+        use std::sync::Arc;
+        let mut f = backlogged_edf(4, FabricConfigKind::WinnerOnly, 8);
+        let inj = Arc::new(FaultInjector::new(
+            11,
+            FaultConfig {
+                decision_rate_ppm: 1_000_000,
+                max_stuck_cycles: 3,
+                ..FaultConfig::quiet()
+            },
+        ));
+        f.attach_faults(Arc::clone(&inj));
+        let hw_before = f.hw_cycles();
+        for _ in 0..10 {
+            assert!(f.decision_cycle().packets().is_empty(), "wedged");
+        }
+        // Time and attempt counts advance; the FSM and register state do
+        // not — that is exactly the stuck-loop signature.
+        assert_eq!(f.now(), 10);
+        assert_eq!(f.decision_count(), 10);
+        assert_eq!(f.hw_cycles(), hw_before, "FSM frozen while wedged");
+        assert_eq!(f.backlog(0).unwrap(), 8, "no slot was serviced");
+        assert_eq!(inj.stats().snapshot().stalled_cycles, 10);
+        assert!(f.has_backlog());
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn quiet_injector_changes_nothing() {
+        use ss_faults::FaultInjector;
+        use std::sync::Arc;
+        let mut plain = backlogged_edf(4, FabricConfigKind::Base, 4);
+        let mut faulted = backlogged_edf(4, FabricConfigKind::Base, 4);
+        faulted.attach_faults(Arc::new(FaultInjector::disabled()));
+        for _ in 0..4 {
+            assert_eq!(plain.decision_cycle(), faulted.decision_cycle());
+        }
+        assert!(faulted.probe_health());
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn crash_blocks_until_cleared() {
+        let mut f = backlogged_edf(4, FabricConfigKind::WinnerOnly, 4);
+        assert!(f.probe_health());
+        f.inject_crash();
+        assert!(!f.probe_health());
+        assert!(f.is_crashed());
+        assert!(f.decision_cycle().packets().is_empty());
+        f.expire_cycle();
+        assert_eq!(f.backlog(0).unwrap(), 4, "crash also blocks expiry");
+        f.clear_faults();
+        assert!(f.probe_health());
+        assert!(!f.decision_cycle().packets().is_empty(), "recovered");
+    }
+
+    #[test]
+    fn register_snapshot_reads_slot_state() {
+        let mut f = backlogged_edf(4, FabricConfigKind::WinnerOnly, 3);
+        let snap = f.register_snapshot(0).unwrap().unwrap();
+        assert_eq!(snap.head_deadline, 1);
+        assert_eq!(snap.backlog, 3);
+        assert_eq!(snap.state.request_period, 1);
+        assert_eq!(snap.window, WindowConstraint::ZERO);
+        f.unload_stream(1).unwrap();
+        assert!(f.register_snapshot(1).unwrap().is_none());
+        assert!(f.register_snapshot(9).is_err());
+        // Read-only: nothing moved.
+        assert_eq!(f.now(), 0);
+        assert_eq!(f.decision_count(), 0);
+    }
+
+    #[test]
+    fn health_probe_defaults() {
+        let mut f = backlogged_edf(4, FabricConfigKind::WinnerOnly, 2);
+        assert!(f.probe_health());
+        assert!(!f.is_crashed());
+        assert!(f.has_backlog());
+        for _ in 0..8 {
+            f.decision_cycle();
+        }
+        assert!(!f.has_backlog(), "queues drained");
     }
 
     #[test]

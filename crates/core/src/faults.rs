@@ -1,0 +1,147 @@
+//! Decision-cycle fault hooks behind the `faults` cargo feature.
+//!
+//! With the feature **on**, [`FabricFaults`] optionally holds an
+//! `Arc<`[`FaultInjector`](ss_faults::FaultInjector)`>` and consults it at
+//! the top of every decision cycle: a sampled
+//! [`StuckCycles`](ss_faults::FaultKind::StuckCycles) fault wedges the
+//! control FSM in its SCHEDULE↔PRIORITY_UPDATE loop for that many cycles —
+//! attempts during the window consume a packet-time but produce nothing and
+//! advance no register state — and a crash blocks the fabric permanently
+//! (modelling a lost card partition). With the feature **off**, the same
+//! type is zero-sized and every hook is an inlined empty body, so the
+//! zero-allocation decision core is untouched (same contract as
+//! [`crate::telem`]).
+//!
+//! Detection is deliberately *not* in here: [`crate::watchdog`] is
+//! feature-independent, because a real deployment needs the watchdog
+//! against genuine hardware wedges, not only injected ones.
+
+#[cfg(feature = "faults")]
+mod enabled {
+    use ss_faults::{FaultInjector, FaultKind, FaultSite};
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+
+    /// Per-fabric fault state (`faults` feature on). Detached by default —
+    /// cycles run clean until [`FabricFaults::attach`] wires an injector.
+    #[derive(Debug, Default)]
+    pub struct FabricFaults {
+        injector: Option<Arc<FaultInjector>>,
+        /// Remaining cycles of the current stuck-FSM wedge.
+        stuck_remaining: u32,
+        /// Permanently blocked (crashed card partition / dead shard).
+        crashed: bool,
+    }
+
+    impl FabricFaults {
+        /// Detached fault state: every cycle runs clean.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Wires this fabric to a shared injector. Sampling draws from the
+        /// injector's [`FaultSite::DecisionCycle`] stream.
+        pub fn attach(&mut self, injector: Arc<FaultInjector>) {
+            self.injector = Some(injector);
+        }
+
+        /// Clears any in-progress wedge (used when a supervisor rebuilds /
+        /// re-adopts the fabric after degraded-mode recovery).
+        pub fn clear(&mut self) {
+            self.stuck_remaining = 0;
+            self.crashed = false;
+        }
+
+        /// Marks the fabric permanently blocked, as a shard-crash fault
+        /// does. Subsequent cycles produce nothing.
+        pub fn crash(&mut self) {
+            self.crashed = true;
+        }
+
+        /// `true` while no wedge or crash is blocking decision cycles.
+        #[inline]
+        pub fn healthy(&self) -> bool {
+            !self.crashed && self.stuck_remaining == 0
+        }
+
+        /// `true` once the fabric has been crashed.
+        #[inline]
+        pub fn crashed(&self) -> bool {
+            self.crashed
+        }
+
+        /// Hook: called at the top of each decision/expiry cycle. Returns
+        /// `true` if the cycle is blocked (wedged or crashed) — the fabric
+        /// then burns the packet-time idle without touching register state.
+        #[inline]
+        pub fn begin_cycle(&mut self) -> bool {
+            if self.crashed {
+                if let Some(inj) = &self.injector {
+                    inj.stats().stalled_cycles.fetch_add(1, Ordering::Relaxed);
+                }
+                return true;
+            }
+            if self.stuck_remaining > 0 {
+                self.stuck_remaining -= 1;
+                if let Some(inj) = &self.injector {
+                    inj.stats().stalled_cycles.fetch_add(1, Ordering::Relaxed);
+                }
+                return true;
+            }
+            let Some(inj) = &self.injector else {
+                return false;
+            };
+            match inj.sample(FaultSite::DecisionCycle) {
+                Some(FaultKind::StuckCycles { cycles }) => {
+                    // This cycle is the first of the wedge.
+                    self.stuck_remaining = cycles.saturating_sub(1);
+                    inj.stats().stalled_cycles.fetch_add(1, Ordering::Relaxed);
+                    true
+                }
+                // The DecisionCycle stream only emits StuckCycles; any
+                // other kind would be an injector bug — treat as clean
+                // rather than wedge on unknown input.
+                _ => false,
+            }
+        }
+    }
+}
+
+#[cfg(not(feature = "faults"))]
+mod disabled {
+    /// Zero-sized stand-in compiled when the `faults` feature is off.
+    /// Every hook is an inlined empty body, so fault call sites vanish
+    /// from the optimized decision core.
+    #[derive(Debug, Default)]
+    pub struct FabricFaults;
+
+    impl FabricFaults {
+        /// The zero-sized stand-in (mirrors the enabled constructor).
+        pub fn new() -> Self {
+            Self
+        }
+
+        /// Hook: cycle start (no-op, never blocks).
+        #[inline(always)]
+        pub fn begin_cycle(&mut self) -> bool {
+            false
+        }
+
+        /// Always healthy without the feature.
+        #[inline(always)]
+        pub fn healthy(&self) -> bool {
+            true
+        }
+
+        /// Never crashed without the feature.
+        #[inline(always)]
+        pub fn crashed(&self) -> bool {
+            false
+        }
+    }
+}
+
+#[cfg(not(feature = "faults"))]
+pub use disabled::FabricFaults;
+#[cfg(feature = "faults")]
+pub use enabled::FabricFaults;

@@ -45,20 +45,26 @@ pub mod control;
 pub mod decision;
 pub mod dwcs;
 pub mod fabric;
+pub mod faults;
 pub mod network;
 pub mod register;
 pub mod rtl;
 pub mod scheduler;
 pub mod telem;
+pub mod watchdog;
 
 pub use control::{ControlFsm, FsmState, TimelineEntry};
 pub use decision::{DecisionBlock, DecisionRule, RuleCounters};
 pub use dwcs::{DwcsUpdater, PriorityUpdater, UpdateEvent};
-pub use fabric::{BlockOrder, DecisionOutcome, Fabric, FabricConfig, ScheduledPacket};
+pub use fabric::{
+    BlockOrder, DecisionOutcome, Fabric, FabricConfig, RegisterSnapshot, ScheduledPacket,
+};
+pub use faults::FabricFaults;
 pub use register::{LatePolicy, RegisterBaseBlock, SlotCounters, StreamState};
 pub use rtl::{RtlFabric, RtlWires};
 pub use scheduler::{SchedulerReport, ShareStreamsScheduler};
 pub use telem::FabricTelemetry;
+pub use watchdog::{DecisionWatchdog, WatchdogVerdict};
 
 // Re-export the hwsim configuration enum used throughout.
 pub use ss_hwsim::FabricConfigKind;

@@ -102,7 +102,8 @@ mod enabled {
             }
             let merged = self.win_latency.merged_local();
             if merged.count() > self.win_gap_base.count() {
-                self.win_gap.merge_cumulative_since(&merged, &self.win_gap_base);
+                self.win_gap
+                    .merge_cumulative_since(&merged, &self.win_gap_base);
                 self.win_gap_base = merged;
             }
             self.since_flush = 0;
@@ -278,6 +279,23 @@ mod enabled {
             }
         }
 
+        /// Hook: one decision/expiry attempt was consumed by a fault (stuck
+        /// FSM wedge or crash). Recorded in the trace ring only — the
+        /// injected/recovered totals live in the `ss-faults` counters, and
+        /// a blocked cycle is not a *completed* decision, so the decision
+        /// counters are left alone.
+        #[inline]
+        pub fn on_fault_stall(&mut self, cycle: u64, crashed: bool) {
+            let Some(a) = &mut self.inner else { return };
+            a.trace.push(TraceEvent {
+                cycle,
+                shard: a.shard,
+                kind: TraceKind::Fault {
+                    code: u8::from(crashed),
+                },
+            });
+        }
+
         /// Hook: one grant-less expiry cycle completed (the fabric lost the
         /// packet-time to another shard).
         #[inline]
@@ -343,13 +361,17 @@ mod disabled {
         #[inline(always)]
         pub fn on_decision(&mut self, _cycle: u64, _block: &[ScheduledPacket], _expired: u32) {}
 
+        /// Hook: one attempt consumed by a fault (no-op).
+        #[inline(always)]
+        pub fn on_fault_stall(&mut self, _cycle: u64, _crashed: bool) {}
+
         /// Hook: one grant-less expiry cycle completed (no-op).
         #[inline(always)]
         pub fn on_expire_cycle(&mut self, _cycle: u64, _expired: u32) {}
     }
 }
 
-#[cfg(feature = "telemetry")]
-pub use enabled::FabricTelemetry;
 #[cfg(not(feature = "telemetry"))]
 pub use disabled::FabricTelemetry;
+#[cfg(feature = "telemetry")]
+pub use enabled::FabricTelemetry;

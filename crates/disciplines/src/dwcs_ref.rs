@@ -142,6 +142,21 @@ impl DwcsRef {
         self.streams[stream].deadline
     }
 
+    /// Queued packets waiting for `stream` (the total across all streams
+    /// is [`Discipline::backlog`]).
+    pub fn stream_backlog(&self, stream: usize) -> usize {
+        self.streams[stream].queue.len()
+    }
+
+    /// Overrides `stream`'s *current* window constraint `W'` without
+    /// touching its original constraint. A failover supervisor uses this
+    /// to carry the dynamic window state read out of the hardware
+    /// registers across the path switch, instead of restarting the
+    /// window from its configured value.
+    pub fn set_window(&mut self, stream: usize, window: WindowConstraint) {
+        self.streams[stream].window = window;
+    }
+
     /// Table 2 pairwise ordering on stream indices (both must be
     /// backlogged). `Less` means `a` orders first.
     fn pairwise(&self, a: usize, b: usize) -> Ordering {
@@ -360,6 +375,28 @@ mod tests {
             assert_eq!(violations, 0, "1/2 tolerance absorbs alternating misses");
             assert!(met > 0);
         }
+    }
+
+    #[test]
+    fn supervisor_hooks_read_and_carry_state() {
+        let mut d = DwcsRef::new(vec![
+            DwcsStreamConfig {
+                period: 4,
+                window: WindowConstraint::new(3, 4),
+                first_deadline: 4,
+                late_policy: LatePolicy::ServeLate,
+            },
+            edf_cfg(4, 8),
+        ]);
+        d.enqueue(SwPacket::new(0, 0, 0, 64));
+        d.enqueue(SwPacket::new(0, 1, 1, 64));
+        assert_eq!(d.stream_backlog(0), 2);
+        assert_eq!(d.stream_backlog(1), 0);
+        // Carrying a dynamic window read out of hardware registers.
+        d.set_window(0, WindowConstraint::new(1, 2));
+        assert_eq!(d.current_window(0), WindowConstraint::new(1, 2));
+        d.select(0);
+        assert_eq!(d.stream_backlog(0), 1);
     }
 
     #[test]

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod aggregation;
+pub mod faults;
 pub mod pci;
 pub mod pipeline;
 pub mod queue_manager;
@@ -47,14 +48,17 @@ pub mod threaded;
 pub mod transmission;
 
 pub use aggregation::{StreamletMux, StreamletSetConfig};
-pub use pci::{PciModel, TransferStrategy};
+pub use faults::EndsystemFaults;
+pub use pci::{CardLink, PciModel, TransferStrategy};
 pub use pipeline::{EndsystemConfig, EndsystemPipeline, EndsystemReport, StreamPipelineStats};
 pub use queue_manager::QueueManager;
 pub use red::{RedConfig, RedQueue, RedVerdict};
 pub use spsc::{spsc_ring, Consumer, Producer, RingStats};
 pub use sram::{BankOwner, BankedSram};
 pub use streaming::{StreamingReport, StreamingUnit};
-pub use threaded::{run_threaded, run_threaded_edf, ThreadedReport};
+#[cfg(feature = "faults")]
+pub use threaded::run_threaded_faulted;
 #[cfg(feature = "telemetry")]
 pub use threaded::run_threaded_instrumented;
+pub use threaded::{run_threaded, run_threaded_edf, ThreadedReport};
 pub use transmission::TransmissionEngine;

@@ -14,8 +14,9 @@
 //! ≈1.21 µs per packet, which takes the modeled endsystem from the paper's
 //! 469 483 pkt/s (no transfers) to 299 065 pkt/s (PIO included).
 
+use crate::faults::EndsystemFaults;
 use serde::{Deserialize, Serialize};
-use ss_types::Nanos;
+use ss_types::{Nanos, Result};
 
 /// How arrival times are moved to the card.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -107,6 +108,64 @@ impl PciModel {
     }
 }
 
+/// A checked host↔card transfer front-end: the [`PciModel`] cost model
+/// plus the endsystem fault hooks. Without the `faults` feature every
+/// transfer succeeds at its nominal cost (the hooks are zero-sized); with
+/// it, transfers run through the seeded fault schedule with bounded
+/// retry-with-backoff, and exhaustion surfaces as
+/// [`ss_types::Error::TransferTimeout`] so callers can requeue instead of
+/// losing the batch.
+#[derive(Debug, Clone, Default)]
+pub struct CardLink {
+    model: PciModel,
+    faults: EndsystemFaults,
+}
+
+impl CardLink {
+    /// A link over `model`, fault-free until an injector is attached.
+    pub fn new(model: PciModel) -> Self {
+        Self {
+            model,
+            faults: EndsystemFaults::new(),
+        }
+    }
+
+    /// The underlying cost model.
+    pub fn model(&self) -> &PciModel {
+        &self.model
+    }
+
+    /// Wires the link's transfers to a shared fault injector with the
+    /// given retry policy.
+    #[cfg(feature = "faults")]
+    pub fn attach_faults(
+        &mut self,
+        injector: std::sync::Arc<ss_faults::FaultInjector>,
+        policy: ss_faults::RetryPolicy,
+    ) {
+        self.faults.attach(injector, policy);
+    }
+
+    /// Moves `n` arrival times to the card, returning the total simulated
+    /// cost (retries and backoff included).
+    pub fn arrivals_to_card(&self, n: u64, strategy: TransferStrategy) -> Result<Nanos> {
+        if n == 0 {
+            return Ok(0);
+        }
+        self.faults
+            .transfer_ns(self.model.arrivals_to_card_ns(n, strategy))
+    }
+
+    /// Reads `n` scheduled stream IDs back from the card.
+    pub fn ids_from_card(&self, n: u64, strategy: TransferStrategy) -> Result<Nanos> {
+        if n == 0 {
+            return Ok(0);
+        }
+        self.faults
+            .transfer_ns(self.model.ids_from_card_ns(n, strategy))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,5 +233,76 @@ mod tests {
     #[should_panic(expected = "batch must be positive")]
     fn zero_batch_rejected() {
         M.per_packet_overhead_ns(0, TransferStrategy::PioPush);
+    }
+
+    #[test]
+    fn card_link_nominal_costs_match_model() {
+        let link = CardLink::new(M);
+        assert_eq!(
+            link.arrivals_to_card(8, TransferStrategy::PioPush).unwrap(),
+            M.arrivals_to_card_ns(8, TransferStrategy::PioPush)
+        );
+        assert_eq!(
+            link.ids_from_card(8, TransferStrategy::DmaPull).unwrap(),
+            M.ids_from_card_ns(8, TransferStrategy::DmaPull)
+        );
+        assert_eq!(
+            link.arrivals_to_card(0, TransferStrategy::PioPush).unwrap(),
+            0
+        );
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn card_link_retries_and_eventually_times_out() {
+        use ss_faults::{FaultConfig, FaultInjector, RetryPolicy};
+        use ss_types::Error;
+        use std::sync::Arc;
+        // Moderate rate: over many transfers, some retry (costing more than
+        // nominal) and with 100% rate the budget exhausts into a timeout.
+        let mut flaky = CardLink::new(M);
+        flaky.attach_faults(
+            Arc::new(FaultInjector::new(
+                21,
+                FaultConfig {
+                    pci_rate_ppm: 300_000,
+                    ..FaultConfig::quiet()
+                },
+            )),
+            RetryPolicy::default(),
+        );
+        let nominal = M.arrivals_to_card_ns(4, TransferStrategy::PioPush);
+        let mut retried = 0;
+        for _ in 0..200 {
+            match flaky.arrivals_to_card(4, TransferStrategy::PioPush) {
+                Ok(cost) => {
+                    if cost > nominal {
+                        retried += 1;
+                    }
+                    assert!(cost >= nominal);
+                }
+                Err(Error::TransferTimeout { attempts, .. }) => {
+                    assert!(attempts >= 1);
+                }
+                Err(other) => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(retried > 0, "some transfers recovered via retry");
+
+        let mut dead = CardLink::new(M);
+        dead.attach_faults(
+            Arc::new(FaultInjector::new(
+                22,
+                FaultConfig {
+                    pci_rate_ppm: 1_000_000,
+                    ..FaultConfig::quiet()
+                },
+            )),
+            RetryPolicy::default(),
+        );
+        assert!(matches!(
+            dead.arrivals_to_card(4, TransferStrategy::PioPush),
+            Err(Error::TransferTimeout { .. })
+        ));
     }
 }

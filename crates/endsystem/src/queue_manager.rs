@@ -6,6 +6,7 @@
 //! themselves never cross the PCI bus — the Transmission Engine dequeues
 //! them from host memory when the card returns the winning stream ID.
 
+use crate::pci::{CardLink, TransferStrategy};
 use ss_traffic::ArrivalEvent;
 use ss_types::{Error, Nanos, Result};
 use std::collections::VecDeque;
@@ -91,6 +92,42 @@ impl QueueManager {
             self.transferred += n as u64;
         }
         n
+    }
+
+    /// Drains up to `max` head packets of `stream` into `out` **through a
+    /// checked PCI transfer**: the batch only leaves the host if
+    /// [`CardLink::arrivals_to_card`] succeeds. On transfer failure
+    /// (retry budget exhausted) the popped packets are requeued at the
+    /// front in their original order and the error is returned — a failed
+    /// transfer delays packets, it never silently loses them. Returns the
+    /// simulated transfer cost on success (0 for an empty queue).
+    pub fn drain_to_card(
+        &mut self,
+        stream: usize,
+        max: usize,
+        link: &CardLink,
+        strategy: TransferStrategy,
+        out: &mut Vec<ArrivalEvent>,
+    ) -> Result<Nanos> {
+        let start = out.len();
+        let n = self.pop_batch(stream, max, out);
+        if n == 0 {
+            return Ok(0);
+        }
+        match link.arrivals_to_card(n as u64, strategy) {
+            Ok(cost) => Ok(cost),
+            Err(e) => {
+                // Undo: push the batch back at the front, preserving FIFO
+                // order, and undo the batch accounting.
+                let q = &mut self.queues[stream];
+                for ev in out.drain(start..).rev() {
+                    q.push_front(ev);
+                }
+                self.transfer_batches -= 1;
+                self.transferred -= n as u64;
+                Err(e)
+            }
+        }
     }
 
     /// Batched drains that moved at least one packet.
@@ -223,6 +260,69 @@ mod tests {
         assert!(qm.deposit(ev(5, 0)).is_err());
         assert_eq!(qm.pop(5), None);
         assert_eq!(qm.backlog(5), 0);
+    }
+
+    #[test]
+    fn drain_to_card_succeeds_without_faults() {
+        use crate::pci::{CardLink, PciModel, TransferStrategy};
+        let mut qm = QueueManager::new(1, 16);
+        for t in 0..6 {
+            qm.deposit(ev(0, t)).unwrap();
+        }
+        let link = CardLink::new(PciModel::pci32_33());
+        let mut out = Vec::new();
+        let cost = qm
+            .drain_to_card(0, 4, &link, TransferStrategy::PioPush, &mut out)
+            .unwrap();
+        assert_eq!(out.len(), 4);
+        assert_eq!(
+            cost,
+            PciModel::pci32_33().arrivals_to_card_ns(4, TransferStrategy::PioPush)
+        );
+        assert_eq!(qm.backlog(0), 2);
+        assert_eq!(qm.transferred(), 4);
+        // Empty queue drains nothing at no cost.
+        let mut out2 = Vec::new();
+        assert_eq!(
+            qm.drain_to_card(0, 0, &link, TransferStrategy::PioPush, &mut out2)
+                .unwrap(),
+            0
+        );
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn drain_to_card_requeues_on_transfer_timeout() {
+        use crate::pci::{CardLink, PciModel, TransferStrategy};
+        use ss_faults::{FaultConfig, FaultInjector, RetryPolicy};
+        use std::sync::Arc;
+        let mut qm = QueueManager::new(1, 16);
+        for t in 0..5 {
+            qm.deposit(ev(0, t)).unwrap();
+        }
+        let mut link = CardLink::new(PciModel::pci32_33());
+        // 100% fault rate: every transfer exhausts its retry budget.
+        link.attach_faults(
+            Arc::new(FaultInjector::new(
+                4,
+                FaultConfig {
+                    pci_rate_ppm: 1_000_000,
+                    ..FaultConfig::quiet()
+                },
+            )),
+            RetryPolicy::default(),
+        );
+        let mut out = Vec::new();
+        let err = qm
+            .drain_to_card(0, 3, &link, TransferStrategy::PioPush, &mut out)
+            .unwrap_err();
+        assert!(matches!(err, Error::TransferTimeout { .. }));
+        assert!(out.is_empty(), "nothing left the host");
+        assert_eq!(qm.backlog(0), 5, "batch requeued, no loss");
+        assert_eq!(qm.pop(0).unwrap().time_ns, 0, "FIFO order preserved");
+        assert_eq!(qm.pop(0).unwrap().time_ns, 1);
+        assert_eq!(qm.transferred(), 0, "failed batch not accounted");
+        assert_eq!(qm.transfer_batches(), 0);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! as "generally the bottleneck for high-performance PCI transfers" (§5.2)
 //! — so the model charges an explicit switch cost and counts switches.
 
+use crate::faults::EndsystemFaults;
 use serde::{Deserialize, Serialize};
 use ss_types::{Error, Nanos, Result};
 
@@ -34,6 +35,12 @@ pub struct BankedSram {
     /// Cost per 32-bit word access from either side.
     word_access_ns: Nanos,
     switches: u64,
+    /// Ownership handovers forced by lost arbitration races (a subset of
+    /// `switches`): how often contention, not the protocol, moved a bank.
+    contended_switches: u64,
+    /// Fault hooks — zero-sized no-op unless the `faults` feature is on
+    /// and an injector is attached.
+    faults: EndsystemFaults,
 }
 
 impl BankedSram {
@@ -62,6 +69,8 @@ impl BankedSram {
             switch_cost_ns,
             word_access_ns,
             switches: 0,
+            contended_switches: 0,
+            faults: EndsystemFaults::new(),
         }
     }
 
@@ -86,6 +95,41 @@ impl BankedSram {
         self.switches
     }
 
+    /// Handovers forced by lost arbitration races (⊆ [`Self::switch_count`]).
+    pub fn contended_switch_count(&self) -> u64 {
+        self.contended_switches
+    }
+
+    /// Wires the bank arbitration to a shared fault injector: handovers may
+    /// stall for extra arbitration latency, and owned accesses may lose a
+    /// revocation race (the access fails with
+    /// [`Error::BankContention`] and the bank flips to the other side).
+    #[cfg(feature = "faults")]
+    pub fn attach_faults(
+        &mut self,
+        injector: std::sync::Arc<ss_faults::FaultInjector>,
+        policy: ss_faults::RetryPolicy,
+    ) {
+        self.faults.attach(injector, policy);
+    }
+
+    /// If this access loses an injected arbitration race, revoke the
+    /// accessor's ownership (the firmware granted the other side) and
+    /// report the contention.
+    fn race_check(&mut self, bank: usize, who: BankOwner) -> Result<()> {
+        if self.faults.access_races() {
+            let other = match who {
+                BankOwner::Host => BankOwner::Fpga,
+                BankOwner::Fpga => BankOwner::Host,
+            };
+            self.banks[bank].owner = other;
+            self.switches += 1;
+            self.contended_switches += 1;
+            return Err(Error::BankContention { bank });
+        }
+        Ok(())
+    }
+
     fn bank_ref(&self, bank: usize) -> Result<&Bank> {
         self.banks.get(bank).ok_or(Error::SlotOutOfRange {
             slot: bank,
@@ -102,7 +146,9 @@ impl BankedSram {
     }
 
     /// Acquires ownership of `bank` for `who`, returning the time cost
-    /// (zero if already owned).
+    /// (zero if already owned). An injected arbitration stall adds extra
+    /// latency to the handover but never fails it — the request is held,
+    /// not rejected.
     pub fn acquire(&mut self, bank: usize, who: BankOwner) -> Result<Nanos> {
         let switch_cost = self.switch_cost_ns;
         let b = self.bank_mut(bank)?;
@@ -111,7 +157,7 @@ impl BankedSram {
         } else {
             b.owner = who;
             self.switches += 1;
-            Ok(switch_cost)
+            Ok(switch_cost + self.faults.handover_extra_ns())
         }
     }
 
@@ -125,10 +171,12 @@ impl BankedSram {
         data: &[u32],
     ) -> Result<Nanos> {
         let word_cost = self.word_access_ns;
-        let b = self.bank_mut(bank)?;
+        let b = self.bank_ref(bank)?;
         if b.owner != who {
-            return Err(Error::Config(format!("bank {bank} not owned by {who:?}")));
+            return Err(Error::BankContention { bank });
         }
+        self.race_check(bank, who)?;
+        let b = self.bank_mut(bank)?;
         let end = offset
             .checked_add(data.len())
             .filter(|&e| e <= b.words.len())
@@ -142,9 +190,11 @@ impl BankedSram {
         Ok(word_cost * data.len() as Nanos)
     }
 
-    /// Reads `out.len()` words from `bank` at `offset` as `who`.
+    /// Reads `out.len()` words from `bank` at `offset` as `who`. Takes
+    /// `&mut self` because a lost arbitration race can flip the bank's
+    /// ownership out from under the reader.
     pub fn read(
-        &self,
+        &mut self,
         bank: usize,
         who: BankOwner,
         offset: usize,
@@ -152,8 +202,10 @@ impl BankedSram {
     ) -> Result<Nanos> {
         let b = self.bank_ref(bank)?;
         if b.owner != who {
-            return Err(Error::Config(format!("bank {bank} not owned by {who:?}")));
+            return Err(Error::BankContention { bank });
         }
+        self.race_check(bank, who)?;
+        let b = self.bank_ref(bank)?;
         let end = offset
             .checked_add(out.len())
             .filter(|&e| e <= b.words.len())
@@ -232,5 +284,90 @@ mod tests {
         let s = BankedSram::rc1000_like();
         assert_eq!(s.bank_count(), 2);
         assert_eq!(s.owner(0).unwrap(), BankOwner::Host);
+    }
+
+    #[test]
+    fn wrong_owner_is_bank_contention() {
+        let mut s = BankedSram::new(2, 8, 500, 30);
+        assert!(matches!(
+            s.write(0, BankOwner::Fpga, 0, &[1]),
+            Err(Error::BankContention { bank: 0 })
+        ));
+        let mut buf = [0u32; 1];
+        assert!(matches!(
+            s.read(1, BankOwner::Fpga, 0, &mut buf),
+            Err(Error::BankContention { bank: 1 })
+        ));
+        assert_eq!(s.switch_count(), 0, "a rejected access moves no ownership");
+        assert_eq!(s.contended_switch_count(), 0);
+        // The bank still works for its rightful owner.
+        s.write(0, BankOwner::Host, 0, &[7]).unwrap();
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn injected_races_revoke_ownership_and_count_switches() {
+        use ss_faults::{FaultConfig, FaultInjector, RetryPolicy};
+        use std::sync::Arc;
+        let mut s = BankedSram::new(1, 8, 500, 30);
+        s.attach_faults(
+            Arc::new(FaultInjector::new(
+                3,
+                FaultConfig {
+                    sram_access_rate_ppm: 300_000,
+                    ..FaultConfig::quiet()
+                },
+            )),
+            RetryPolicy::default(),
+        );
+        // The host hammers its own bank; every lost race flips ownership
+        // to the FPGA mid-access, and the host must re-acquire to go on.
+        let mut races = 0u64;
+        let mut ok = 0u64;
+        for i in 0..200u32 {
+            match s.write(0, BankOwner::Host, 0, &[i]) {
+                Ok(_) => ok += 1,
+                Err(Error::BankContention { bank: 0 }) => {
+                    races += 1;
+                    assert_eq!(s.owner(0).unwrap(), BankOwner::Fpga, "grant revoked");
+                    s.acquire(0, BankOwner::Host).unwrap();
+                }
+                Err(other) => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(races > 0, "rate high enough to race");
+        assert!(ok > 0, "recovery restores service");
+        assert_eq!(s.contended_switch_count(), races);
+        assert_eq!(
+            s.switch_count(),
+            2 * races,
+            "each race flips ownership away and the re-acquire flips it back"
+        );
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn injected_handover_stall_adds_latency_but_never_fails() {
+        use ss_faults::{FaultConfig, FaultInjector, RetryPolicy};
+        use std::sync::Arc;
+        let mut s = BankedSram::new(1, 4, 500, 30);
+        s.attach_faults(
+            Arc::new(FaultInjector::new(
+                9,
+                FaultConfig {
+                    sram_handover_rate_ppm: 1_000_000,
+                    max_stall_ns: 100,
+                    ..FaultConfig::quiet()
+                },
+            )),
+            RetryPolicy::default(),
+        );
+        let cost = s.acquire(0, BankOwner::Fpga).unwrap();
+        assert!(
+            (501..=600).contains(&cost),
+            "stall adds 1..=100 ns to the 500 ns handover, got {cost}"
+        );
+        // Idempotent re-acquire still costs nothing (no handover → no stall).
+        assert_eq!(s.acquire(0, BankOwner::Fpga).unwrap(), 0);
     }
 }

@@ -15,10 +15,11 @@
 //! bench; [`run_threaded`] returns per-stream counts and the measured
 //! end-to-end rate.
 
+use crate::faults::EndsystemFaults;
 use crate::spsc::{spsc_ring, RingStats};
-use ss_core::{Fabric, FabricConfig};
+use ss_core::{DecisionWatchdog, Fabric, FabricConfig, WatchdogVerdict};
 use ss_core::{LatePolicy, StreamState};
-use ss_types::{Result, Wrap16};
+use ss_types::{Error, Result, Wrap16};
 use std::time::Instant;
 
 /// An arrival message on the producer → scheduler ring.
@@ -47,6 +48,11 @@ pub struct ThreadedReport {
     pub arr_ring: RingStats,
     /// Scheduler → transmitter winner-ID-ring statistics.
     pub id_ring: RingStats,
+    /// Packets lost to faults: dropped at an overflowing arrival ring, or
+    /// abandoned when the scheduler's watchdog declared the fabric stuck.
+    /// Always 0 in a fault-free run — loss is bounded and *counted*, never
+    /// silent.
+    pub lost: u64,
 }
 
 /// Runs the three-thread pipeline: `arrivals_per_slot` packets are pushed
@@ -60,7 +66,36 @@ pub fn run_threaded(
     states: Vec<StreamState>,
     arrivals_per_slot: u64,
 ) -> Result<ThreadedReport> {
-    run_threaded_inner(config, states, arrivals_per_slot, |_| {}).map(|(report, _)| report)
+    run_threaded_inner(
+        config,
+        states,
+        arrivals_per_slot,
+        EndsystemFaults::new(),
+        |_| {},
+    )
+    .map(|(report, _)| report)
+}
+
+/// Like [`run_threaded`], but wires both the fabric and the endsystem seams
+/// to a shared fault injector: decision cycles can wedge or crash, arrival
+/// enqueues can hit injected overflow bursts (dropped and counted, never
+/// spun on forever), and the scheduler's watchdog abandons the backlog —
+/// counted into [`ThreadedReport::lost`] and the injector's
+/// `lost_packets` — if the fabric stays stuck past its threshold.
+#[cfg(feature = "faults")]
+pub fn run_threaded_faulted(
+    config: FabricConfig,
+    states: Vec<StreamState>,
+    arrivals_per_slot: u64,
+    injector: std::sync::Arc<ss_faults::FaultInjector>,
+    policy: ss_faults::RetryPolicy,
+) -> Result<ThreadedReport> {
+    let mut faults = EndsystemFaults::new();
+    faults.attach(injector.clone(), policy);
+    run_threaded_inner(config, states, arrivals_per_slot, faults, move |f| {
+        f.attach_faults(injector)
+    })
+    .map(|(report, _)| report)
 }
 
 /// Like [`run_threaded`], but attaches the fabric to a telemetry registry
@@ -76,9 +111,13 @@ pub fn run_threaded_instrumented(
     trace_capacity: usize,
 ) -> Result<(ThreadedReport, ss_telemetry::QosSet)> {
     let reg = registry.clone();
-    let (report, mut fabric) = run_threaded_inner(config, states, arrivals_per_slot, move |f| {
-        f.attach_telemetry(&reg, 0, trace_capacity)
-    })?;
+    let (report, mut fabric) = run_threaded_inner(
+        config,
+        states,
+        arrivals_per_slot,
+        EndsystemFaults::new(),
+        move |f| f.attach_telemetry(&reg, 0, trace_capacity),
+    )?;
     // The fabric batches its observations locally; drain them so the
     // registry is complete before this function's snapshot-style returns.
     fabric.flush_telemetry();
@@ -125,10 +164,18 @@ fn publish_ring_stats(registry: &ss_telemetry::Registry, ring: &str, stats: &Rin
         .fetch_max(stats.high_water as i64);
 }
 
+/// How many consecutive unproductive-with-backlog decision cycles the
+/// scheduler thread tolerates before declaring the fabric stuck. Must
+/// comfortably exceed any transient injected wedge
+/// ([`ss_faults::FaultConfig::max_stuck_cycles`] defaults to 8) so only
+/// crashes and chained wedges trip it.
+const SCHEDULER_STALL_THRESHOLD: u32 = 64;
+
 fn run_threaded_inner(
     config: FabricConfig,
     states: Vec<StreamState>,
     arrivals_per_slot: u64,
+    faults: EndsystemFaults,
     attach: impl FnOnce(&mut Fabric),
 ) -> Result<(ThreadedReport, Fabric)> {
     assert_eq!(states.len(), config.slots, "one StreamState per slot");
@@ -143,19 +190,44 @@ fn run_threaded_inner(
     let (mut arr_tx, mut arr_rx) = spsc_ring::<ArrivalMsg>(4096);
     let (mut id_tx, mut id_rx) = spsc_ring::<u8>(4096);
 
+    let prod_faults = faults.clone();
+    #[cfg(feature = "faults")]
+    let sched_faults = faults;
+    #[cfg(not(feature = "faults"))]
+    let _ = faults; // zero-sized stand-in; only the producer's copy is used
+
     let start = Instant::now();
 
     let producer = std::thread::spawn(move || {
+        let mut lost = 0u64;
         for q in 0..arrivals_per_slot {
             for slot in 0..slots {
                 let mut msg = ArrivalMsg {
                     slot,
                     tag: Wrap16::from_wide(q),
                 };
+                // One fault sample per full-ring episode (not per spin), so
+                // the injected-count stays proportional to real
+                // backpressure events rather than spin frequency.
+                let mut fresh_episode = true;
                 loop {
                     match arr_tx.push(msg) {
                         Ok(()) => break,
                         Err(back) => {
+                            if fresh_episode && prod_faults.ring_overflows() {
+                                // Injected overflow burst on a full ring:
+                                // drop the packet and account it instead of
+                                // spinning against the pressure spike.
+                                lost += 1;
+                                #[cfg(feature = "faults")]
+                                if let Some(inj) = prod_faults.injector() {
+                                    inj.stats()
+                                        .lost_packets
+                                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                }
+                                break;
+                            }
+                            fresh_episode = false;
                             msg = back;
                             std::hint::spin_loop();
                         }
@@ -165,26 +237,35 @@ fn run_threaded_inner(
         }
         // Dropping arr_tx disconnects the ring: the scheduler sees
         // empty + disconnected and finishes.
+        lost
     });
 
     let scheduler = std::thread::spawn(move || {
         let mut pending = 0u64;
+        let mut lost = 0u64;
+        let mut watchdog = DecisionWatchdog::new(SCHEDULER_STALL_THRESHOLD, 1);
         // Reusable batch buffer: arrivals are drained from the ring in one
         // sweep and deposited with `push_arrivals`, and the decision cycle
         // runs through the zero-allocation `decision_cycle_into` view — the
         // scheduler thread's steady-state loop never touches the heap.
         let mut arr_batch: Vec<(usize, Wrap16)> = Vec::with_capacity(4096);
         loop {
-            // Drain arrivals into the fabric (one batched deposit).
+            // Drain arrivals into the fabric (one batched deposit). Slots
+            // are validated here — a corrupt message is counted as lost, so
+            // `push_arrivals` below cannot fail and nothing panics.
             arr_batch.clear();
             while arr_batch.len() < arr_batch.capacity() {
                 match arr_rx.pop() {
-                    Some(msg) => arr_batch.push((msg.slot, msg.tag)),
+                    Some(msg) if msg.slot < slots => arr_batch.push((msg.slot, msg.tag)),
+                    Some(_) => lost += 1,
                     None => break,
                 }
             }
-            fabric.push_arrivals(&arr_batch).expect("slots in range");
-            pending += arr_batch.len() as u64;
+            match fabric.push_arrivals(&arr_batch) {
+                Ok(()) => pending += arr_batch.len() as u64,
+                // Unreachable after validation; counted rather than panicked.
+                Err(_) => lost += arr_batch.len() as u64,
+            }
             if pending == 0 {
                 if arr_rx.is_disconnected() && arr_rx.is_empty() {
                     break;
@@ -193,7 +274,8 @@ fn run_threaded_inner(
                 continue;
             }
             let packets = fabric.decision_cycle_into();
-            pending -= packets.len() as u64;
+            let produced = packets.len() as u64;
+            pending -= produced;
             for p in packets {
                 let mut id = p.slot.raw();
                 loop {
@@ -206,13 +288,41 @@ fn run_threaded_inner(
                     }
                 }
             }
+            if watchdog.observe(produced > 0, pending > 0) == WatchdogVerdict::Stuck {
+                // The fabric stayed unproductive past the threshold — a
+                // crashed card or chained stuck windows, not a transient
+                // wedge. Abandon the backlog (counted, bounded) and drain
+                // the producer dry so it can never deadlock pushing into a
+                // full ring nobody reads.
+                lost += pending;
+                loop {
+                    match arr_rx.pop() {
+                        Some(_) => lost += 1,
+                        None => {
+                            if arr_rx.is_disconnected() {
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+                #[cfg(feature = "faults")]
+                if let Some(inj) = sched_faults.injector() {
+                    use std::sync::atomic::Ordering;
+                    inj.stats().detected.fetch_add(1, Ordering::Relaxed);
+                    inj.stats().lost_packets.fetch_add(lost, Ordering::Relaxed);
+                }
+                break;
+            }
         }
         // The loop only exits once the producer disconnected, so its final
         // ring stats are published and exact here.
-        (arr_rx.stats(), fabric)
+        (arr_rx.stats(), fabric, lost)
     });
 
-    // Transmitter runs on the calling thread.
+    // Transmitter runs on the calling thread. It stops at the expected
+    // count or — if the scheduler abandoned a stuck fabric — when the
+    // winner ring disconnects, so loss upstream never hangs this loop.
     let mut per_slot = vec![0u64; slots];
     let expected = arrivals_per_slot * slots as u64;
     let mut got = 0u64;
@@ -231,8 +341,12 @@ fn run_threaded_inner(
         }
     }
 
-    producer.join().expect("producer thread");
-    let (arr_ring, fabric) = scheduler.join().expect("scheduler thread");
+    let prod_lost = producer.join().map_err(|_| Error::DegradedMode {
+        reason: "endsystem producer thread panicked".into(),
+    })?;
+    let (arr_ring, fabric, sched_lost) = scheduler.join().map_err(|_| Error::DegradedMode {
+        reason: "endsystem scheduler thread panicked".into(),
+    })?;
     // The scheduler has dropped its id_tx endpoint — its stats are final.
     let id_ring = id_rx.stats();
 
@@ -246,6 +360,7 @@ fn run_threaded_inner(
             pps: total as f64 / wall_seconds,
             arr_ring,
             id_ring,
+            lost: prod_lost + sched_lost,
         },
         fabric,
     ))
@@ -290,6 +405,74 @@ mod tests {
         assert_eq!(report.id_ring.pushes, 8_000);
         assert!(report.arr_ring.high_water <= report.arr_ring.capacity);
         assert!(report.id_ring.high_water >= 1);
+        assert_eq!(report.lost, 0, "fault-free run loses nothing");
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn quiet_injector_run_matches_fault_free() {
+        use ss_faults::{FaultConfig, FaultInjector, RetryPolicy};
+        use std::sync::Arc;
+        let config = FabricConfig::edf(4, FabricConfigKind::WinnerOnly);
+        let states = (0..4)
+            .map(|_| StreamState {
+                request_period: 4,
+                original_window: ss_types::WindowConstraint::ZERO,
+                static_prio: 0,
+                late_policy: LatePolicy::ServeLate,
+            })
+            .collect();
+        let inj = Arc::new(FaultInjector::new(11, FaultConfig::quiet()));
+        let report =
+            run_threaded_faulted(config, states, 1_000, inj.clone(), RetryPolicy::default())
+                .unwrap();
+        assert_eq!(report.total, 4_000);
+        assert_eq!(report.lost, 0);
+        assert_eq!(inj.stats().snapshot().total_injected(), 0);
+        assert_eq!(inj.stats().snapshot().lost_packets, 0);
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn stuck_fabric_trips_watchdog_and_bounds_loss() {
+        use ss_faults::{FaultConfig, FaultInjector, FaultSite, RetryPolicy};
+        use std::sync::atomic::Ordering;
+        use std::sync::Arc;
+        let config = FabricConfig::edf(4, FabricConfigKind::WinnerOnly);
+        let states = (0..4)
+            .map(|_| StreamState {
+                request_period: 4,
+                original_window: ss_types::WindowConstraint::ZERO,
+                static_prio: 0,
+                late_policy: LatePolicy::ServeLate,
+            })
+            .collect();
+        // Every decision cycle wedges, and wedges chain: the fabric never
+        // produces again, so the scheduler's watchdog must trip instead of
+        // the run hanging or panicking.
+        let inj = Arc::new(FaultInjector::new(
+            13,
+            FaultConfig {
+                decision_rate_ppm: 1_000_000,
+                ..FaultConfig::quiet()
+            },
+        ));
+        let report =
+            run_threaded_faulted(config, states, 500, inj.clone(), RetryPolicy::default()).unwrap();
+        assert!(report.lost > 0, "watchdog abandoned the backlog");
+        assert_eq!(
+            report.total + report.lost,
+            2_000,
+            "every arrival is either transmitted or counted lost"
+        );
+        let stats = inj.stats();
+        assert!(stats.detected.load(Ordering::Relaxed) >= 1, "trip detected");
+        assert_eq!(
+            stats.lost_packets.load(Ordering::Relaxed),
+            report.lost,
+            "injector ledger matches the report"
+        );
+        assert!(stats.injected(FaultSite::DecisionCycle) >= 1);
     }
 
     #[cfg(feature = "telemetry")]
@@ -306,8 +489,7 @@ mod tests {
                 late_policy: LatePolicy::ServeLate,
             })
             .collect();
-        let (report, qos) =
-            run_threaded_instrumented(config, states, 500, &registry, 128).unwrap();
+        let (report, qos) = run_threaded_instrumented(config, states, 500, &registry, 128).unwrap();
         assert_eq!(report.total, 2_000);
         assert_eq!(qos.streams.len(), 4);
         let qos_serviced: u64 = qos.streams.iter().map(|s| s.serviced).sum();
@@ -328,7 +510,9 @@ mod tests {
             .metrics
             .iter()
             .any(|m| m.name == "ss_fabric_decision_cycles_total"));
-        assert!(snap.to_prometheus().contains("ss_endsystem_ring_high_water"));
+        assert!(snap
+            .to_prometheus()
+            .contains("ss_endsystem_ring_high_water"));
     }
 
     #[test]

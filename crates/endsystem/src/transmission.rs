@@ -213,7 +213,10 @@ mod jitter_tests {
         }
         let j = te.interdeparture(0);
         assert_eq!(j.count(), 99);
-        assert!(j.std_dev().unwrap().abs() < 1e-9, "CBR departures must be jitter-free");
+        assert!(
+            j.std_dev().unwrap().abs() < 1e-9,
+            "CBR departures must be jitter-free"
+        );
         assert_eq!(j.mean(), Some(1_000_000.0));
     }
 
@@ -230,6 +233,9 @@ mod jitter_tests {
             te.transmit(0, PacketSize(1000), 0, 0);
         }
         let j = te.interdeparture(0);
-        assert!(j.std_dev().unwrap() > 100_000.0, "expected alternating gaps");
+        assert!(
+            j.std_dev().unwrap() > 100_000.0,
+            "expected alternating gaps"
+        );
     }
 }

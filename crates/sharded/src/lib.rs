@@ -110,6 +110,25 @@ pub struct ShardedScheduler {
     total_slots: usize,
     mode: ComparisonMode,
     decision_count: u64,
+    /// Global slot → (shard, local). Starts as the contiguous partition;
+    /// [`ShardedScheduler::redistribute`] edits it when streams are rehomed
+    /// off a failed shard.
+    slot_map: Vec<(usize, usize)>,
+    /// (shard, local) → global slot (exact inverse of `slot_map`).
+    rev_map: Vec<Vec<usize>>,
+    /// Host-side shadow of every loaded stream's configuration — the
+    /// supervisor's copy that makes rehoming off dead hardware possible.
+    shadow: Vec<Option<StreamState>>,
+    /// Shards excluded from the merge (crashed or operator-failed).
+    failed: Vec<bool>,
+    /// Per-shard transient-stall horizon: the shard proposes nothing while
+    /// `decision_count < stalled_until[k]` (it still expires, so shard
+    /// clocks stay in lockstep).
+    stalled_until: Vec<u64>,
+    /// Backlogged packets written off when shards failed.
+    lost_packets: u64,
+    #[cfg(feature = "faults")]
+    injector: Option<std::sync::Arc<ss_faults::FaultInjector>>,
     #[cfg(feature = "telemetry")]
     telem: Option<ShardedTelemetry>,
 }
@@ -156,6 +175,18 @@ impl ShardedScheduler {
             total_slots: config.slots,
             mode: config.mode,
             decision_count: 0,
+            slot_map: (0..config.slots)
+                .map(|g| (g / per_shard, g % per_shard))
+                .collect(),
+            rev_map: (0..shards)
+                .map(|k| (0..per_shard).map(|l| k * per_shard + l).collect())
+                .collect(),
+            shadow: vec![None; config.slots],
+            failed: vec![false; shards],
+            stalled_until: vec![0; shards],
+            lost_packets: 0,
+            #[cfg(feature = "faults")]
+            injector: None,
             #[cfg(feature = "telemetry")]
             telem: None,
         })
@@ -193,7 +224,7 @@ impl ShardedScheduler {
         };
         for (k, fabric) in self.shards.iter().enumerate() {
             for mut row in fabric.qos_snapshot().streams {
-                row.slot = (k * self.per_shard + row.slot as usize) as u8;
+                row.slot = self.rev_map[k][row.slot as usize] as u8;
                 set.streams.push(row);
             }
         }
@@ -220,42 +251,63 @@ impl ShardedScheduler {
         self.decision_count
     }
 
-    /// Scheduler time in packet-times. All shards advance in lockstep in
-    /// inline mode, so shard 0 speaks for everyone.
+    /// Scheduler time in packet-times. All live shards advance in lockstep
+    /// in inline mode, so the first surviving shard speaks for everyone
+    /// (shard 0's clock freezes if it fails).
     pub fn now(&self) -> u64 {
-        self.shards[0].now()
+        (0..self.shards.len())
+            .find(|&k| !self.failed[k])
+            .map_or(0, |k| self.shards[k].now())
     }
 
     fn map(&self, global: usize) -> Result<(usize, usize)> {
-        if global < self.total_slots {
-            Ok((global / self.per_shard, global % self.per_shard))
-        } else {
-            Err(Error::SlotOutOfRange {
+        self.slot_map
+            .get(global)
+            .copied()
+            .ok_or(Error::SlotOutOfRange {
                 slot: global,
                 slots: self.total_slots,
             })
+    }
+
+    /// Like [`ShardedScheduler::map`], but rejects slots homed on a failed
+    /// shard — data-path operations must not talk to dead hardware.
+    fn map_live(&self, global: usize) -> Result<(usize, usize)> {
+        let (shard, local) = self.map(global)?;
+        if self.failed[shard] {
+            return Err(Error::ShardFailed { shard });
         }
+        Ok((shard, local))
     }
 
     fn unmap(&self, shard: usize, local: SlotId) -> SlotId {
-        SlotId::new_unchecked((shard * self.per_shard + local.index()) as u8)
+        SlotId::new_unchecked(self.rev_map[shard][local.index()] as u8)
     }
 
     /// Binds a stream to global slot `g` (routed to its shard).
-    pub fn load_stream(&mut self, global: usize, state: StreamState, first_deadline: u64) -> Result<()> {
-        let (shard, local) = self.map(global)?;
-        self.shards[shard].load_stream(local, state, first_deadline)
+    pub fn load_stream(
+        &mut self,
+        global: usize,
+        state: StreamState,
+        first_deadline: u64,
+    ) -> Result<()> {
+        let (shard, local) = self.map_live(global)?;
+        self.shards[shard].load_stream(local, state.clone(), first_deadline)?;
+        self.shadow[global] = Some(state);
+        Ok(())
     }
 
     /// Unbinds global slot `g`.
     pub fn unload_stream(&mut self, global: usize) -> Result<()> {
-        let (shard, local) = self.map(global)?;
-        self.shards[shard].unload_stream(local)
+        let (shard, local) = self.map_live(global)?;
+        self.shards[shard].unload_stream(local)?;
+        self.shadow[global] = None;
+        Ok(())
     }
 
     /// Deposits one arrival into global slot `g`'s queue.
     pub fn push_arrival(&mut self, global: usize, arrival: Wrap16) -> Result<()> {
-        let (shard, local) = self.map(global)?;
+        let (shard, local) = self.map_live(global)?;
         self.shards[shard].push_arrival(local, arrival)
     }
 
@@ -284,27 +336,189 @@ impl ShardedScheduler {
         &self.shards[k]
     }
 
+    /// `true` if shard `k` has been excluded from the merge.
+    pub fn is_failed(&self, k: usize) -> bool {
+        self.failed.get(k).copied().unwrap_or(false)
+    }
+
+    /// Indices of excluded shards, ascending.
+    pub fn failed_shards(&self) -> Vec<usize> {
+        (0..self.shards.len()).filter(|&k| self.failed[k]).collect()
+    }
+
+    /// Backlogged packets written off when shards failed.
+    pub fn lost_packets(&self) -> u64 {
+        self.lost_packets
+    }
+
+    /// Excludes shard `k` from the winner merge: its proposals stop
+    /// competing, its expiry clock stops, and its queued backlog is written
+    /// off (returned, and added to [`ShardedScheduler::lost_packets`] —
+    /// bounded, counted loss, never a hang). Streams homed there stay
+    /// unreachable until [`ShardedScheduler::redistribute`] rehomes them.
+    /// Errors if `k` is out of range or already failed.
+    pub fn fail_shard(&mut self, k: usize) -> Result<u64> {
+        if k >= self.shards.len() {
+            return Err(Error::Config(format!(
+                "no shard {k} (have {})",
+                self.shards.len()
+            )));
+        }
+        if self.failed[k] {
+            return Err(Error::ShardFailed { shard: k });
+        }
+        self.failed[k] = true;
+        let mut lost = 0u64;
+        for local in 0..self.per_shard {
+            lost += self.shards[k].backlog(local).unwrap_or(0) as u64;
+        }
+        self.lost_packets += lost;
+        #[cfg(feature = "faults")]
+        if let Some(inj) = &self.injector {
+            use std::sync::atomic::Ordering as AOrd;
+            inj.stats().detected.fetch_add(1, AOrd::Relaxed);
+            inj.stats().shards_excluded.fetch_add(1, AOrd::Relaxed);
+            inj.stats().lost_packets.fetch_add(lost, AOrd::Relaxed);
+        }
+        Ok(lost)
+    }
+
+    /// Rehomes the streams of failed shard `from` onto free slots of
+    /// surviving shards, updating the global→(shard, local) indirection so
+    /// existing global slot IDs keep working. Each rehomed stream is
+    /// reloaded from the supervisor's shadow configuration with a fresh
+    /// first deadline (`now + request_period`) — its in-flight backlog was
+    /// already written off by [`ShardedScheduler::fail_shard`]. Returns
+    /// `(global_slot, new_shard)` for every move; streams that found no
+    /// free surviving slot stay unreachable. Errors if `from` is not a
+    /// failed shard.
+    pub fn redistribute(&mut self, from: usize) -> Result<Vec<(usize, usize)>> {
+        if from >= self.shards.len() || !self.failed[from] {
+            return Err(Error::Config(format!("shard {from} is not failed")));
+        }
+        let mut moves = Vec::new();
+        for local in 0..self.per_shard {
+            let global = self.rev_map[from][local];
+            let Some(state) = self.shadow[global].clone() else {
+                continue;
+            };
+            // First free slot on a surviving shard: one whose current
+            // tenant has nothing loaded.
+            let mut found = None;
+            'search: for (k2, row) in self.rev_map.iter().enumerate() {
+                if self.failed[k2] {
+                    continue;
+                }
+                for (l2, &tenant) in row.iter().enumerate() {
+                    if self.shadow[tenant].is_none() {
+                        found = Some((k2, l2, tenant));
+                        break 'search;
+                    }
+                }
+            }
+            let Some((k2, l2, tenant)) = found else {
+                break; // surviving capacity exhausted
+            };
+            // Swap homes so the indirection stays a bijection: the empty
+            // tenant slot takes over the dead home.
+            self.slot_map[global] = (k2, l2);
+            self.slot_map[tenant] = (from, local);
+            self.rev_map[k2][l2] = global;
+            self.rev_map[from][local] = tenant;
+            let restart = self.shards[k2].now() + state.request_period;
+            self.shards[k2].load_stream(l2, state, restart)?;
+            moves.push((global, k2));
+        }
+        Ok(moves)
+    }
+
+    /// Wires every shard fabric and the frontend's shard-fault sampling to
+    /// a shared injector: decision cycles can wedge per shard, and the
+    /// [`ss_faults::FaultSite::Shard`] stream drives transient stalls and
+    /// permanent crashes (auto-excluded on detection).
+    #[cfg(feature = "faults")]
+    pub fn attach_faults(&mut self, injector: std::sync::Arc<ss_faults::FaultInjector>) {
+        for fabric in &mut self.shards {
+            fabric.attach_faults(injector.clone());
+        }
+        self.injector = Some(injector);
+    }
+
+    /// Permanently crashes shard `k`'s fabric (test/operator hook); the
+    /// next decision cycle detects and excludes it.
+    #[cfg(feature = "faults")]
+    pub fn inject_shard_crash(&mut self, k: usize) {
+        self.shards[k].inject_crash();
+    }
+
+    /// Samples the shard-level fault stream once per global cycle and
+    /// applies the drawn fault to a round-robin-picked live shard.
+    #[cfg(feature = "faults")]
+    fn inject_shard_faults(&mut self) {
+        use ss_faults::{FaultKind, FaultSite};
+        let Some(inj) = &self.injector else { return };
+        let Some(kind) = inj.sample(FaultSite::Shard) else {
+            return;
+        };
+        let n = self.shards.len();
+        let Some(target) = (0..n)
+            .map(|i| (self.decision_count as usize + i) % n)
+            .find(|&k| !self.failed[k])
+        else {
+            return;
+        };
+        match kind {
+            FaultKind::ShardCrash => self.shards[target].inject_crash(),
+            FaultKind::ShardStall { cycles } => {
+                self.stalled_until[target] = self.decision_count + cycles as u64;
+                inj.stats()
+                    .stalled_cycles
+                    .fetch_add(cycles as u64, std::sync::atomic::Ordering::Relaxed);
+            }
+            _ => {}
+        }
+    }
+
+    /// Probes every live shard's health and auto-excludes crashed ones —
+    /// the frontend's watchdog sweep, run at the top of each global cycle.
+    fn auto_exclude_crashed(&mut self) {
+        for k in 0..self.shards.len() {
+            if !self.failed[k] && self.shards[k].is_crashed() {
+                // fail_shard only errors on already-failed, excluded here.
+                let _ = self.fail_shard(k);
+            }
+        }
+    }
+
     /// The winner-merge: picks the shard whose proposal wins the Table 2
     /// comparison, with slot ties resolved by *global* slot ID (shard-local
     /// IDs collide across shards; the contiguous partition makes
     /// lower-shard-first equal to lower-global-ID-first, matching the
     /// single-fabric tie-break). Returns `None` when every shard is idle.
     fn merge_pick(&self) -> Option<usize> {
-        let mut best_shard = 0usize;
-        let mut best = self.shards[0].peek_winner();
-        for (k, fabric) in self.shards.iter().enumerate().skip(1) {
+        let mut best: Option<(usize, StreamAttrs)> = None;
+        for (k, fabric) in self.shards.iter().enumerate() {
+            // Failed shards are out of the merge for good; stalled shards
+            // sit out their injected window but keep expiring.
+            if self.failed[k] || self.decision_count < self.stalled_until[k] {
+                continue;
+            }
             let w = fabric.peek_winner();
-            let (ord, rule) = order(&w, &best, self.mode);
-            // A SlotId verdict compared shard-local IDs, which is
-            // meaningless across shards: the earlier shard holds the lower
-            // global IDs, so the incumbent keeps the slot tie.
-            let challenger_wins = rule != DecisionRule::SlotId && ord == Ordering::Less;
-            if challenger_wins {
-                best = w;
-                best_shard = k;
+            match &best {
+                None => best = Some((k, w)),
+                Some((_, b)) => {
+                    // A SlotId verdict compared shard-local IDs, which is
+                    // meaningless across shards: the earlier shard holds
+                    // the lower global IDs, so the incumbent keeps the
+                    // slot tie.
+                    let (ord, rule) = order(&w, b, self.mode);
+                    if rule != DecisionRule::SlotId && ord == Ordering::Less {
+                        best = Some((k, w));
+                    }
+                }
             }
         }
-        best.valid.then_some(best_shard)
+        best.and_then(|(k, w)| w.valid.then_some(k))
     }
 
     /// One exact global decision: the merged winner's shard services its
@@ -313,6 +527,9 @@ impl ShardedScheduler {
     /// packet-time.
     pub fn decision_cycle(&mut self) -> Option<ScheduledPacket> {
         self.decision_count += 1;
+        #[cfg(feature = "faults")]
+        self.inject_shard_faults();
+        self.auto_exclude_crashed();
         // Clock reads only happen when instrumentation is attached, so the
         // detached (and feature-off) hot path never calls `Instant::now`.
         #[cfg(feature = "telemetry")]
@@ -328,6 +545,9 @@ impl ShardedScheduler {
         }
         let mut out = None;
         for k in 0..self.shards.len() {
+            if self.failed[k] {
+                continue; // dead hardware: no decisions, no expiry clock
+            }
             if Some(k) == winner {
                 let packet = self.shards[k].decision_cycle_into().first().copied();
                 if let Some(p) = packet {
@@ -382,8 +602,15 @@ pub struct StreamletReport {
     /// are global; completion times remain shard-local (each shard models
     /// its own lane of the aggregate link).
     pub packets: Vec<ScheduledPacket>,
-    /// Total shard decision cycles executed (cycles × shards).
+    /// Total shard decision cycles dispatched (cycles × live shards);
+    /// shards that die mid-batch complete fewer.
     pub decisions: u64,
+    /// Shards newly excluded during this run (worker exited or crashed):
+    /// their lanes stop contributing but the surviving merge continues.
+    pub excluded: Vec<usize>,
+    /// Cycle proposals that never arrived from excluded shards — the
+    /// bounded, counted gap their loss left in this batch.
+    pub missed_proposals: u64,
 }
 
 struct ShardLink {
@@ -391,33 +618,48 @@ struct ShardLink {
     arr_tx: Producer<(usize, Wrap16)>,
     out_rx: Consumer<CycleProposal>,
     handle: JoinHandle<Fabric>,
+    /// Set once the worker's proposal ring disconnects: the shard is out
+    /// of every subsequent merge.
+    dead: bool,
 }
 
 /// The thread-per-shard runtime: K workers, each owning one fabric, fed by
 /// SPSC rings, merged on the calling thread.
 pub struct ThreadedShards {
     links: Vec<ShardLink>,
-    per_shard: usize,
     total_slots: usize,
     mode: ComparisonMode,
+    /// global → (shard, local), carried from the source scheduler so
+    /// arrivals route through any redistribution that happened inline.
+    slot_map: Vec<(usize, usize)>,
+    /// (shard, local) → global, carried from the source scheduler so
+    /// rehomed slots keep their global IDs in merged reports.
+    rev_map: Vec<Vec<usize>>,
     /// Per-cycle merge scratch (≤ K entries), reused across cycles.
     merge_scratch: Vec<(StreamAttrs, ScheduledPacket, usize)>,
+    #[cfg(feature = "faults")]
+    injector: Option<std::sync::Arc<ss_faults::FaultInjector>>,
     #[cfg(feature = "telemetry")]
     telem: Option<ShardedTelemetry>,
 }
 
 impl ThreadedShards {
     fn spawn(sched: ShardedScheduler, ring_capacity: usize) -> Self {
-        let per_shard = sched.per_shard;
         let total_slots = sched.total_slots;
         let mode = sched.mode;
         let shard_count = sched.shards.len();
+        let slot_map = sched.slot_map;
+        let rev_map = sched.rev_map;
+        let failed = sched.failed;
+        #[cfg(feature = "faults")]
+        let injector = sched.injector;
         #[cfg(feature = "telemetry")]
         let telem = sched.telem;
         let links = sched
             .shards
             .into_iter()
-            .map(|mut fabric| {
+            .zip(failed)
+            .map(|(mut fabric, was_failed)| {
                 let (cmd_tx, mut cmd_rx) = spsc_ring::<Cmd>(64);
                 let (arr_tx, mut arr_rx) = spsc_ring::<(usize, Wrap16)>(ring_capacity);
                 let (mut out_tx, out_rx) = spsc_ring::<CycleProposal>(ring_capacity);
@@ -427,7 +669,10 @@ impl ThreadedShards {
                             Some(Cmd::Batch(n)) => {
                                 for _ in 0..n {
                                     while let Some((slot, tag)) = arr_rx.pop() {
-                                        fabric.push_arrival(slot, tag).expect("local slot");
+                                        // Slots were validated at routing; a
+                                        // failed deposit is dropped, never a
+                                        // worker panic.
+                                        let _ = fabric.push_arrival(slot, tag);
                                     }
                                     let word = fabric.peek_winner();
                                     let packet = fabric.decision_cycle_into().first().copied();
@@ -440,6 +685,12 @@ impl ThreadedShards {
                                                 std::hint::spin_loop();
                                             }
                                         }
+                                    }
+                                    if fabric.is_crashed() {
+                                        // Injected permanent crash: stop
+                                        // proposing. Dropping out_tx is the
+                                        // merger's exclusion signal.
+                                        return fabric;
                                     }
                                 }
                             }
@@ -457,15 +708,20 @@ impl ThreadedShards {
                     arr_tx,
                     out_rx,
                     handle,
+                    // A shard failed before the move stays excluded.
+                    dead: was_failed,
                 }
             })
             .collect();
         Self {
             links,
-            per_shard,
             total_slots,
             mode,
+            slot_map,
+            rev_map,
             merge_scratch: Vec::with_capacity(shard_count),
+            #[cfg(feature = "faults")]
+            injector,
             #[cfg(feature = "telemetry")]
             telem,
         }
@@ -486,15 +742,18 @@ impl ThreadedShards {
     }
 
     /// Routes one arrival to its shard's ring. Fails with `QueueFull` if
-    /// the ring is full (workers drain it once per cycle).
+    /// the ring is full (workers drain it once per cycle) and with
+    /// `ShardFailed` if the slot's shard has been excluded.
     pub fn push_arrival(&mut self, global: usize, arrival: Wrap16) -> Result<()> {
-        if global >= self.total_slots {
+        let Some(&(shard, local)) = self.slot_map.get(global) else {
             return Err(Error::SlotOutOfRange {
                 slot: global,
                 slots: self.total_slots,
             });
+        };
+        if self.links[shard].dead {
+            return Err(Error::ShardFailed { shard });
         }
-        let (shard, local) = (global / self.per_shard, global % self.per_shard);
         self.links[shard]
             .arr_tx
             .push((local, arrival))
@@ -519,6 +778,9 @@ impl ThreadedShards {
     /// synchronize with each other — only with the ring capacity.
     pub fn run_cycles(&mut self, n: u64) -> StreamletReport {
         for link in &mut self.links {
+            if link.dead {
+                continue;
+            }
             let mut cmd = Cmd::Batch(n);
             loop {
                 match link.cmd_tx.push(cmd) {
@@ -530,19 +792,45 @@ impl ThreadedShards {
                 }
             }
         }
+        let live = self.links.iter().filter(|l| !l.dead).count() as u64;
         let mut report = StreamletReport {
             packets: Vec::new(),
-            decisions: n * self.links.len() as u64,
+            decisions: n * live,
+            excluded: Vec::new(),
+            missed_proposals: 0,
         };
-        let per_shard = self.per_shard;
-        for _cycle in 0..n {
+        for cycle in 0..n {
             self.merge_scratch.clear();
             for (k, link) in self.links.iter_mut().enumerate() {
+                if link.dead {
+                    continue;
+                }
+                // Wait for the shard's proposal — but a disconnected ring
+                // means the worker exited (crash fault or panic): exclude
+                // the shard and account the cycles it will never answer,
+                // instead of spinning forever or panicking the merge.
                 let proposal = loop {
                     match link.out_rx.pop() {
-                        Some(p) => break p,
-                        None => std::hint::spin_loop(),
+                        Some(p) => break Some(p),
+                        None => {
+                            if link.out_rx.is_disconnected() && link.out_rx.is_empty() {
+                                break None;
+                            }
+                            std::hint::spin_loop();
+                        }
                     }
+                };
+                let Some(proposal) = proposal else {
+                    link.dead = true;
+                    report.excluded.push(k);
+                    report.missed_proposals += n - cycle;
+                    #[cfg(feature = "faults")]
+                    if let Some(inj) = &self.injector {
+                        use std::sync::atomic::Ordering as AOrd;
+                        inj.stats().detected.fetch_add(1, AOrd::Relaxed);
+                        inj.stats().shards_excluded.fetch_add(1, AOrd::Relaxed);
+                    }
+                    continue;
                 };
                 if let Some(p) = proposal.packet {
                     self.merge_scratch.push((proposal.word, p, k));
@@ -570,7 +858,7 @@ impl ThreadedShards {
             }
             for &(_, p, k) in scratch.iter() {
                 report.packets.push(ScheduledPacket {
-                    slot: SlotId::new_unchecked((k * per_shard + p.slot.index()) as u8),
+                    slot: SlotId::new_unchecked(self.rev_map[k][p.slot.index()] as u8),
                     ..p
                 });
             }
@@ -589,15 +877,25 @@ impl ThreadedShards {
         report
     }
 
+    /// Indices of shards currently excluded from the merge.
+    pub fn dead_shards(&self) -> Vec<usize> {
+        self.links
+            .iter()
+            .enumerate()
+            .filter_map(|(k, l)| l.dead.then_some(k))
+            .collect()
+    }
+
     /// Shuts the workers down and returns the shard fabrics (for reading
-    /// counters after a run).
+    /// counters after a run). A worker that panicked simply yields no
+    /// fabric — the join itself never panics.
     pub fn join(self) -> Vec<Fabric> {
         self.links
             .into_iter()
-            .map(|link| {
+            .filter_map(|link| {
                 drop(link.cmd_tx);
                 drop(link.arr_tx);
-                link.handle.join().expect("shard worker")
+                link.handle.join().ok()
             })
             .collect()
     }
@@ -619,9 +917,11 @@ mod tests {
     }
 
     fn backlogged(total: usize, shards: usize, arrivals: usize) -> ShardedScheduler {
-        let mut s =
-            ShardedScheduler::new(FabricConfig::edf(total, FabricConfigKind::WinnerOnly), shards)
-                .unwrap();
+        let mut s = ShardedScheduler::new(
+            FabricConfig::edf(total, FabricConfigKind::WinnerOnly),
+            shards,
+        )
+        .unwrap();
         for g in 0..total {
             s.load_stream(g, edf_state(1), (g + 1) as u64).unwrap();
             for a in 0..arrivals {
@@ -673,11 +973,8 @@ mod tests {
 
     #[test]
     fn idle_shards_advance_time() {
-        let mut s = ShardedScheduler::new(
-            FabricConfig::edf(8, FabricConfigKind::WinnerOnly),
-            2,
-        )
-        .unwrap();
+        let mut s =
+            ShardedScheduler::new(FabricConfig::edf(8, FabricConfigKind::WinnerOnly), 2).unwrap();
         for g in 0..8 {
             s.load_stream(g, edf_state(1), (g + 1) as u64).unwrap();
         }
@@ -728,17 +1025,14 @@ mod tests {
     #[test]
     fn threaded_arrivals_via_rings() {
         let total = 4usize;
-        let s = ShardedScheduler::new(
-            FabricConfig::edf(total, FabricConfigKind::WinnerOnly),
-            2,
-        )
-        .map(|mut s| {
-            for g in 0..total {
-                s.load_stream(g, edf_state(1), (g + 1) as u64).unwrap();
-            }
-            s
-        })
-        .unwrap();
+        let s = ShardedScheduler::new(FabricConfig::edf(total, FabricConfigKind::WinnerOnly), 2)
+            .map(|mut s| {
+                for g in 0..total {
+                    s.load_stream(g, edf_state(1), (g + 1) as u64).unwrap();
+                }
+                s
+            })
+            .unwrap();
         let mut t = s.into_threaded(1024);
         for g in 0..total {
             t.push_arrival(g, Wrap16(0)).unwrap();
@@ -747,6 +1041,174 @@ mod tests {
         let report = t.run_cycles(4);
         assert_eq!(report.packets.len(), 4, "one packet per slot");
         t.join();
+    }
+
+    #[test]
+    fn failed_shard_is_excluded_and_loss_is_counted() {
+        let mut s = backlogged(8, 2, 3);
+        assert_eq!(s.failed_shards(), Vec::<usize>::new());
+        // Shard 1 holds globals 4..8, 3 queued packets each.
+        let lost = s.fail_shard(1).unwrap();
+        assert_eq!(lost, 12, "backlog written off, counted");
+        assert_eq!(s.lost_packets(), 12);
+        assert!(s.is_failed(1));
+        assert_eq!(s.failed_shards(), vec![1]);
+        assert!(matches!(
+            s.fail_shard(1),
+            Err(Error::ShardFailed { shard: 1 })
+        ));
+        assert!(s.fail_shard(9).is_err());
+        // Data-path operations against the dead shard error; the surviving
+        // shard keeps scheduling.
+        assert!(matches!(
+            s.push_arrival(5, Wrap16(0)),
+            Err(Error::ShardFailed { shard: 1 })
+        ));
+        assert!(s.push_arrival(2, Wrap16(9)).is_ok());
+        let mut served = 0;
+        while let Some(p) = s.decision_cycle() {
+            assert!(p.slot.index() < 4, "only surviving slots transmit");
+            served += 1;
+        }
+        assert_eq!(served, 13, "shard 0 backlog + the late arrival");
+    }
+
+    #[test]
+    fn surviving_set_is_bit_exact_with_a_standalone_fabric() {
+        // Exclusion without rehoming: after shard 1 dies, the merged
+        // schedule over shard 0's streams must be bit-identical to a
+        // standalone 4-slot fabric running those same streams.
+        let total = 8usize;
+        let arrivals = 50usize;
+        let mut s = backlogged(total, 2, arrivals);
+        s.fail_shard(1).unwrap();
+        let mut reference =
+            Fabric::new(FabricConfig::edf(4, FabricConfigKind::WinnerOnly)).unwrap();
+        for g in 0..4 {
+            reference
+                .load_stream(g, edf_state(1), (g + 1) as u64)
+                .unwrap();
+            for a in 0..arrivals {
+                reference
+                    .push_arrival(g, Wrap16::from_wide(a as u64))
+                    .unwrap();
+            }
+        }
+        for cycle in 0..(4 * arrivals as u64) {
+            let sharded = s.decision_cycle();
+            let single = reference.decision_cycle_into().first().copied();
+            match (sharded, single) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.slot, b.slot, "cycle {cycle}");
+                    assert_eq!(a.deadline, b.deadline, "cycle {cycle}");
+                    assert_eq!(a.completed_at, b.completed_at, "cycle {cycle}");
+                }
+                (a, b) => assert_eq!(a.is_none(), b.is_none(), "cycle {cycle}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn redistribute_rehomes_streams_onto_surviving_capacity() {
+        // Only shard 1's globals (4..8) are loaded; shard 0 is empty, so
+        // after shard 1 dies every stream finds a new home on shard 0.
+        let total = 8usize;
+        let mut s =
+            ShardedScheduler::new(FabricConfig::edf(total, FabricConfigKind::WinnerOnly), 2)
+                .unwrap();
+        for g in 4..total {
+            s.load_stream(g, edf_state(1), (g + 1) as u64).unwrap();
+        }
+        s.fail_shard(1).unwrap();
+        assert!(
+            s.redistribute(0).is_err(),
+            "only failed shards redistribute"
+        );
+        let moves = s.redistribute(1).unwrap();
+        assert_eq!(moves.len(), 4);
+        for &(g, new_shard) in &moves {
+            assert!((4..8).contains(&g));
+            assert_eq!(new_shard, 0, "rehomed onto the survivor");
+        }
+        // The global IDs still work end to end: arrivals route through the
+        // indirection and transmitted packets come back in global coords.
+        for g in 4..total {
+            s.push_arrival(g, Wrap16(0)).unwrap();
+        }
+        let mut seen = Vec::new();
+        for _ in 0..16 {
+            if let Some(p) = s.decision_cycle() {
+                seen.push(p.slot.index());
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![4, 5, 6, 7], "global coordinates preserved");
+        for g in 4..total {
+            assert_eq!(s.slot_counters(g).unwrap().serviced, 1);
+        }
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn injected_crash_auto_excludes_the_shard() {
+        use ss_faults::{FaultConfig, FaultInjector};
+        use std::sync::Arc;
+        let mut s = backlogged(8, 2, 5);
+        let inj = Arc::new(FaultInjector::new(31, FaultConfig::quiet()));
+        s.attach_faults(inj.clone());
+        s.inject_shard_crash(1);
+        // The next cycle's health sweep excludes the crashed shard; the
+        // surviving shard drains its 20 packets alone.
+        let mut served = 0;
+        while let Some(p) = s.decision_cycle() {
+            assert!(p.slot.index() < 4);
+            served += 1;
+        }
+        assert_eq!(served, 20);
+        assert_eq!(s.failed_shards(), vec![1]);
+        assert_eq!(s.lost_packets(), 20, "crashed shard's backlog written off");
+        use std::sync::atomic::Ordering as AOrd;
+        assert_eq!(inj.stats().shards_excluded.load(AOrd::Relaxed), 1);
+        assert_eq!(inj.stats().lost_packets.load(AOrd::Relaxed), 20);
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn threaded_worker_crash_is_excluded_not_hung() {
+        use ss_faults::{FaultConfig, FaultInjector};
+        use std::sync::Arc;
+        let s = backlogged(8, 4, 50);
+        let mut s = s;
+        let inj = Arc::new(FaultInjector::new(37, FaultConfig::quiet()));
+        s.attach_faults(inj.clone());
+        s.inject_shard_crash(2);
+        let mut t = s.into_threaded(1024);
+        let report = t.run_cycles(50);
+        assert_eq!(report.excluded, vec![2], "crashed worker excluded");
+        assert!(report.missed_proposals > 0);
+        assert_eq!(t.dead_shards(), vec![2]);
+        // Surviving shards each drained their 2 slots × 50 arrivals... at
+        // one packet per shard-cycle, 50 cycles move 50 packets per
+        // surviving shard; the crashed shard contributes at most its
+        // pre-crash cycle.
+        let mut per_slot = [0u64; 8];
+        for p in &report.packets {
+            per_slot[p.slot.index()] += 1;
+        }
+        let crashed_lane: u64 = per_slot[4..6].iter().sum();
+        let surviving: u64 = per_slot.iter().sum::<u64>() - crashed_lane;
+        assert!(crashed_lane <= 1, "crashed lane stops immediately");
+        assert_eq!(surviving, 150, "three surviving lanes × 50 cycles");
+        // Pushing to the dead shard's slots now errors instead of filling a
+        // ring nobody drains.
+        assert!(matches!(
+            t.push_arrival(4, Wrap16(0)),
+            Err(Error::ShardFailed { shard: 2 })
+        ));
+        let fabrics = t.join();
+        assert_eq!(fabrics.len(), 4, "crashed worker still returns its fabric");
+        use std::sync::atomic::Ordering as AOrd;
+        assert_eq!(inj.stats().shards_excluded.load(AOrd::Relaxed), 1);
     }
 
     #[cfg(feature = "telemetry")]

@@ -11,9 +11,7 @@
 //! the returned [`Counter`]/[`Gauge`]/[`Histogram`] handles are `Arc`s
 //! whose updates never touch the registry again.
 
-use crate::snapshot::{
-    Bucket, HistogramSnapshot, MetricSnapshot, MetricValue, Snapshot,
-};
+use crate::snapshot::{Bucket, HistogramSnapshot, MetricSnapshot, MetricValue, Snapshot};
 use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -243,7 +241,8 @@ impl Histogram {
             }
         }
         s.count.fetch_add(cur.count - base.count, Ordering::Relaxed);
-        s.sum.fetch_add(cur.sum.saturating_sub(base.sum), Ordering::Relaxed);
+        s.sum
+            .fetch_add(cur.sum.saturating_sub(base.sum), Ordering::Relaxed);
         s.min.fetch_min(cur.min, Ordering::Relaxed);
         s.max.fetch_max(cur.max, Ordering::Relaxed);
     }
@@ -590,7 +589,11 @@ mod tests {
         acc.clear();
         assert_eq!(acc.count(), 0);
         merged.merge_local(&acc);
-        assert_eq!(merged.snapshot(), direct.snapshot(), "empty merge is a no-op");
+        assert_eq!(
+            merged.snapshot(),
+            direct.snapshot(),
+            "empty merge is a no-op"
+        );
         // A second non-empty flush accumulates.
         acc.record(7);
         direct.record(7);

@@ -50,6 +50,19 @@ pub enum TraceKind {
         /// Slots whose head packet missed its deadline this cycle.
         slots: u8,
     },
+    /// An injected or detected fault consumed this cycle (stuck FSM wedge,
+    /// crashed shard, failed transfer). `code` distinguishes the source:
+    /// 0 = stuck decision FSM, 1 = crashed fabric/shard.
+    Fault {
+        /// Fault source code (see variant docs).
+        code: u8,
+    },
+    /// The supervisor switched scheduling paths: `true` = failed over to
+    /// the degraded software scheduler, `false` = re-attached to hardware.
+    Failover {
+        /// Direction of the switch.
+        to_software: bool,
+    },
 }
 
 /// One trace event: when (decision cycle), where (shard), what (kind).
@@ -134,7 +147,9 @@ impl EventRing {
 
     /// Iterates the held events oldest → newest.
     pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
-        self.buf[self.head..].iter().chain(self.buf[..self.head].iter())
+        self.buf[self.head..]
+            .iter()
+            .chain(self.buf[..self.head].iter())
     }
 
     /// Copies the held events (oldest → newest) into a fresh `Vec`.

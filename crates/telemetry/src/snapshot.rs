@@ -235,10 +235,7 @@ fn render_labels(labels: &[(String, String)], le: Option<String>) -> String {
     if labels.is_empty() && le.is_none() {
         return String::new();
     }
-    let mut parts: Vec<String> = labels
-        .iter()
-        .map(|(k, v)| format!("{k}=\"{v}\""))
-        .collect();
+    let mut parts: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
     if let Some(le) = le {
         parts.push(format!("le=\"{le}\""));
     }

@@ -21,7 +21,13 @@ pub struct Summary {
 impl Summary {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        Self { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Records one observation.
@@ -83,8 +89,8 @@ mod tests {
             s.record(v);
         }
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
-            / (samples.len() - 1) as f64;
+        let var =
+            samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (samples.len() - 1) as f64;
         assert!((s.mean().unwrap() - mean).abs() < 1e-12);
         assert!((s.std_dev().unwrap() - var.sqrt()).abs() < 1e-12);
         assert_eq!(s.min(), Some(1.5));

@@ -3,7 +3,12 @@
 use std::fmt;
 
 /// Errors raised by ShareStreams components.
+///
+/// Marked `#[non_exhaustive]`: fault-handling layers grow new variants as
+/// recovery machinery is added, and downstream matches must keep a
+/// catch-all arm rather than assume the failure taxonomy is closed.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum Error {
     /// A slot index exceeded the configured fabric size.
     SlotOutOfRange {
@@ -33,6 +38,31 @@ pub enum Error {
     },
     /// Configuration rejected with a human-readable reason.
     Config(String),
+    /// A host↔card transfer did not complete within its retry budget.
+    TransferTimeout {
+        /// Attempts made (initial try + retries).
+        attempts: u32,
+        /// Deadline budget that was exhausted, ns.
+        budget_ns: u64,
+    },
+    /// An SRAM bank was touched by a side that does not own it, or the
+    /// ownership handover itself failed arbitration.
+    BankContention {
+        /// Offending bank index.
+        bank: usize,
+    },
+    /// A scheduler shard crashed or stalled and was excluded from the
+    /// winner merge.
+    ShardFailed {
+        /// Failed shard index.
+        shard: usize,
+    },
+    /// The operation is unavailable because the scheduler is running in a
+    /// degraded software mode (hardware path failed over).
+    DegradedMode {
+        /// What degraded and why, human-readable.
+        reason: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -59,6 +89,22 @@ impl fmt::Display for Error {
                 "design needs {required_slices} slices but device has {available_slices}"
             ),
             Error::Config(msg) => write!(f, "configuration error: {msg}"),
+            Error::TransferTimeout {
+                attempts,
+                budget_ns,
+            } => write!(
+                f,
+                "transfer failed after {attempts} attempts ({budget_ns} ns budget exhausted)"
+            ),
+            Error::BankContention { bank } => {
+                write!(f, "SRAM bank {bank} contended: accessed without ownership")
+            }
+            Error::ShardFailed { shard } => {
+                write!(f, "shard {shard} failed and was excluded from the merge")
+            }
+            Error::DegradedMode { reason } => {
+                write!(f, "scheduler degraded to software path: {reason}")
+            }
         }
     }
 }
@@ -90,6 +136,25 @@ mod tests {
         .to_string()
         .contains("capacity 64"));
         assert!(Error::Config("bad".into()).to_string().contains("bad"));
+        assert_eq!(
+            Error::TransferTimeout {
+                attempts: 4,
+                budget_ns: 10_000
+            }
+            .to_string(),
+            "transfer failed after 4 attempts (10000 ns budget exhausted)"
+        );
+        assert!(Error::BankContention { bank: 1 }
+            .to_string()
+            .contains("bank 1"));
+        assert!(Error::ShardFailed { shard: 2 }
+            .to_string()
+            .contains("shard 2"));
+        assert!(Error::DegradedMode {
+            reason: "fabric stuck".into()
+        }
+        .to_string()
+        .contains("fabric stuck"));
     }
 
     #[test]

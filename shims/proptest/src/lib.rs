@@ -212,7 +212,9 @@ macro_rules! prop_assert_ne {
         if __l == __r {
             return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
                 "assertion failed: `{} != {}`\n  both: {:?}",
-                stringify!($left), stringify!($right), __l,
+                stringify!($left),
+                stringify!($right),
+                __l,
             )));
         }
     }};
@@ -223,9 +225,7 @@ macro_rules! prop_assert_ne {
 macro_rules! prop_assume {
     ($cond:expr) => {
         if !($cond) {
-            return ::std::result::Result::Err($crate::TestCaseError::reject(
-                stringify!($cond),
-            ));
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
         }
     };
 }

@@ -65,9 +65,7 @@ impl Value {
         match *self {
             Value::U64(n) => Some(n),
             Value::I64(n) if n >= 0 => Some(n as u64),
-            Value::F64(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
-                Some(f as u64)
-            }
+            Value::F64(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => Some(f as u64),
             _ => None,
         }
     }
@@ -257,7 +255,9 @@ impl Serialize for bool {
 
 impl<'de> Deserialize<'de> for bool {
     fn from_value(value: &Value) -> Result<Self, DeError> {
-        value.as_bool().ok_or_else(|| DeError::custom("expected bool"))
+        value
+            .as_bool()
+            .ok_or_else(|| DeError::custom("expected bool"))
     }
 }
 
@@ -287,7 +287,9 @@ impl<'de> Deserialize<'de> for &'static str {
         // Static device tables deserialize into `&'static str` names; the
         // tiny leak (one short string per parse) is the price of not carrying
         // borrowed lifetimes through the Value tree.
-        let s = value.as_str().ok_or_else(|| DeError::custom("expected string"))?;
+        let s = value
+            .as_str()
+            .ok_or_else(|| DeError::custom("expected string"))?;
         Ok(Box::leak(s.to_owned().into_boxed_str()))
     }
 }
@@ -300,7 +302,9 @@ impl Serialize for char {
 
 impl<'de> Deserialize<'de> for char {
     fn from_value(value: &Value) -> Result<Self, DeError> {
-        let s = value.as_str().ok_or_else(|| DeError::custom("expected char"))?;
+        let s = value
+            .as_str()
+            .ok_or_else(|| DeError::custom("expected char"))?;
         let mut chars = s.chars();
         match (chars.next(), chars.next()) {
             (Some(c), None) => Ok(c),
@@ -393,7 +397,11 @@ impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
 
 impl<V: Serialize> Serialize for BTreeMap<String, V> {
     fn to_value(&self) -> Value {
-        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
     }
 }
 
@@ -411,8 +419,10 @@ impl<'de, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<String, V> {
 impl<V: Serialize> Serialize for HashMap<String, V> {
     fn to_value(&self) -> Value {
         // Sort for deterministic output.
-        let mut pairs: Vec<(String, Value)> =
-            self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        let mut pairs: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
         pairs.sort_by(|a, b| a.0.cmp(&b.0));
         Value::Object(pairs)
     }

@@ -191,7 +191,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         };
         i += 1; // name
         i += 1; // ':'
-        // Skip the type: everything until a comma at angle-bracket depth 0.
+                // Skip the type: everything until a comma at angle-bracket depth 0.
         let mut depth = 0i32;
         while i < toks.len() {
             match &toks[i] {
@@ -304,10 +304,7 @@ fn gen_serialize(input: &Input) -> String {
             let items: Vec<String> = (0..*n)
                 .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
                 .collect();
-            format!(
-                "::serde::Value::Array(::std::vec![{}])",
-                items.join(", ")
-            )
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
         }
         Shape::Enum(variants) => {
             let mut arms = String::new();
@@ -364,12 +361,7 @@ fn gen_serialize(input: &Input) -> String {
 // Codegen: Deserialize
 // ---------------------------------------------------------------------------
 
-fn named_fields_ctor(
-    type_path: &str,
-    fields: &[Field],
-    obj_expr: &str,
-    ctx: &str,
-) -> String {
+fn named_fields_ctor(type_path: &str, fields: &[Field], obj_expr: &str, ctx: &str) -> String {
     let mut inits = String::new();
     for f in fields {
         let fallback = match &f.default {
@@ -409,9 +401,9 @@ fn gen_deserialize(input: &Input) -> String {
             };
             format!("let _ = __v;\n::std::result::Result::Ok({ctor})")
         }
-        Shape::Tuple(1) => format!(
-            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
-        ),
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
         Shape::Tuple(n) => {
             let items: Vec<String> = (0..*n)
                 .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))

@@ -20,7 +20,9 @@ pub struct Error {
 
 impl Error {
     fn new(msg: impl Into<String>) -> Self {
-        Error { message: msg.into() }
+        Error {
+            message: msg.into(),
+        }
     }
 }
 
@@ -94,8 +96,12 @@ macro_rules! json {
 #[macro_export]
 #[doc(hidden)]
 macro_rules! __json_key {
-    ($key:literal) => { $key };
-    ($key:ident) => { stringify!($key) };
+    ($key:literal) => {
+        $key
+    };
+    ($key:ident) => {
+        stringify!($key)
+    };
 }
 
 /// Implementation detail of [`json!`].
@@ -213,10 +219,7 @@ fn parse_value(s: &str) -> Result<Value> {
     let v = p.value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(Error::new(format!(
-            "trailing characters at byte {}",
-            p.pos
-        )));
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
     }
     Ok(v)
 }
@@ -297,7 +300,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Object(pairs));
                 }
-                _ => return Err(Error::new(format!("expected `,` or `}}` at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -320,7 +328,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Array(items));
                 }
-                _ => return Err(Error::new(format!("expected `,` or `]` at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }

@@ -61,9 +61,14 @@
 
 #![warn(missing_docs)]
 
+pub mod failover;
+
+pub use failover::{FailoverScheduler, SchedulerPath};
 pub use ss_core as core;
 pub use ss_disciplines as disciplines;
 pub use ss_endsystem as endsystem;
+#[cfg(feature = "faults")]
+pub use ss_faults as faults;
 pub use ss_framework as framework;
 pub use ss_hwsim as hwsim;
 pub use ss_linecard as linecard;
@@ -76,9 +81,10 @@ pub use ss_types as types;
 
 /// The most commonly used items in one import.
 pub mod prelude {
+    pub use crate::failover::{FailoverScheduler, SchedulerPath};
     pub use ss_core::{
-        BlockOrder, DecisionOutcome, Fabric, FabricConfig, FabricConfigKind, ScheduledPacket,
-        SchedulerReport, ShareStreamsScheduler, StreamState,
+        BlockOrder, DecisionOutcome, DecisionWatchdog, Fabric, FabricConfig, FabricConfigKind,
+        ScheduledPacket, SchedulerReport, ShareStreamsScheduler, StreamState, WatchdogVerdict,
     };
     pub use ss_endsystem::{EndsystemConfig, EndsystemPipeline, StreamletSetConfig};
     pub use ss_sharded::{ShardedScheduler, StreamletReport, ThreadedShards};

@@ -124,7 +124,9 @@ fn threaded_sharded_conserves_against_single_fabric() {
     // Single fabric: one packet per cycle → slots*arrivals cycles drain it.
     let mut single = Fabric::new(config).unwrap();
     for s in 0..slots {
-        single.load_stream(s, state.clone(), (s + 1) as u64).unwrap();
+        single
+            .load_stream(s, state.clone(), (s + 1) as u64)
+            .unwrap();
         for a in 0..arrivals {
             single.push_arrival(s, Wrap16::from_wide(a as u64)).unwrap();
         }
@@ -139,9 +141,13 @@ fn threaded_sharded_conserves_against_single_fabric() {
     for shards in [2usize, 4] {
         let mut sharded = ShardedScheduler::new(config, shards).unwrap();
         for s in 0..slots {
-            sharded.load_stream(s, state.clone(), (s + 1) as u64).unwrap();
+            sharded
+                .load_stream(s, state.clone(), (s + 1) as u64)
+                .unwrap();
             for a in 0..arrivals {
-                sharded.push_arrival(s, Wrap16::from_wide(a as u64)).unwrap();
+                sharded
+                    .push_arrival(s, Wrap16::from_wide(a as u64))
+                    .unwrap();
             }
         }
         let mut threaded = sharded.into_threaded(8192);

@@ -146,20 +146,26 @@ fn steady_state_decision_cycles_do_not_allocate() {
     for s in 0..SLOTS {
         sharded.load_stream(s, edf_state(), (s + 1) as u64).unwrap();
         for a in 0..DEPTH {
-            sharded.push_arrival(s, Wrap16::from_wide(a as u64)).unwrap();
+            sharded
+                .push_arrival(s, Wrap16::from_wide(a as u64))
+                .unwrap();
         }
     }
     for _ in 0..WARMUP {
         if let Some(p) = sharded.decision_cycle() {
             tag += 1;
-            sharded.push_arrival(p.slot.index(), Wrap16::from_wide(tag)).unwrap();
+            sharded
+                .push_arrival(p.slot.index(), Wrap16::from_wide(tag))
+                .unwrap();
         }
     }
     let before = allocations();
     for _ in 0..MEASURED {
         if let Some(p) = sharded.decision_cycle() {
             tag += 1;
-            sharded.push_arrival(p.slot.index(), Wrap16::from_wide(tag)).unwrap();
+            sharded
+                .push_arrival(p.slot.index(), Wrap16::from_wide(tag))
+                .unwrap();
         }
     }
     assert_eq!(
@@ -200,7 +206,9 @@ fn steady_state_decision_cycles_do_not_allocate() {
         for s in 0..SLOTS {
             sharded.load_stream(s, edf_state(), (s + 1) as u64).unwrap();
             for a in 0..DEPTH {
-                sharded.push_arrival(s, Wrap16::from_wide(a as u64)).unwrap();
+                sharded
+                    .push_arrival(s, Wrap16::from_wide(a as u64))
+                    .unwrap();
             }
         }
         sharded.attach_telemetry(&registry, 256);
