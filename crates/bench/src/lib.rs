@@ -5,6 +5,7 @@
 //! workspace `results/` directory: a JSON summary per experiment plus CSV
 //! series for the figures.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use serde::Serialize;

@@ -414,16 +414,22 @@ impl Fabric {
                 if winner.valid {
                     let slot = winner.slot.index();
                     self.registers[slot].record_win();
-                    let (deadline, met) = self.registers[slot]
-                        .service(end, self.updater.as_ref())
-                        .expect("valid winner has a queued packet");
-                    self.block_buf.push(ScheduledPacket {
-                        slot: winner.slot,
-                        deadline,
-                        completed_at: end,
-                        met,
-                    });
-                    self.serviced = 1u64 << slot;
+                    // A valid winner always has a queued packet; `None` here
+                    // would be a decision/register desync. The hot path must
+                    // not panic, so release builds skip the slot this cycle.
+                    if let Some((deadline, met)) =
+                        self.registers[slot].service(end, self.updater.as_ref())
+                    {
+                        self.block_buf.push(ScheduledPacket {
+                            slot: winner.slot,
+                            deadline,
+                            completed_at: end,
+                            met,
+                        });
+                        self.serviced = 1u64 << slot;
+                    } else {
+                        debug_assert!(false, "valid winner has a queued packet");
+                    }
                     self.words[slot] = self.registers[slot].attrs();
                 }
                 if self.config.priority_update {
@@ -469,9 +475,14 @@ impl Fabric {
                         self.registers[slot].record_win();
                     }
                     t += 1;
-                    let (deadline, met) = self.registers[slot]
-                        .service(t, self.updater.as_ref())
-                        .expect("valid word has a queued packet");
+                    // As above: a valid circulated word always has a queued
+                    // packet, and the hot path must not panic on a desync.
+                    let Some((deadline, met)) =
+                        self.registers[slot].service(t, self.updater.as_ref())
+                    else {
+                        debug_assert!(false, "valid word has a queued packet");
+                        continue;
+                    };
                     self.block_buf.push(ScheduledPacket {
                         slot: w.slot,
                         deadline,

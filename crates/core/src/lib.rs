@@ -39,6 +39,7 @@
 //!   streams by [`ss_types::StreamSpec`], enqueue packet arrivals, run
 //!   decisions, read QoS counters.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod control;

@@ -21,8 +21,11 @@ use crate::decision::DecisionBlock;
 use ss_types::{ComparisonMode, StreamAttrs};
 
 /// Validates the word-count for the network (power of two, 2..=32).
+/// Debug-only: the callers are registered hot-path kernels, which must not
+/// panic in release builds — a wrong size there still trips the slice
+/// bounds checks rather than proceeding silently.
 fn check_n(n: usize) {
-    assert!(
+    debug_assert!(
         n.is_power_of_two() && (2..=32).contains(&n),
         "network size {n} must be a power of two in 2..=32"
     );
@@ -33,8 +36,8 @@ fn check_n(n: usize) {
 /// form: no allocation, mirroring the hardware's fixed wiring.
 pub fn perfect_shuffle_into<T: Copy>(src: &[T], dst: &mut [T]) {
     let n = src.len();
-    assert!(n.is_power_of_two() && n >= 2);
-    assert_eq!(dst.len(), n, "shuffle buffers must match in length");
+    debug_assert!(n.is_power_of_two() && n >= 2);
+    debug_assert_eq!(dst.len(), n, "shuffle buffers must match in length");
     let half = n / 2;
     for i in 0..half {
         dst[2 * i] = src[i];
@@ -63,7 +66,7 @@ pub fn shuffle_exchange_pass_into(
 ) {
     let n = src.len();
     check_n(n);
-    assert_eq!(blocks.len(), n / 2, "need N/2 decision blocks");
+    debug_assert_eq!(blocks.len(), n / 2, "need N/2 decision blocks");
     perfect_shuffle_into(src, dst);
     for j in 0..n / 2 {
         let (w, l) = blocks[j].compare(dst[2 * j], dst[2 * j + 1], mode);
@@ -99,7 +102,7 @@ pub fn ba_decision_ping_pong(
 ) -> (bool, u64) {
     let n = a.len();
     check_n(n);
-    assert_eq!(b.len(), n, "scratch buffers must match in length");
+    debug_assert_eq!(b.len(), n, "scratch buffers must match in length");
     let passes = n.trailing_zeros() as u64;
     let mut src_is_a = true;
     for _ in 0..passes {
@@ -138,7 +141,7 @@ pub fn wr_decision_in_place(
 ) -> (StreamAttrs, u64) {
     let n = scratch.len();
     check_n(n);
-    assert_eq!(blocks.len(), n / 2, "need N/2 decision blocks");
+    debug_assert_eq!(blocks.len(), n / 2, "need N/2 decision blocks");
     let mut live = n;
     let mut cycles = 0u64;
     while live > 1 {

@@ -170,7 +170,14 @@ impl DwcsRef {
             return self.dwcs_tiebreak(a, b);
         }
         // EDF mode: straight to FCFS.
-        let (qa, qb) = (sa.queue.front().unwrap(), sb.queue.front().unwrap());
+        let (qa, qb) = (
+            sa.queue
+                .front()
+                .expect("order only compares backlogged streams"),
+            sb.queue
+                .front()
+                .expect("order only compares backlogged streams"),
+        );
         qa.arrival.cmp(&qb.arrival).then(a.cmp(&b))
     }
 
@@ -196,7 +203,14 @@ impl DwcsRef {
             }
         }
         // Rule 5: FCFS on head arrival, then stream index.
-        let (qa, qb) = (sa.queue.front().unwrap(), sb.queue.front().unwrap());
+        let (qa, qb) = (
+            sa.queue
+                .front()
+                .expect("order only compares backlogged streams"),
+            sb.queue
+                .front()
+                .expect("order only compares backlogged streams"),
+        );
         qa.arrival.cmp(&qb.arrival).then(a.cmp(&b))
     }
 }

@@ -16,6 +16,7 @@
 //! All disciplines are *work-conserving* (they emit a packet whenever any
 //! queue is backlogged) and deterministic.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod drr;

@@ -81,21 +81,30 @@ struct Ring<T> {
     stats: CachePadded<SharedStats>,
 }
 
-// Safety: the SPSC protocol guarantees a slot is accessed by exactly one
-// side at a time: the producer only writes slots in [write, read + cap),
-// the consumer only reads slots in [read, write).
+// SAFETY: `Ring` is only reached through `Producer`/`Consumer`, which the
+// constructor hands out exactly once each, so at most two threads touch it.
+// The protocol partitions the slots between them — the producer writes only
+// slots in [write, read + cap), the consumer reads only [read, write) — and
+// the Release/Acquire pointer handoff makes slot contents visible before a
+// slot changes sides. `T: Send` because values cross from the producer's
+// thread to the consumer's.
 unsafe impl<T: Send> Send for Ring<T> {}
+// SAFETY: shared `&Ring` access is the two endpoints reaching the atomics
+// and their own slot partition concurrently; see the Send argument above —
+// no slot is ever aliased across threads.
 unsafe impl<T: Send> Sync for Ring<T> {}
 
 impl<T> Drop for Ring<T> {
     fn drop(&mut self) {
-        // Both endpoints are gone: drain remaining items.
-        let read = self.read.load(Ordering::Relaxed);
-        let write = self.write.load(Ordering::Relaxed);
+        // Both endpoints are gone: drain remaining items. `&mut self` proves
+        // exclusive access, so the pointer loads need no synchronization.
+        let read = self.read.load(Ordering::Relaxed); // lint:allow(atomics-ordering) -- sole surviving thread (Arc dropped to zero); nothing to synchronize with
+        let write = self.write.load(Ordering::Relaxed); // lint:allow(atomics-ordering) -- same: exclusive &mut access in Drop
         for i in read..write {
             let slot = &self.buf[i & self.mask];
-            // Safety: slots in [read, write) hold initialized values and no
-            // other thread exists.
+            // SAFETY: slots in [read, write) hold initialized values (the
+            // producer wrote them and the consumer never reclaimed them),
+            // and `&mut self` in Drop rules out any concurrent access.
             unsafe { (*slot.get()).assume_init_drop() };
         }
     }
@@ -157,7 +166,7 @@ pub fn spsc_ring<T: Send>(cap: usize) -> (Producer<T>, Consumer<T>) {
 impl<T: Send> Producer<T> {
     /// Attempts to enqueue, returning the value back if the ring is full.
     pub fn push(&mut self, value: T) -> Result<(), T> {
-        let write = self.ring.write.load(Ordering::Relaxed);
+        let write = self.ring.write.load(Ordering::Relaxed); // lint:allow(atomics-ordering) -- producer-owned pointer: we are the only writer, so our own last store is always visible
         if write - self.cached_read > self.ring.mask {
             // Apparently full: refresh the read pointer.
             self.cached_read = self.ring.read.load(Ordering::Acquire);
@@ -167,7 +176,11 @@ impl<T: Send> Producer<T> {
             }
         }
         let slot = &self.ring.buf[write & self.ring.mask];
-        // Safety: slot is outside [read, write) — exclusively ours.
+        // SAFETY: slot `write & mask` is outside [read, write) — the
+        // consumer never touches it until our Release store below publishes
+        // it — and the Acquire load of `read` above proved the consumer is
+        // done with it, so the write is exclusive and the old contents (if
+        // any) were already moved out by `pop`.
         unsafe { (*slot.get()).write(value) };
         self.ring.write.store(write + 1, Ordering::Release);
         self.pushes += 1;
@@ -203,10 +216,15 @@ impl<T: Send> Producer<T> {
 
 impl<T> Producer<T> {
     fn publish_stats(&self) {
+        // All Relaxed: these are monotonic statistics mirrors, not part of
+        // the slot-handoff protocol — nothing is published *through* them.
+        // They are exact on the consumer side once the producer thread has
+        // been joined (the join itself is the happens-before edge) and
+        // merely fresh-ish before that, which RingStats documents.
         let s = &self.ring.stats;
         s.pushes.store(self.pushes, Ordering::Relaxed);
         s.rejections.store(self.rejections, Ordering::Relaxed);
-        s.high_water.store(self.high_water, Ordering::Release);
+        s.high_water.store(self.high_water, Ordering::Relaxed);
     }
 }
 
@@ -221,7 +239,7 @@ impl<T> Drop for Producer<T> {
 impl<T: Send> Consumer<T> {
     /// Attempts to dequeue.
     pub fn pop(&mut self) -> Option<T> {
-        let read = self.ring.read.load(Ordering::Relaxed);
+        let read = self.ring.read.load(Ordering::Relaxed); // lint:allow(atomics-ordering) -- consumer-owned pointer: we are the only writer, so our own last store is always visible
         if read == self.cached_write {
             // Apparently empty: refresh the write pointer.
             self.cached_write = self.ring.write.load(Ordering::Acquire);
@@ -230,7 +248,12 @@ impl<T: Send> Consumer<T> {
             }
         }
         let slot = &self.ring.buf[read & self.ring.mask];
-        // Safety: slot is inside [read, write) — initialized and ours.
+        // SAFETY: slot `read & mask` is inside [read, write): the Acquire
+        // load of `write` above synchronized with the producer's Release
+        // store, so the slot's initialization is visible, and the producer
+        // will not rewrite it until our Release store below reclaims it.
+        // Moving the value out leaves the slot logically uninitialized,
+        // which `read + 1` records.
         let value = unsafe { (*slot.get()).assume_init_read() };
         self.ring.read.store(read + 1, Ordering::Release);
         Some(value)
@@ -239,7 +262,7 @@ impl<T: Send> Consumer<T> {
     /// Number of items visible to the consumer right now.
     pub fn len(&self) -> usize {
         let write = self.ring.write.load(Ordering::Acquire);
-        let read = self.ring.read.load(Ordering::Relaxed);
+        let read = self.ring.read.load(Ordering::Relaxed); // lint:allow(atomics-ordering) -- consumer-owned pointer; only the Acquire on `write` needs to synchronize (it makes every slot in [read, write) visible)
         write - read
     }
 
@@ -253,15 +276,17 @@ impl<T: Send> Consumer<T> {
         Arc::strong_count(&self.ring) == 1
     }
 
-    /// The statistics as last published by the producer (exact once the
-    /// producer has dropped or called [`Producer::stats`]).
+    /// The statistics as last published by the producer: exact once the
+    /// producer has dropped and its thread was joined (or it lived on this
+    /// thread); otherwise a recent snapshot.
     pub fn stats(&self) -> RingStats {
+        // Relaxed mirrors of the producer's plain counters — see
+        // `publish_stats` for why no Acquire is needed here.
         let s = &self.ring.stats;
-        let high_water = s.high_water.load(Ordering::Acquire);
         RingStats {
             pushes: s.pushes.load(Ordering::Relaxed),
             rejections: s.rejections.load(Ordering::Relaxed),
-            high_water,
+            high_water: s.high_water.load(Ordering::Relaxed),
             capacity: self.ring.mask + 1,
         }
     }
@@ -350,7 +375,9 @@ mod tests {
 
     #[test]
     fn threaded_stress_transfers_everything_in_order() {
-        const N: u64 = 1_000_000;
+        // Scaled down under Miri: the interpreter runs ~1000x slower and
+        // the protocol violations it can catch need few iterations.
+        const N: u64 = if cfg!(miri) { 2_000 } else { 1_000_000 };
         let (mut p, mut c) = spsc_ring(1024);
         let producer = std::thread::spawn(move || {
             let mut i = 0u64;
@@ -379,7 +406,7 @@ mod tests {
     fn threaded_stress_with_heap_payloads() {
         // Boxed payloads catch use-after-free / double-drop under ASAN-less
         // conditions via allocator poisoning heuristics.
-        const N: u64 = 100_000;
+        const N: u64 = if cfg!(miri) { 1_000 } else { 100_000 };
         let (mut p, mut c) = spsc_ring(64);
         let producer = std::thread::spawn(move || {
             let mut i = 0u64;
@@ -484,7 +511,7 @@ mod tests {
         // crossings from both sides at once. Back off with yield_now, not
         // spin_loop: with a 2-slot ring on a single-core host a spinning
         // side would burn its whole timeslice making no progress.
-        const N: u64 = 20_000;
+        const N: u64 = if cfg!(miri) { 500 } else { 20_000 };
         let (mut p, mut c) = spsc_ring(2);
         let producer = std::thread::spawn(move || {
             let mut i = 0u64;
@@ -550,7 +577,7 @@ mod tests {
 
     #[test]
     fn cross_thread_stats_are_exact_after_join() {
-        const N: u64 = 50_000;
+        const N: u64 = if cfg!(miri) { 1_000 } else { 50_000 };
         let (mut p, mut c) = spsc_ring(64);
         let producer = std::thread::spawn(move || {
             let mut i = 0u64;

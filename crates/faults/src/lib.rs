@@ -33,6 +33,7 @@
 //! counter into an [`ss_telemetry`] registry so chaos runs flow through the
 //! same Prometheus/JSON pipeline as regular runs.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod backoff;

@@ -17,6 +17,7 @@
 //!   comparison complexity, priority-update rate);
 //! * [`feasibility_surface`] — the full sweep used by `exp_fig1`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use serde::{Deserialize, Serialize};

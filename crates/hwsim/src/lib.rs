@@ -21,6 +21,7 @@
 //! record the calibration anchors and why cycle counts (which we simulate
 //! exactly) rather than absolute MHz carry the paper's conclusions.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod clock;

@@ -9,6 +9,7 @@
 //! ownership handover — the line-card's throughput is the raw fabric
 //! decision rate (7.6 M packets/s at 4 stream-slots on the Virtex I).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod card;

@@ -112,8 +112,9 @@ impl LinecardPipeline {
         let mut seq = vec![0u64; slots];
         let refill = |card: &mut Linecard, seq: &mut Vec<u64>| {
             for (s, q) in seq.iter_mut().enumerate() {
-                while card.fabric().backlog(s).unwrap() < 8 {
-                    card.packet_arrival(s, Wrap16::from_wide(*q)).unwrap();
+                while card.fabric().backlog(s).expect("slot index is in range") < 8 {
+                    card.packet_arrival(s, Wrap16::from_wide(*q))
+                        .expect("refill keeps the SRAM queue below capacity");
                     *q += 1;
                 }
             }

@@ -1,0 +1,158 @@
+//! `ss-lint` — workspace-aware static analysis for the ShareStreams
+//! invariants the compiler cannot see.
+//!
+//! The paper's performance story rests on hand-maintained properties: the
+//! single-cycle Decision blocks demand a zero-allocation, panic-free
+//! fabric hot path; the endsystem's "synchronization-free" SPSC circular
+//! buffers are a hand-rolled acquire/release protocol; and the
+//! telemetry/faults hooks promise zero-sized off-states. This tool turns
+//! each of those into a machine-checked rule, run on every commit:
+//!
+//! | rule id            | invariant                                             |
+//! |--------------------|-------------------------------------------------------|
+//! | `unsafe-hygiene`   | `unsafe` only in allowlisted files, each site with an adjacent `// SAFETY:` comment; all other crates carry `#![forbid(unsafe_code)]` |
+//! | `hot-path-purity`  | registered hot functions contain no panic/alloc/format tokens |
+//! | `atomics-ordering` | every `Ordering::` site matches the declared protocol (SeqCst banned, undeclared acq/rel flagged) |
+//! | `zst-off-state`    | feature-off stub types carry generated `size_of == 0` compile-time checks |
+//! | `error-discipline` | no `.unwrap()` outside tests; `.expect` needs a literal invariant message |
+//!
+//! Configuration lives in the checked-in `lint.toml` at the workspace
+//! root. Individual sites can be waived with
+//! `// lint:allow(rule-id) -- rationale` (the rationale is mandatory).
+//! The tool is dependency-free: it carries its own minimal Rust lexer
+//! (`lexer`), a TOML-subset reader (`config`), and the rule passes
+//! (`rules`). Run as:
+//!
+//! ```text
+//! cargo run -p ss-lint --release -- --workspace-root .
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+use config::Config;
+use std::collections::BTreeMap;
+use std::fmt;
+use workspace::Workspace;
+
+/// Every rule id, in report order.
+pub const RULE_IDS: [&str; 5] = [
+    rules::unsafe_hygiene::ID,
+    rules::hot_path::ID,
+    rules::atomics::ID,
+    rules::zst::ID,
+    rules::errors::ID,
+];
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The rule that fired.
+    pub rule: &'static str,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// The outcome of a run: findings plus audit statistics.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All violations, in rule order then file order.
+    pub violations: Vec<Violation>,
+    /// Counters ("ordering sites audited", "waivers honored", ...).
+    pub stats: BTreeMap<&'static str, u64>,
+}
+
+impl Report {
+    fn violation(&mut self, rule: &'static str, file: &str, line: usize, msg: String) {
+        self.violations.push(Violation {
+            rule,
+            file: file.to_string(),
+            line,
+            msg,
+        });
+    }
+
+    fn stat(&mut self, name: &'static str) {
+        *self.stats.entry(name).or_insert(0) += 1;
+    }
+
+    /// `true` when the workspace is clean.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Runs one rule by id. Panics on an unknown id (caller validates).
+pub fn run_rule(rule: &str, ws: &Workspace, cfg: &Config, report: &mut Report) {
+    match rule {
+        "unsafe-hygiene" => rules::unsafe_hygiene::check(ws, cfg, report),
+        "hot-path-purity" => rules::hot_path::check(ws, cfg, report),
+        "atomics-ordering" => rules::atomics::check(ws, cfg, report),
+        "zst-off-state" => rules::zst::check(ws, cfg, report),
+        "error-discipline" => rules::errors::check(ws, cfg, report),
+        other => unreachable!("unknown rule id `{other}` — caller validates against RULE_IDS"),
+    }
+}
+
+/// Runs all five rules plus waiver-syntax validation.
+pub fn run_all(ws: &Workspace, cfg: &Config) -> Report {
+    let mut report = Report::default();
+    for rule in RULE_IDS {
+        run_rule(rule, ws, cfg, &mut report);
+    }
+    waiver_syntax(ws, &mut report);
+    report
+}
+
+/// Validates waiver comments themselves: the rule id must exist and the
+/// `-- rationale` tail is mandatory. A malformed waiver is a violation of
+/// the rule it names (or `unsafe-hygiene`'s id-space when unknown), so a
+/// typo can never silently disable a check.
+fn waiver_syntax(ws: &Workspace, report: &mut Report) {
+    for f in &ws.files {
+        for w in &f.waivers {
+            match RULE_IDS.iter().find(|id| **id == w.rule) {
+                None => report.violation(
+                    rules::unsafe_hygiene::ID,
+                    &f.rel,
+                    w.line,
+                    format!(
+                        "waiver names unknown rule `{}` (known: {})",
+                        w.rule,
+                        RULE_IDS.join(", ")
+                    ),
+                ),
+                Some(id) => {
+                    if w.rationale.is_empty() {
+                        report.violation(
+                            id,
+                            &f.rel,
+                            w.line,
+                            "waiver missing its mandatory ` -- rationale` tail".to_string(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Rule `atomics-ordering`: audits every `Ordering::` site in the
+//! workspace against the declared acquire/release protocol.
+//!
+//! Policy:
+//! * `Ordering::SeqCst` is flagged everywhere — this codebase's protocols
+//!   are all pairwise release/acquire; a SeqCst site is either a mistake or
+//!   deserves a written waiver.
+//! * A site covered by a `[[atomics.protocol]]` rule (matched on file,
+//!   atomic field name, and operation) must use exactly the declared
+//!   ordering — e.g. the SPSC producer's `write.store` must be `Release`.
+//!   Deviations need a per-site waiver with rationale (the owner-side
+//!   `Relaxed` self-loads in the ring are the canonical example).
+//! * An `Acquire`/`Release`/`AcqRel` site NOT covered by any protocol rule
+//!   is flagged: publish/observe edges must be declared in `lint.toml`, so
+//!   the checked-in protocol table stays the complete map of the
+//!   workspace's synchronization.
+//! * Bare `Relaxed` on undeclared sites is allowed — the default for
+//!   monotonic statistics counters.
+//! * `use` imports of a *specific* ordering variant are flagged: they hide
+//!   audit sites behind a bare identifier.
+
+use super::{find_token, ident_before};
+use crate::config::Config;
+use crate::lexer::is_ident_byte;
+use crate::workspace::Workspace;
+use crate::Report;
+
+/// The rule id.
+pub const ID: &str = "atomics-ordering";
+
+const VARIANTS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+const OPS: [&str; 14] = [
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_nand",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_min",
+    "fetch_max",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// Runs the audit over the workspace.
+pub fn check(ws: &Workspace, cfg: &Config, report: &mut Report) {
+    for f in &ws.files {
+        let text = &f.masked.text;
+        for off in find_token(text, "Ordering::") {
+            let after = off + "Ordering::".len();
+            let Some(variant) = VARIANTS
+                .iter()
+                .find(|v| text[after..].starts_with(**v) && ident_ends(text, after + v.len()))
+            else {
+                continue; // std::cmp::Ordering::{Less,Equal,Greater} etc.
+            };
+            report.stat("ordering sites audited");
+            let line = f.masked.line_of(off);
+            let waived = f.waived(ID, line);
+            if waived {
+                report.stat("waivers honored");
+            }
+
+            // `use std::sync::atomic::Ordering::Relaxed;` hides later sites.
+            let (ls, le) = f.masked.line_span(line);
+            if text[ls..le].trim_start().starts_with("use ") {
+                if !waived {
+                    report.violation(
+                        ID,
+                        &f.rel,
+                        line,
+                        format!("importing `Ordering::{variant}` hides audit sites — spell `Ordering::{variant}` at each call site"),
+                    );
+                }
+                continue;
+            }
+
+            match find_op(text, off) {
+                Some((op, atomic)) => {
+                    let covered = cfg
+                        .protocol
+                        .iter()
+                        .find(|r| r.file == f.rel && r.atomic == atomic && r.op == op);
+                    match covered {
+                        Some(rule) => {
+                            if rule.require != *variant && !waived {
+                                report.violation(
+                                    ID,
+                                    &f.rel,
+                                    line,
+                                    format!(
+                                        "protocol declares `{}.{}` must be Ordering::{}, found Ordering::{variant}",
+                                        rule.atomic, rule.op, rule.require
+                                    ),
+                                );
+                            }
+                        }
+                        None => match *variant {
+                            "SeqCst" if cfg.flag_seqcst && !waived => report.violation(
+                                ID,
+                                &f.rel,
+                                line,
+                                format!("Ordering::SeqCst on `{atomic}.{op}` — declare the protocol this site needs (or waive with rationale)"),
+                            ),
+                            "Acquire" | "Release" | "AcqRel" if !waived => report.violation(
+                                ID,
+                                &f.rel,
+                                line,
+                                format!("undeclared {variant} site `{atomic}.{op}` — add a [[atomics.protocol]] rule to lint.toml or waive with rationale"),
+                            ),
+                            _ => {}
+                        },
+                    }
+                }
+                None => {
+                    if !waived {
+                        report.violation(
+                            ID,
+                            &f.rel,
+                            line,
+                            format!("Ordering::{variant} not attached to a recognized atomic operation — audit cannot classify this site"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn ident_ends(text: &str, at: usize) -> bool {
+    text.as_bytes().get(at).is_none_or(|b| !is_ident_byte(*b))
+}
+
+/// Scans backwards from an `Ordering::` site (bounded by the enclosing
+/// statement) for the nearest atomic operation call `.op(`, returning the
+/// operation and the receiver identifier before the dot.
+fn find_op(text: &str, site: usize) -> Option<(String, String)> {
+    let bytes = text.as_bytes();
+    // A statement boundary bounds the backward scan; method chains may
+    // span lines but never cross `;`, `{`, or `}`.
+    let start = text[..site]
+        .rfind([';', '{', '}'])
+        .map(|p| p + 1)
+        .unwrap_or(0);
+    let window = &text[start..site];
+    let mut best: Option<(usize, &str)> = None;
+    for op in OPS {
+        let pat = format!(".{op}(");
+        if let Some(pos) = window.rfind(&pat) {
+            // Longest-match wins at equal positions (compare_exchange_weak
+            // over compare_exchange); later position wins otherwise.
+            if best.is_none_or(|(bp, bop)| pos > bp || (pos == bp && op.len() > bop.len())) {
+                best = Some((pos, op));
+            }
+        }
+    }
+    let (pos, op) = best?;
+    // Receiver identifier directly before the `.`: `write` in
+    // `self.ring.write.load(`, `detected` in `inj.stats().detected.load(`.
+    // An index suffix is skipped backwards (`buckets[i].fetch_add` resolves
+    // to `buckets`); a call suffix (`.method().load`) has no field name and
+    // stays unclassifiable.
+    let dot = start + pos;
+    let mut recv_end = dot;
+    // Chains may break the line before the dot: `.stalled_cycles\n  .fetch_add(`.
+    while recv_end > 0 && bytes[recv_end - 1].is_ascii_whitespace() {
+        recv_end -= 1;
+    }
+    if bytes[..recv_end].last() == Some(&b']') {
+        let mut depth = 0usize;
+        while recv_end > 0 {
+            recv_end -= 1;
+            match bytes[recv_end] {
+                b']' => depth += 1,
+                b'[' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    if bytes[..recv_end].last() == Some(&b')') {
+        return None; // `.method().load(...)` — receiver is an expression
+    }
+    let atomic = ident_before(text, recv_end)?;
+    Some((op.to_string(), atomic.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_receiver_and_op() {
+        let t = "self.ring.write.store(w + 1, Ordering::Release);";
+        let site = t.find("Ordering::").expect("site present");
+        assert_eq!(
+            find_op(t, site),
+            Some(("store".to_string(), "write".to_string()))
+        );
+    }
+
+    #[test]
+    fn multiline_chains_resolve() {
+        let t = "inj.stats()\n    .stalled_cycles\n    .fetch_add(1, Ordering::Relaxed);";
+        let site = t.find("Ordering::").expect("site present");
+        assert_eq!(
+            find_op(t, site),
+            Some(("fetch_add".to_string(), "stalled_cycles".to_string()))
+        );
+    }
+
+    #[test]
+    fn indexed_receivers_resolve_to_the_field() {
+        let t = "self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);";
+        let site = t.find("Ordering::").expect("site present");
+        assert_eq!(
+            find_op(t, site),
+            Some(("fetch_add".to_string(), "buckets".to_string()))
+        );
+    }
+
+    #[test]
+    fn statement_boundary_stops_the_scan() {
+        let t = "a.load(x); let o = Ordering::Relaxed;";
+        let site = t.rfind("Ordering::").expect("site present");
+        assert_eq!(find_op(t, site), None);
+    }
+}

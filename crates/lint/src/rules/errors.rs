@@ -1,0 +1,172 @@
+//! Rule `error-discipline`: production code never calls `.unwrap()`, and
+//! `.expect(...)` must carry a non-empty literal message naming the
+//! invariant it relies on.
+//!
+//! Out of scope by construction: any path containing a `tests/`,
+//! `benches/`, or `examples/` component, `#[cfg(test)]`-gated items inside
+//! source files, and the extra prefixes configured in
+//! `[error_discipline].exclude` (the bench crate's experiment binaries and
+//! the vendored shims). Doc-comment examples are comments, so the masking
+//! pass removes them before scanning. Waivable per line with
+//! `lint:allow(error-discipline) -- rationale`.
+
+use super::find_token;
+use crate::config::Config;
+use crate::lexer::cfg_test_ranges;
+use crate::workspace::{SourceFile, Workspace};
+use crate::Report;
+
+/// The rule id.
+pub const ID: &str = "error-discipline";
+
+/// Runs the rule over all in-scope files.
+pub fn check(ws: &Workspace, cfg: &Config, report: &mut Report) {
+    for f in &ws.files {
+        if exempt(&f.rel, cfg) {
+            continue;
+        }
+        report.stat("files scanned for error discipline");
+        let text = &f.masked.text;
+        let test_ranges = cfg_test_ranges(text);
+        let in_tests = |off: usize| test_ranges.iter().any(|&(s, e)| off >= s && off < e);
+
+        for off in find_token(text, ".unwrap") {
+            if !followed_by_empty_call(text, off + ".unwrap".len()) || in_tests(off) {
+                continue;
+            }
+            flag(
+                report,
+                f,
+                off,
+                "`.unwrap()` outside tests — propagate the error or use `.expect(\"<invariant>\")`",
+            );
+        }
+        for off in find_token(text, ".expect") {
+            let args_at = off + ".expect".len();
+            if !text[args_at..].trim_start().starts_with('(') || in_tests(off) {
+                continue;
+            }
+            if !cfg.allow_expect_with_message {
+                flag(
+                    report,
+                    f,
+                    off,
+                    "`.expect()` outside tests — propagate the error",
+                );
+                continue;
+            }
+            match expect_message_kind(text, args_at) {
+                MessageKind::NonEmpty => {}
+                MessageKind::Empty => flag(
+                    report,
+                    f,
+                    off,
+                    "`.expect(\"\")` — the message must name the invariant that makes the panic unreachable",
+                ),
+                MessageKind::NotALiteral => flag(
+                    report,
+                    f,
+                    off,
+                    "`.expect(..)` needs a literal invariant message (computed messages allocate and obscure the proof)",
+                ),
+            }
+        }
+    }
+}
+
+fn flag(report: &mut Report, f: &SourceFile, off: usize, msg: &str) {
+    let line = f.masked.line_of(off);
+    if f.waived(ID, line) {
+        report.stat("waivers honored");
+    } else {
+        report.violation(ID, &f.rel, line, msg.to_string());
+    }
+}
+
+fn exempt(rel: &str, cfg: &Config) -> bool {
+    if rel
+        .split('/')
+        .any(|seg| matches!(seg, "tests" | "benches" | "examples"))
+    {
+        return true;
+    }
+    cfg.error_exclude
+        .iter()
+        .any(|e| rel == *e || rel.starts_with(&format!("{e}/")))
+}
+
+/// `true` when `at` begins `()` (allowing whitespace), i.e. a real
+/// `.unwrap()` call rather than a path like `Option::unwrap` passed as fn.
+fn followed_by_empty_call(text: &str, at: usize) -> bool {
+    let rest = text[at..].trim_start();
+    let Some(inner) = rest.strip_prefix('(') else {
+        return false;
+    };
+    inner.trim_start().starts_with(')')
+}
+
+enum MessageKind {
+    NonEmpty,
+    Empty,
+    NotALiteral,
+}
+
+/// Classifies the first argument after the `(` at/after `args_at`. The
+/// masked text keeps string delimiters and blanks contents, so a non-empty
+/// literal shows up as `"` followed by at least one blank before the next
+/// `"`.
+fn expect_message_kind(text: &str, args_at: usize) -> MessageKind {
+    let open = match text[args_at..].find('(') {
+        Some(p) => args_at + p + 1,
+        None => return MessageKind::NotALiteral,
+    };
+    let arg = text[open..].trim_start();
+    match arg.strip_prefix('"') {
+        Some(rest) => {
+            if rest.starts_with('"') {
+                MessageKind::Empty
+            } else {
+                MessageKind::NonEmpty
+            }
+        }
+        None => MessageKind::NotALiteral,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::mask_source;
+
+    #[test]
+    fn expect_message_classification() {
+        let m = mask_source("a.expect(\"invariant holds\"); b.expect(\"\"); c.expect(msg);");
+        let t = &m.text;
+        let offs: Vec<usize> = find_token(t, ".expect")
+            .into_iter()
+            .map(|o| o + ".expect".len())
+            .collect();
+        assert!(matches!(
+            expect_message_kind(t, offs[0]),
+            MessageKind::NonEmpty
+        ));
+        assert!(matches!(
+            expect_message_kind(t, offs[1]),
+            MessageKind::Empty
+        ));
+        assert!(matches!(
+            expect_message_kind(t, offs[2]),
+            MessageKind::NotALiteral
+        ));
+    }
+
+    #[test]
+    fn unwrap_requires_the_empty_call() {
+        let t = "x.unwrap(); y.unwrap_or(1); Option::unwrap";
+        let hits: Vec<usize> = find_token(t, ".unwrap")
+            .into_iter()
+            .filter(|o| followed_by_empty_call(t, o + ".unwrap".len()))
+            .collect();
+        assert_eq!(hits.len(), 1);
+    }
+}

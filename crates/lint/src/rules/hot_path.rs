@@ -1,0 +1,66 @@
+//! Rule `hot-path-purity`: functions registered as hot in `lint.toml`
+//! (the fabric decision core, the shuffle-exchange kernels, SPSC push/pop,
+//! the telemetry record path) must contain none of the forbidden tokens —
+//! no panics, no allocation, no formatting.
+//!
+//! A registered name that no longer resolves to a function body is itself
+//! a violation: renames must update the registry, otherwise coverage would
+//! rot silently. `debug_assert!` is permitted by omission — it compiles
+//! out of release builds, which is exactly the paper's single-cycle claim.
+//! Waivable per line (`lint:allow(hot-path-purity) -- ...`) for tokens
+//! that sit on a provably cold edge inside a hot function.
+
+use super::find_token;
+use crate::config::Config;
+use crate::lexer::find_fn_bodies;
+use crate::workspace::Workspace;
+use crate::Report;
+
+/// The rule id.
+pub const ID: &str = "hot-path-purity";
+
+/// Runs the rule over the registered hot functions.
+pub fn check(ws: &Workspace, cfg: &Config, report: &mut Report) {
+    for entry in &cfg.hot_entries {
+        let Some(f) = ws.file(&entry.file) else {
+            report.violation(
+                ID,
+                &entry.file,
+                1,
+                "registered hot-path file not found in the workspace".to_string(),
+            );
+            continue;
+        };
+        for name in &entry.names {
+            report.stat("hot functions verified");
+            let bodies = find_fn_bodies(&f.masked.text, name);
+            if bodies.is_empty() {
+                report.violation(
+                    ID,
+                    &f.rel,
+                    1,
+                    format!("registered hot function `{name}` not found — renamed? update [[hot_path.functions]] in lint.toml"),
+                );
+                continue;
+            }
+            for (start, end) in bodies {
+                let body = &f.masked.text[start..end];
+                for token in &cfg.hot_forbidden {
+                    for off in find_token(body, token) {
+                        let line = f.masked.line_of(start + off);
+                        if f.waived(ID, line) {
+                            report.stat("waivers honored");
+                            continue;
+                        }
+                        report.violation(
+                            ID,
+                            &f.rel,
+                            line,
+                            format!("`{token}` inside hot function `{name}` — hot paths must be panic-free and allocation-free"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

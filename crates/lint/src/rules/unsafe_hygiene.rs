@@ -1,0 +1,72 @@
+//! Rule `unsafe-hygiene`: every `unsafe` token must sit in an allowlisted
+//! file AND carry an adjacent `// SAFETY:` comment; the crates that promise
+//! to stay safe must actually carry `#![forbid(unsafe_code)]`.
+//!
+//! This rule is deliberately *not* waivable: the allowlist in `lint.toml`
+//! is the single place unsafe code is sanctioned, so a review of that one
+//! list is a review of the workspace's entire unsafe surface.
+
+use super::find_token;
+use crate::config::Config;
+use crate::workspace::Workspace;
+use crate::Report;
+
+/// The rule id.
+pub const ID: &str = "unsafe-hygiene";
+
+/// Runs the rule over the workspace.
+pub fn check(ws: &Workspace, cfg: &Config, report: &mut Report) {
+    for f in &ws.files {
+        let allowed = cfg.unsafe_allow_files.contains(&f.rel);
+        for off in find_token(&f.masked.text, "unsafe") {
+            report.stat("unsafe sites audited");
+            let line = f.masked.line_of(off);
+            if !allowed {
+                report.violation(
+                    ID,
+                    &f.rel,
+                    line,
+                    "`unsafe` outside the allowlist — add the file to [unsafe].allow_files in lint.toml only with a SAFETY argument".to_string(),
+                );
+            } else if !has_adjacent_safety_comment(f, line) {
+                report.violation(
+                    ID,
+                    &f.rel,
+                    line,
+                    "`unsafe` without an adjacent `// SAFETY:` comment documenting the proof obligation".to_string(),
+                );
+            }
+        }
+    }
+    for rel in &cfg.forbid_unsafe_files {
+        match ws.file(rel) {
+            Some(f) => {
+                if f.masked.text.contains("#![forbid(unsafe_code)]") {
+                    report.stat("forbid(unsafe_code) roots verified");
+                } else {
+                    report.violation(
+                        ID,
+                        rel,
+                        1,
+                        "crate root listed in [unsafe].forbid_files must carry #![forbid(unsafe_code)]".to_string(),
+                    );
+                }
+            }
+            None => report.violation(
+                ID,
+                rel,
+                1,
+                "file listed in [unsafe].forbid_files not found in the workspace".to_string(),
+            ),
+        }
+    }
+}
+
+/// A `SAFETY:` comment counts as adjacent when it sits on the `unsafe`
+/// line itself (trailing) or ends on the line directly above it.
+fn has_adjacent_safety_comment(f: &crate::workspace::SourceFile, line: usize) -> bool {
+    f.masked
+        .comments
+        .iter()
+        .any(|c| c.text.contains("SAFETY:") && (c.start_line == line || c.end_line + 1 == line))
+}

@@ -1,0 +1,199 @@
+//! Rule `zst-off-state`: for every `#[cfg(not(feature = "..."))]` stub
+//! type in a registered crate, a generated check file must assert at
+//! compile time that the feature-off stand-in is zero-sized.
+//!
+//! The telemetry and faults hooks promise "zero-sized when off" — this
+//! turns the promise into `const _: () = assert!(size_of::<T>() == 0)`
+//! lines in `tests/zst_off_state.rs` of each registered crate, so a stray
+//! field added to a stub fails the build of every feature-off CI leg. The
+//! rule fails when the checked-in file is missing or stale; regenerate
+//! with `cargo run -p ss-lint -- --write-zst-checks`.
+//!
+//! Scanning is syntactic: a `#[cfg(not(feature = "f"))]` attribute
+//! followed by a `struct` (or a `mod` block containing `pub struct`s,
+//! matching the enabled/disabled module idiom) registers each struct under
+//! the public path `<crate>::<file module>::<Type>` — the idiom re-exports
+//! the stub at the enclosing module level, and a wrong path simply fails
+//! to compile in the generated file, which is its own alarm.
+
+use crate::config::{Config, ZstCrate};
+use crate::lexer::{is_ident_byte, matching_brace};
+use crate::workspace::{SourceFile, Workspace};
+use crate::Report;
+use std::collections::BTreeSet;
+use std::io;
+use std::path::PathBuf;
+
+/// The rule id.
+pub const ID: &str = "zst-off-state";
+
+/// One discovered feature-off stub type.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct StubType {
+    /// The feature whose *absence* compiles the stub.
+    pub feature: String,
+    /// Full public path, e.g. `ss_core::telem::FabricTelemetry`.
+    pub path: String,
+}
+
+/// Scans one registered crate for feature-off stub types.
+pub fn scan_crate(ws: &Workspace, zc: &ZstCrate) -> Vec<StubType> {
+    let prefix = format!("{}/src/", zc.dir);
+    let mut found = BTreeSet::new();
+    for f in ws.files.iter().filter(|f| f.rel.starts_with(&prefix)) {
+        let module = module_path(&f.rel[prefix.len()..]);
+        for (feature, name) in stub_structs(f) {
+            let path = match module.as_str() {
+                "" => format!("{}::{}", zc.crate_name, name),
+                m => format!("{}::{}::{}", zc.crate_name, m, name),
+            };
+            found.insert(StubType { feature, path });
+        }
+    }
+    found.into_iter().collect()
+}
+
+/// `telem.rs` → `telem`, `lib.rs` → ``, `a/b.rs` → `a::b`, `a/mod.rs` → `a`.
+fn module_path(rel_in_src: &str) -> String {
+    let no_ext = rel_in_src.trim_end_matches(".rs");
+    let mut parts: Vec<&str> = no_ext.split('/').collect();
+    match parts.last() {
+        Some(&"lib") | Some(&"mod") => {
+            parts.pop();
+        }
+        _ => {}
+    }
+    parts.join("::")
+}
+
+/// `(feature, struct_name)` pairs found under `#[cfg(not(feature = ...))]`.
+fn stub_structs(f: &SourceFile) -> Vec<(String, String)> {
+    let masked = &f.masked.text;
+    let bytes = masked.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(pos) = masked[from..].find("#[cfg(not(feature") {
+        let at = from + pos;
+        from = at + 1;
+        // The feature name is a string literal — masked out, so read it
+        // from the original text between the quote delimiters (which the
+        // mask preserves).
+        let Some(q1) = masked[at..].find('"').map(|p| at + p) else {
+            continue;
+        };
+        let Some(q2) = masked[q1 + 1..].find('"').map(|p| q1 + 1 + p) else {
+            continue;
+        };
+        let feature = f.text[q1 + 1..q2].to_string();
+        let Some(attr_end) = masked[q2..].find(']').map(|p| q2 + p + 1) else {
+            continue;
+        };
+        // Skip whitespace and any further attributes (e.g. derives).
+        let mut j = attr_end;
+        loop {
+            while j < bytes.len() && (bytes[j] as char).is_whitespace() {
+                j += 1;
+            }
+            if bytes.get(j) == Some(&b'#') && bytes.get(j + 1) == Some(&b'[') {
+                while j < bytes.len() && bytes[j] != b']' {
+                    j += 1;
+                }
+                j += 1;
+            } else {
+                break;
+            }
+        }
+        let rest = &masked[j..];
+        if let Some(r) = rest
+            .strip_prefix("pub struct ")
+            .or_else(|| rest.strip_prefix("struct "))
+        {
+            if let Some(name) = leading_ident(r) {
+                out.push((feature, name));
+            }
+        } else if rest.starts_with("mod ") || rest.starts_with("pub mod ") {
+            // The disabled-module idiom: collect `pub struct`s inside.
+            let Some(open) = masked[j..].find('{').map(|p| j + p) else {
+                continue;
+            };
+            let Some(close) = matching_brace(bytes, open) else {
+                continue;
+            };
+            let body = &masked[open..close];
+            let mut b = 0usize;
+            while let Some(p) = body[b..].find("pub struct ") {
+                let s = b + p;
+                b = s + 1;
+                if s > 0 && is_ident_byte(body.as_bytes()[s - 1]) {
+                    continue;
+                }
+                if let Some(name) = leading_ident(&body[s + "pub struct ".len()..]) {
+                    out.push((feature.clone(), name));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn leading_ident(s: &str) -> Option<String> {
+    let end = s.bytes().position(|b| !is_ident_byte(b)).unwrap_or(s.len());
+    (end > 0).then(|| s[..end].to_string())
+}
+
+/// Renders the generated check file for one crate's stubs.
+pub fn generated_content(stubs: &[StubType]) -> String {
+    let mut out = String::new();
+    out.push_str("//! Compile-time proof that feature-off stub types stay zero-sized.\n");
+    out.push_str("//!\n");
+    out.push_str("//! @generated by `cargo run -p ss-lint -- --write-zst-checks` — do not\n");
+    out.push_str("//! edit; ss-lint's `zst-off-state` rule fails when this file is stale.\n");
+    for s in stubs {
+        out.push_str(&format!(
+            "\n#[cfg(not(feature = \"{}\"))]\nconst _: () = assert!(\n    core::mem::size_of::<{}>() == 0,\n    \"feature-off stub must stay zero-sized\"\n);\n",
+            s.feature, s.path
+        ));
+    }
+    out
+}
+
+/// Runs the staleness check.
+pub fn check(ws: &Workspace, cfg: &Config, report: &mut Report) {
+    for zc in &cfg.zst_crates {
+        let stubs = scan_crate(ws, zc);
+        for _ in &stubs {
+            report.stat("feature-off stubs verified");
+        }
+        let want = generated_content(&stubs);
+        match ws.file(&zc.check_file) {
+            Some(f) if f.text == want => {}
+            Some(_) => report.violation(
+                ID,
+                &zc.check_file,
+                1,
+                "stale zero-sized-stub check file — regenerate with `cargo run -p ss-lint -- --write-zst-checks`".to_string(),
+            ),
+            None => report.violation(
+                ID,
+                &zc.check_file,
+                1,
+                "missing zero-sized-stub check file — generate with `cargo run -p ss-lint -- --write-zst-checks`".to_string(),
+            ),
+        }
+    }
+}
+
+/// Writes (or rewrites) every registered check file; returns written paths.
+pub fn write(ws: &Workspace, cfg: &Config) -> io::Result<Vec<PathBuf>> {
+    let mut written = Vec::new();
+    for zc in &cfg.zst_crates {
+        let stubs = scan_crate(ws, zc);
+        let path = ws.root.join(&zc.check_file);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(&path, generated_content(&stubs))?;
+        written.push(path);
+    }
+    Ok(written)
+}

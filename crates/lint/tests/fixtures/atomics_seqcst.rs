@@ -1,0 +1,13 @@
+//! Fixture: a SeqCst site, banned everywhere by the audit policy.
+//! Expected: exactly one `atomics-ordering` violation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::SeqCst)
+}
+
+pub fn read(counter: &AtomicU64) -> u64 {
+    // Relaxed on an undeclared site is the allowed default.
+    counter.load(Ordering::Relaxed)
+}

@@ -1,0 +1,11 @@
+//! Fixture: a bare unwrap in production code.
+//! Expected: exactly one `error-discipline` violation.
+
+pub fn head(v: &[u8]) -> u8 {
+    *v.first().unwrap()
+}
+
+pub fn checked(v: &[u8]) -> u8 {
+    // The sanctioned idiom — must NOT fire.
+    *v.first().expect("caller guarantees a non-empty slice")
+}

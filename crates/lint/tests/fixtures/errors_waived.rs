@@ -1,0 +1,6 @@
+//! Fixture: a waived unwrap — the waiver must suppress the finding and be
+//! counted in the `waivers honored` statistic.
+
+pub fn tail(v: &[u8]) -> u8 {
+    *v.last().unwrap() // lint:allow(error-discipline) -- fixture: demonstrates an honored waiver
+}

@@ -1,0 +1,14 @@
+//! Fixture: a registered hot function containing a panic.
+//! Expected: exactly one `hot-path-purity` violation.
+
+pub fn decide(x: u64) -> u64 {
+    if x == 0 {
+        panic!("zero is not schedulable");
+    }
+    x - 1
+}
+
+pub fn cold_helper() {
+    // Unregistered function — a panic here must NOT fire the rule.
+    panic!("cold path may panic");
+}

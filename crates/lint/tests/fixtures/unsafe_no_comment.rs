@@ -1,0 +1,6 @@
+//! Fixture: an allowlisted unsafe site missing its `// SAFETY:` comment.
+//! Expected: exactly one `unsafe-hygiene` violation.
+
+pub fn read_first(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() }
+}

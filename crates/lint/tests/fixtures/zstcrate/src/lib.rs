@@ -1,0 +1,10 @@
+//! Fixture crate: a feature-off stub whose generated check file is absent.
+//! Expected: exactly one `zst-off-state` violation (missing check file).
+
+#[cfg(not(feature = "telemetry"))]
+pub struct Stub;
+
+#[cfg(feature = "telemetry")]
+pub struct Stub {
+    pub count: u64,
+}

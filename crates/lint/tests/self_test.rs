@@ -1,0 +1,170 @@
+//! Fixture-driven self-tests: each rule fires exactly once on its seeded
+//! known-bad fixture under `tests/fixtures/`, the waiver machinery
+//! suppresses exactly one more, the CLI exit codes hold, and — the gate
+//! that matters — the real workspace lints clean under the checked-in
+//! `lint.toml`.
+
+use ss_lint::config::Config;
+use ss_lint::workspace::Workspace;
+use ss_lint::{run_all, run_rule, Report};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixtures_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+fn load(root: &Path) -> (Workspace, Config) {
+    let cfg =
+        Config::parse(&std::fs::read_to_string(root.join("lint.toml")).expect("lint.toml exists"))
+            .expect("lint.toml parses");
+    let ws = Workspace::load(root, &cfg.exclude).expect("workspace loads");
+    (ws, cfg)
+}
+
+fn run_fixture_rule(rule: &str) -> Report {
+    let (ws, cfg) = load(&fixtures_root());
+    let mut report = Report::default();
+    run_rule(rule, &ws, &cfg, &mut report);
+    report
+}
+
+#[test]
+fn unsafe_hygiene_fires_exactly_once() {
+    let r = run_fixture_rule("unsafe-hygiene");
+    assert_eq!(r.violations.len(), 1, "{:#?}", r.violations);
+    let v = &r.violations[0];
+    assert_eq!(v.file, "unsafe_no_comment.rs");
+    assert_eq!(v.line, 5);
+    assert!(v.msg.contains("SAFETY"), "{}", v.msg);
+}
+
+#[test]
+fn hot_path_purity_fires_exactly_once() {
+    let r = run_fixture_rule("hot-path-purity");
+    assert_eq!(r.violations.len(), 1, "{:#?}", r.violations);
+    let v = &r.violations[0];
+    assert_eq!(v.file, "hot_panic.rs");
+    assert_eq!(v.line, 6, "the panic! line, not the unregistered helper's");
+    assert!(v.msg.contains("`panic!`"), "{}", v.msg);
+}
+
+#[test]
+fn atomics_ordering_fires_exactly_once() {
+    let r = run_fixture_rule("atomics-ordering");
+    assert_eq!(r.violations.len(), 1, "{:#?}", r.violations);
+    let v = &r.violations[0];
+    assert_eq!(v.file, "atomics_seqcst.rs");
+    assert!(v.msg.contains("SeqCst"), "{}", v.msg);
+    assert_eq!(
+        r.stats.get("ordering sites audited"),
+        Some(&2),
+        "the Relaxed site is audited but allowed"
+    );
+}
+
+#[test]
+fn zst_off_state_fires_exactly_once() {
+    let r = run_fixture_rule("zst-off-state");
+    assert_eq!(r.violations.len(), 1, "{:#?}", r.violations);
+    let v = &r.violations[0];
+    assert_eq!(v.file, "zstcrate/tests/zst_off_state.rs");
+    assert!(v.msg.contains("missing"), "{}", v.msg);
+    assert_eq!(
+        r.stats.get("feature-off stubs verified"),
+        Some(&1),
+        "the cfg(not(feature))-gated Stub must be discovered"
+    );
+}
+
+#[test]
+fn error_discipline_fires_exactly_once_and_honors_the_waiver() {
+    let r = run_fixture_rule("error-discipline");
+    assert_eq!(r.violations.len(), 1, "{:#?}", r.violations);
+    let v = &r.violations[0];
+    assert_eq!(v.file, "errors_unwrap.rs");
+    assert!(v.msg.contains(".unwrap()"), "{}", v.msg);
+    assert_eq!(
+        r.stats.get("waivers honored"),
+        Some(&1),
+        "errors_waived.rs carries a waiver with rationale"
+    );
+}
+
+#[test]
+fn all_rules_together_find_exactly_the_five_seeded_violations() {
+    let (ws, cfg) = load(&fixtures_root());
+    let report = run_all(&ws, &cfg);
+    assert_eq!(report.violations.len(), 5, "{:#?}", report.violations);
+    let mut rules: Vec<&str> = report.violations.iter().map(|v| v.rule).collect();
+    rules.sort_unstable();
+    rules.dedup();
+    assert_eq!(rules.len(), 5, "one violation per rule: {rules:?}");
+}
+
+#[test]
+fn cli_exits_nonzero_on_fixtures_and_names_every_rule() {
+    let out = Command::new(env!("CARGO_BIN_EXE_ss-lint"))
+        .args(["--workspace-root"])
+        .arg(fixtures_root())
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "seeded violations exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in ss_lint::RULE_IDS {
+        assert!(stdout.contains(rule), "stdout names {rule}:\n{stdout}");
+    }
+}
+
+#[test]
+fn cli_exits_zero_on_the_real_workspace() {
+    let out = Command::new(env!("CARGO_BIN_EXE_ss-lint"))
+        .args(["--workspace-root"])
+        .arg(workspace_root())
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "workspace must lint clean:\n{stdout}"
+    );
+}
+
+/// The gate the CI step depends on, in library form (faster to debug than
+/// the subprocess test when it fails).
+#[test]
+fn real_workspace_is_clean() {
+    let (ws, cfg) = load(&workspace_root());
+    let report = run_all(&ws, &cfg);
+    assert!(
+        report.is_clean(),
+        "workspace violations:\n{}",
+        report
+            .violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn write_zst_checks_is_idempotent_with_the_checked_in_files() {
+    let (ws, cfg) = load(&workspace_root());
+    for zc in &cfg.zst_crates {
+        let stubs = ss_lint::rules::zst::scan_crate(&ws, zc);
+        assert!(!stubs.is_empty(), "{} registers stub types", zc.dir);
+        let want = ss_lint::rules::zst::generated_content(&stubs);
+        let on_disk = std::fs::read_to_string(workspace_root().join(&zc.check_file))
+            .expect("generated check file exists");
+        assert_eq!(on_disk, want, "{} is stale", zc.check_file);
+    }
+}

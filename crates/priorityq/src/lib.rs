@@ -18,6 +18,7 @@
 //! and comparator-count accounting, so the §3 argument can be *measured*
 //! rather than asserted — see the `priorityq_vs_shuffle` ablation bench.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod heap;

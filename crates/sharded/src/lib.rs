@@ -33,6 +33,7 @@
 //!   is comparator-exact, across streamlets each shard has serviced exactly
 //!   one packet per cycle regardless of global load imbalance.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use ss_core::decision::{order, DecisionRule};

@@ -44,6 +44,7 @@
 //! `ss_sharded_merge_latency_ns`. Per-shard series carry a
 //! `shard="<k>"` label.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod metrics;

@@ -54,7 +54,8 @@ impl HistogramSnapshot {
         for b in &self.buckets {
             seen += b.count;
             if seen >= target {
-                return Some(b.lower.clamp(self.min.unwrap(), self.max.unwrap()));
+                let (lo, hi) = (self.min.unwrap_or(0), self.max.unwrap_or(u64::MAX));
+                return Some(b.lower.clamp(lo, hi));
             }
         }
         self.max

@@ -14,6 +14,7 @@
 //! * [`merge()`] — deterministic time-ordered merge of per-stream sources.
 //! * [`trace`] — CSV trace record/replay with retiming helpers.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bursty;

@@ -21,6 +21,7 @@
 //! Everything here is `Copy`-friendly plain data: the hot scheduling paths in
 //! `ss-core` move these values through simulated wires every cycle.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod attrs;

@@ -7,6 +7,8 @@
 //! mean ns/iter (and derived element throughput when configured) to stdout;
 //! there is no statistical analysis, HTML report, or baseline comparison.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

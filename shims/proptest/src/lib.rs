@@ -11,6 +11,8 @@
 //! `Debug` where available, or the assertion message), and the default case
 //! count is 64.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

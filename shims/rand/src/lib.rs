@@ -6,6 +6,8 @@
 //! deterministic for a given seed, which is all the traffic models and tests
 //! require (no claim of matching upstream `StdRng`'s stream).
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Core RNG interface: a source of uniform `u64`s.

@@ -8,6 +8,8 @@
 //! funnels through a concrete [`Value`] tree; `serde_json` renders and parses
 //! that tree.
 
+#![forbid(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 use std::collections::{BTreeMap, HashMap, VecDeque};

@@ -13,6 +13,8 @@
 //!
 //! Generics are not supported; no derived type in the workspace is generic.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Per-field metadata. `default` is `None` (required field),

@@ -6,6 +6,8 @@
 //! it; typed (de)serialization goes through the shim's `Serialize` /
 //! `Deserialize` traits.
 
+#![forbid(unsafe_code)]
+
 pub use serde::Value;
 
 use serde::{DeError, Deserialize, Serialize};

@@ -335,9 +335,9 @@ impl FailoverScheduler {
         self.watchdog.reset();
         #[cfg(feature = "faults")]
         if let Some(inj) = &self.injector {
-            use std::sync::atomic::Ordering::Relaxed;
-            inj.stats().detected.fetch_add(1, Relaxed);
-            inj.stats().failovers.fetch_add(1, Relaxed);
+            use std::sync::atomic::Ordering;
+            inj.stats().detected.fetch_add(1, Ordering::Relaxed);
+            inj.stats().failovers.fetch_add(1, Ordering::Relaxed);
         }
         self.record_switch(true);
         Ok(())
@@ -364,9 +364,9 @@ impl FailoverScheduler {
         }
         #[cfg(feature = "faults")]
         if let Some(inj) = &self.injector {
-            use std::sync::atomic::Ordering::Relaxed;
+            use std::sync::atomic::Ordering;
             fabric.attach_faults(std::sync::Arc::clone(inj));
-            inj.stats().reattaches.fetch_add(1, Relaxed);
+            inj.stats().reattaches.fetch_add(1, Ordering::Relaxed);
         }
         self.fabric = fabric;
         self.reattaches += 1;

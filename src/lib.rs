@@ -59,6 +59,7 @@
 //! paper-vs-measured results; `cargo run -p ss-bench --bin run_all`
 //! regenerates everything.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod failover;

@@ -29,21 +29,34 @@ fn bump() {
     ALLOC_CALLS.with(|c| c.set(c.get() + 1));
 }
 
+// SAFETY: pure pass-through to `System`, which upholds the GlobalAlloc
+// contract; the only addition is a thread-local counter bump, which never
+// allocates (const-initialized `Cell`, no lazy TLS init, no destructor).
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller obligations (valid layout) are forwarded unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         bump();
-        System.alloc(layout)
+        // SAFETY: same contract as ours; layout passed through untouched.
+        unsafe { System.alloc(layout) }
     }
+    // SAFETY: caller obligations are forwarded unchanged.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         bump();
-        System.alloc_zeroed(layout)
+        // SAFETY: same contract as ours; layout passed through untouched.
+        unsafe { System.alloc_zeroed(layout) }
     }
+    // SAFETY: caller obligations (ptr from this allocator, matching layout)
+    // are forwarded unchanged — we hand out exactly `System`'s pointers.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         bump();
-        System.realloc(ptr, layout, new_size)
+        // SAFETY: ptr originated from `System` via our alloc; layout and
+        // size obligations pass through untouched.
+        unsafe { System.realloc(ptr, layout, new_size) }
     }
+    // SAFETY: caller obligations are forwarded unchanged.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        // SAFETY: ptr originated from `System` via our alloc/realloc.
+        unsafe { System.dealloc(ptr, layout) }
     }
 }
 
