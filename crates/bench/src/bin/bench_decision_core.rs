@@ -22,6 +22,7 @@ use ss_core::{
     ControlFsm, DecisionBlock, DecisionOutcome, DwcsUpdater, Fabric, FabricConfig,
     FabricConfigKind, LatePolicy, PriorityUpdater, RegisterBaseBlock, ScheduledPacket, StreamState,
 };
+use ss_endsystem::{GateConfig, GateVerdict, OverloadGate, RedConfig};
 use ss_sharded::ShardedScheduler;
 use ss_types::{ComparisonMode, SlotId, StreamAttrs, WindowConstraint, Wrap16};
 use std::hint::black_box;
@@ -293,6 +294,94 @@ fn sharded_aggregate_decisions_per_s(slots: usize, shards: usize) -> f64 {
     })
 }
 
+/// Builds the overload gate used by the admission-path rows: uniform
+/// 2×-sustainable buckets over a mixed set of window constraints, with the
+/// classic RED curve over a 64-deep mirror.
+fn admission_gate(slots: usize) -> OverloadGate {
+    let windows: Vec<WindowConstraint> = (0..slots)
+        .map(|s| WindowConstraint::new((s % 4) as u8, 4))
+        .collect();
+    // Aggregate refill = slots × (1000/slots) ≈ the fabric's 1000 mtok
+    // service rate, so a 2× offered load really exercises the reject path.
+    OverloadGate::new(GateConfig::from_windows(
+        &windows,
+        (1_000 / slots as u32).max(1),
+        4_000,
+        RedConfig::classic(64),
+        7,
+    ))
+}
+
+/// Pure gate throughput: offers/s through `offer` + `served` + `tick` with
+/// no fabric attached — the per-arrival cost ceiling of the admission path.
+fn gate_offers_per_s(slots: usize) -> f64 {
+    best_of(|| {
+        let mut gate = admission_gate(slots);
+        let offers = CYCLES * 2;
+        // Warm the RED mirror's VecDeque to its high-water capacity so the
+        // measured span is the steady state, as in tests/zero_alloc.rs.
+        for i in 0..512usize {
+            let _ = gate.offer(i % slots);
+            gate.served(i % slots);
+            gate.tick(i % 128, 128);
+        }
+        let start = Instant::now();
+        let mut admitted = 0u64;
+        for i in 0..offers {
+            if matches!(gate.offer(i as usize % slots), GateVerdict::Admit) {
+                admitted += 1;
+                gate.served(i as usize % slots);
+            }
+            if i % 2 == 0 {
+                gate.tick((i % 128) as usize, 128);
+            }
+        }
+        black_box(admitted);
+        offers as f64 / start.elapsed().as_secs_f64()
+    })
+}
+
+/// End-to-end decisions/s with the gate in front of a WR fabric at 2×
+/// offered load, versus the same loop without the gate. The delta is the
+/// full per-cycle price of overload control (2 offers + 1 serve + 1 tick).
+fn gated_decisions_per_s(slots: usize, managed: bool) -> f64 {
+    best_of(|| {
+        let mut f = Fabric::new(FabricConfig::dwcs(slots, FabricConfigKind::WinnerOnly)).unwrap();
+        for s in 0..slots {
+            f.load_stream(s, stream_state(slots), (s + 1) as u64)
+                .unwrap();
+        }
+        let mut gate = managed.then(|| admission_gate(slots));
+        let mut tag = 0u64;
+        let start = Instant::now();
+        let mut packets = 0u64;
+        for c in 0..CYCLES {
+            for k in 0..2u64 {
+                let slot = ((c * 2 + k) % slots as u64) as usize;
+                let admit = match gate.as_mut() {
+                    Some(g) => matches!(g.offer(slot), GateVerdict::Admit),
+                    None => true,
+                };
+                if admit {
+                    tag += 1;
+                    f.push_arrival(slot, Wrap16::from_wide(tag)).unwrap();
+                }
+            }
+            if let DecisionOutcome::Winner(Some(p)) = f.decision_cycle() {
+                packets += 1;
+                if let Some(g) = gate.as_mut() {
+                    g.served(p.slot.index());
+                }
+            }
+            if let Some(g) = gate.as_mut() {
+                g.tick(0, 128);
+            }
+        }
+        black_box(packets);
+        CYCLES as f64 / start.elapsed().as_secs_f64()
+    })
+}
+
 // --- Artifact ---
 
 #[derive(Debug, Serialize)]
@@ -312,10 +401,22 @@ struct ShardedRow {
     scaling_vs_one_shard: f64,
 }
 
+/// Admission-path throughput: the overload gate alone, and its end-to-end
+/// price in front of a WR fabric at 2× offered load.
+#[derive(Debug, Serialize)]
+struct AdmissionRow {
+    slots: usize,
+    gate_offers_per_s: f64,
+    gated_decisions_per_s: f64,
+    ungated_decisions_per_s: f64,
+    overhead_pct: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct Checks {
     single_thread_speedup_at_32: f64,
     sharded_scaling_at_32_4shards: f64,
+    admission_overhead_pct_at_32: f64,
 }
 
 /// Faults-off regression guard: the zero-alloc numbers measured by this run
@@ -338,6 +439,7 @@ struct Report {
     reps: usize,
     single_thread: Vec<SingleThreadRow>,
     sharded: Vec<ShardedRow>,
+    admission: Vec<AdmissionRow>,
     checks: Checks,
     faults_off_sanity: FaultsOffSanity,
 }
@@ -451,6 +553,27 @@ fn main() {
         }
     }
 
+    let mut admission = Vec::new();
+    println!("\n  admission path (overload gate, 2× offered load, WR fabric):");
+    println!(
+        "  {:<6} {:>14} {:>14} {:>14} {:>9}",
+        "slots", "gate offers/s", "gated", "ungated", "overhead"
+    );
+    for slots in [4usize, 8, 16, 32] {
+        let offers = gate_offers_per_s(slots);
+        let gated = gated_decisions_per_s(slots, true);
+        let ungated = gated_decisions_per_s(slots, false);
+        let overhead_pct = (ungated / gated - 1.0) * 100.0;
+        println!("  {slots:<6} {offers:>14.0} {gated:>14.0} {ungated:>14.0} {overhead_pct:>8.1}%");
+        admission.push(AdmissionRow {
+            slots,
+            gate_offers_per_s: offers,
+            gated_decisions_per_s: gated,
+            ungated_decisions_per_s: ungated,
+            overhead_pct,
+        });
+    }
+
     let best_speedup_32 = single
         .iter()
         .filter(|r| r.slots == 32)
@@ -461,9 +584,15 @@ fn main() {
         .find(|r| r.slots == 32 && r.shards == 4)
         .map(|r| r.scaling_vs_one_shard)
         .unwrap_or(0.0);
+    let admission_overhead_32 = admission
+        .iter()
+        .find(|r| r.slots == 32)
+        .map(|r| r.overhead_pct)
+        .unwrap_or(0.0);
     println!("\n  checks:");
     println!("    single-thread speedup @ 32 slots: {best_speedup_32:.2}x (target ≥ 2x)");
     println!("    sharded scaling @ 32 slots, 4 shards: {scaling_32_4:.2}x (target ≥ 3x)");
+    println!("    admission overhead @ 32 slots: {admission_overhead_32:.1}% of a decision cycle");
 
     // The trajectory artifact lives at the workspace root (ISSUE contract),
     // unlike the lowercase per-figure artifacts under results/.
@@ -491,9 +620,11 @@ fn main() {
         reps: REPS,
         single_thread: single,
         sharded,
+        admission,
         checks: Checks {
             single_thread_speedup_at_32: best_speedup_32,
             sharded_scaling_at_32_4shards: scaling_32_4,
+            admission_overhead_pct_at_32: admission_overhead_32,
         },
         faults_off_sanity: sanity,
     };

@@ -37,6 +37,8 @@
 
 pub mod aggregation;
 pub mod faults;
+#[cfg(feature = "overload")]
+pub mod overload;
 pub mod pci;
 pub mod pipeline;
 pub mod queue_manager;
@@ -49,10 +51,12 @@ pub mod transmission;
 
 pub use aggregation::{StreamletMux, StreamletSetConfig};
 pub use faults::EndsystemFaults;
+#[cfg(feature = "overload")]
+pub use overload::{GateConfig, GateVerdict, OverloadGate};
 pub use pci::{CardLink, PciModel, TransferStrategy};
 pub use pipeline::{EndsystemConfig, EndsystemPipeline, EndsystemReport, StreamPipelineStats};
 pub use queue_manager::QueueManager;
-pub use red::{RedConfig, RedQueue, RedVerdict};
+pub use red::{early_drop_probability, RedConfig, RedQueue, RedVerdict};
 pub use spsc::{spsc_ring, Consumer, Producer, RingStats};
 pub use sram::{BankOwner, BankedSram};
 pub use streaming::{StreamingReport, StreamingUnit};
@@ -61,4 +65,6 @@ pub use threaded::run_threaded_faulted;
 #[cfg(feature = "telemetry")]
 pub use threaded::run_threaded_instrumented;
 pub use threaded::{run_threaded, run_threaded_edf, ThreadedReport};
+#[cfg(feature = "overload")]
+pub use threaded::{run_threaded_overload, OverloadRunReport};
 pub use transmission::TransmissionEngine;

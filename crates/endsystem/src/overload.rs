@@ -1,0 +1,473 @@
+//! The overload gate: admission, QoS-aware shedding, and backpressure in
+//! front of the Queue Manager.
+//!
+//! The paper's endsystem (§4.2) assumes offered load fits the fabric's
+//! service rate; this module is the control plane for when it does not.
+//! It composes the `ss-overload` state machines into one decision point
+//! layered in front of [`crate::queue_manager::QueueManager`] (or any
+//! other per-stream backlog, e.g. the threaded pipeline's fabric):
+//!
+//! ```text
+//!   arrival ──► token-bucket admission ──► RED front end ──► backlog
+//!                    │ (window-aware             │ drop proposal
+//!                    │  refill squeeze)          ▼
+//!                    ▼                    QoS-aware veto:
+//!               LossSite::Admission       sheddable (loss headroom) → shed
+//!                                         protected (tight window)  → admit
+//! ```
+//!
+//! * **Admission** rejects before any buffering: per-stream token buckets
+//!   whose refill is squeezed under pressure, loss-tolerant streams first
+//!   ([`ss_overload::AdmissionController`]).
+//! * **RED** is the *probabilistic* front end: its EWMA-driven verdicts
+//!   propose drops as occupancy climbs ([`crate::red::RedQueue`] over a
+//!   zero-sized mirror of the admitted backlog).
+//! * **The shedder** is the *QoS-aware* back end: a RED proposal is obeyed
+//!   only for streams whose `x/y` window constraints are currently
+//!   satisfied; a protected stream's arrival is re-admitted via
+//!   [`crate::red::RedQueue::push_unchecked`] (the veto keeps the mirror
+//!   exact).
+//! * **Pressure** closes the loop: backlog occupancy feeds the hysteresis
+//!   signal, published through a [`ss_overload::SharedPressure`] that the
+//!   producer thread and the `ss-traffic` generators throttle on.
+//!
+//! Every refusal lands in the gate's [`LossLedger`] at exactly one site,
+//! so `transmitted + ledger.total() + still_queued == offered` holds
+//! exactly — the overload soak asserts it per seed.
+
+use crate::red::{RedConfig, RedQueue, RedVerdict};
+use ss_overload::{
+    AdmissionController, LossLedger, LossSite, PressureConfig, PressureLevel, PressureSignal,
+    QosShedder, SharedPressure, StreamClass,
+};
+use ss_types::WindowConstraint;
+use std::sync::Arc;
+
+/// What the gate decided for one arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateVerdict {
+    /// Deposit the packet: it passed admission and either RED accepted it
+    /// or the QoS veto re-admitted it (protected stream).
+    Admit,
+    /// Rejected by the token-bucket admission controller — never buffered.
+    /// Recorded at [`LossSite::Admission`].
+    RejectAdmission,
+    /// Admitted past the bucket but shed by the RED + QoS-aware policy
+    /// (the stream had loss headroom, or the mirror was physically full).
+    /// Recorded at [`LossSite::Shed`].
+    Shed,
+}
+
+/// Gate construction parameters.
+#[derive(Debug, Clone)]
+pub struct GateConfig {
+    /// Per-stream token-bucket classes (admission).
+    pub classes: Vec<StreamClass>,
+    /// Per-stream DWCS window constraints (shed policy).
+    pub windows: Vec<WindowConstraint>,
+    /// RED front-end curve over the admitted backlog.
+    pub red: RedConfig,
+    /// Backpressure hysteresis thresholds.
+    pub pressure: PressureConfig,
+    /// Seed for RED's deterministic drop draws.
+    pub red_seed: u64,
+}
+
+impl GateConfig {
+    /// A uniform-rate gate for `windows.len()` streams: every bucket
+    /// refills `rate_mtok` millitokens per tick with `burst_mtok` depth,
+    /// and each stream's shed protection is derived from its window
+    /// constraint (tight windows → protected, shed last).
+    pub fn from_windows(
+        windows: &[WindowConstraint],
+        rate_mtok: u32,
+        burst_mtok: u32,
+        red: RedConfig,
+        red_seed: u64,
+    ) -> Self {
+        Self {
+            classes: windows
+                .iter()
+                .map(|&w| StreamClass::from_window(rate_mtok, burst_mtok, w))
+                .collect(),
+            windows: windows.to_vec(),
+            red,
+            pressure: PressureConfig::default(),
+            red_seed,
+        }
+    }
+}
+
+/// The composed overload gate. One per backlog (Queue Manager, fabric).
+#[derive(Debug)]
+pub struct OverloadGate {
+    admission: AdmissionController,
+    shedder: QosShedder,
+    /// Zero-sized mirror of the admitted backlog: RED sees exactly the
+    /// packets that passed admission and are still queued.
+    red: RedQueue<()>,
+    pressure: PressureSignal,
+    shared: Arc<SharedPressure>,
+    ledger: LossLedger,
+    offered: u64,
+    admitted: u64,
+    /// RED drop proposals overruled because the stream was protected.
+    vetoes: u64,
+}
+
+impl OverloadGate {
+    /// Builds a gate.
+    ///
+    /// # Panics
+    /// Panics if `classes` and `windows` disagree on stream count, or on
+    /// an invalid RED/pressure configuration (delegated constructors).
+    pub fn new(config: GateConfig) -> Self {
+        assert_eq!(
+            config.classes.len(),
+            config.windows.len(),
+            "one class and one window per stream"
+        );
+        Self {
+            admission: AdmissionController::new(config.classes),
+            shedder: QosShedder::new(&config.windows),
+            red: RedQueue::new(config.red, config.red_seed),
+            pressure: PressureSignal::new(config.pressure),
+            shared: Arc::new(SharedPressure::new()),
+            ledger: LossLedger::new(),
+            offered: 0,
+            admitted: 0,
+            vetoes: 0,
+        }
+    }
+
+    /// Offers one arrival for `stream`. Hot path: no allocation in steady
+    /// state, no panic. On [`GateVerdict::Admit`] the caller deposits the
+    /// packet into the real backlog; on any other verdict the packet is
+    /// already accounted in the [`LossLedger`] and must be discarded.
+    #[inline]
+    pub fn offer(&mut self, stream: usize) -> GateVerdict {
+        self.offered += 1;
+        if !self.admission.try_admit(stream) {
+            self.ledger.record(LossSite::Admission);
+            return GateVerdict::RejectAdmission;
+        }
+        match self.red.offer(()) {
+            RedVerdict::Enqueued => {
+                self.admitted += 1;
+                GateVerdict::Admit
+            }
+            RedVerdict::TailDrop => {
+                // Physically full: policy cannot help, the packet is shed.
+                self.shedder.record_shed(stream);
+                self.ledger.record(LossSite::Shed);
+                GateVerdict::Shed
+            }
+            RedVerdict::EarlyDrop | RedVerdict::ForcedDrop => {
+                if self.shedder.sheddable(stream) {
+                    // The stream has loss headroom in its x/y window —
+                    // obey RED's proposal.
+                    self.shedder.record_shed(stream);
+                    self.ledger.record(LossSite::Shed);
+                    GateVerdict::Shed
+                } else if self.red.push_unchecked(()) {
+                    // Protected stream: veto the proposal and re-admit.
+                    self.vetoes += 1;
+                    self.admitted += 1;
+                    GateVerdict::Admit
+                } else {
+                    // Veto impossible — the mirror is at hard capacity.
+                    self.shedder.record_shed(stream);
+                    self.ledger.record(LossSite::Shed);
+                    GateVerdict::Shed
+                }
+            }
+        }
+    }
+
+    /// Records that one queued packet of `stream` left the backlog
+    /// (scheduled and handed to transmission). Keeps the RED mirror and
+    /// the shedder's sliding windows in lock-step with reality. Hot path.
+    #[inline]
+    pub fn served(&mut self, stream: usize) {
+        let _ = self.red.pop();
+        self.shedder.record_served(stream);
+    }
+
+    /// One control tick per packet-time: feeds backlog occupancy into the
+    /// pressure signal, publishes the level for remote throttlers, squeezes
+    /// the admission refill accordingly, and advances RED's idle clock
+    /// (counted only while the mirror is empty). Hot path.
+    #[inline]
+    pub fn tick(&mut self, occupied: usize, capacity: usize) -> PressureLevel {
+        let level = self.pressure.observe(occupied, capacity);
+        self.shared.publish(level);
+        self.admission.tick(level);
+        self.red.idle_tick();
+        level
+    }
+
+    /// Records a loss that happened outside the gate (ring overflow,
+    /// abandoned shard backlog) so the gate's ledger stays the single
+    /// conservation authority for the run.
+    #[inline]
+    pub fn record_external_loss(&mut self, site: LossSite, n: u64) {
+        self.ledger.record_n(site, n);
+    }
+
+    /// The shareable pressure handle (hand to producer threads and
+    /// generators for throttling).
+    pub fn shared_pressure(&self) -> Arc<SharedPressure> {
+        Arc::clone(&self.shared)
+    }
+
+    /// Current pressure level.
+    pub fn level(&self) -> PressureLevel {
+        self.pressure.level()
+    }
+
+    /// Pressure-level transitions so far (hysteresis audit).
+    pub fn pressure_transitions(&self) -> u64 {
+        self.pressure.transitions()
+    }
+
+    /// The loss ledger (exact by-site partition of every refusal).
+    pub fn ledger(&self) -> &LossLedger {
+        &self.ledger
+    }
+
+    /// Arrivals offered to the gate.
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Arrivals admitted into the backlog.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// RED drop proposals vetoed for protected streams.
+    pub fn vetoes(&self) -> u64 {
+        self.vetoes
+    }
+
+    /// Whether `stream` currently has loss headroom (its window constraint
+    /// is satisfied with room to spare) — the facade's ShedOptional rung
+    /// asks this before refusing ingest.
+    pub fn sheddable(&self, stream: usize) -> bool {
+        self.shedder.sheddable(stream)
+    }
+
+    /// The stream the QoS policy would shed from right now, if any.
+    pub fn pick_victim(&self) -> Option<usize> {
+        self.shedder.pick_victim()
+    }
+
+    /// Conservation check: every packet *offered to the gate* is
+    /// admitted-and-alive, transmitted, or refused at a gate-local site
+    /// (admission, shed). External sites ([`LossSite::Ring`],
+    /// [`LossSite::Shard`]) account packets lost before or after the gate
+    /// and are deliberately outside this identity. `still_queued` is the
+    /// caller's real backlog depth; the mirror must agree with it.
+    pub fn conserves(&self, transmitted: u64, still_queued: u64) -> bool {
+        self.offered == transmitted + still_queued + self.ledger.admission + self.ledger.shed
+            && self.red.len() as u64 == still_queued
+    }
+
+    /// Publishes gate counters (`ss_overload_*`) into `registry`.
+    #[cfg(feature = "telemetry")]
+    pub fn publish(&self, registry: &ss_telemetry::Registry) {
+        self.ledger.publish(registry);
+        registry
+            .gauge("ss_overload_offered", "Arrivals offered to the gate")
+            .set(self.offered as i64);
+        registry
+            .gauge("ss_overload_admitted", "Arrivals admitted into the backlog")
+            .set(self.admitted as i64);
+        registry
+            .gauge(
+                "ss_overload_vetoes",
+                "RED drop proposals vetoed for protected streams",
+            )
+            .set(self.vetoes as i64);
+        registry
+            .gauge(
+                "ss_overload_pressure_level",
+                "Current backpressure level (0 nominal, 1 elevated, 2 overloaded)",
+            )
+            .set(self.pressure.level().as_u8() as i64);
+        registry
+            .gauge(
+                "ss_overload_pressure_transitions",
+                "Pressure-level transitions (hysteresis audit)",
+            )
+            .set(self.pressure.transitions() as i64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wc(num: u8, den: u8) -> WindowConstraint {
+        WindowConstraint { num, den }
+    }
+
+    /// Two loss-tolerant streams (3/4) and one tight stream (0/1 → fully
+    /// protected), generous buckets, small RED band so drops start early.
+    fn gate() -> OverloadGate {
+        let windows = [wc(3, 4), wc(3, 4), wc(0, 1)];
+        OverloadGate::new(GateConfig::from_windows(
+            &windows,
+            1_000,
+            4_000,
+            RedConfig {
+                min_th: 4.0,
+                max_th: 12.0,
+                max_p: 0.5,
+                weight: 0.5,
+                capacity: 32,
+            },
+            7,
+        ))
+    }
+
+    #[test]
+    fn uncongested_arrivals_all_admit() {
+        let mut g = gate();
+        for i in 0..12 {
+            let s = i % 3;
+            assert_eq!(g.offer(s), GateVerdict::Admit);
+            g.served(s); // drain immediately: occupancy never builds
+            g.tick(0, 64);
+        }
+        assert_eq!(g.ledger().total(), 0);
+        assert!(g.conserves(12, 0));
+    }
+
+    #[test]
+    fn sustained_overload_sheds_tolerant_not_protected() {
+        let mut g = gate();
+        let mut shed = [0u64; 3];
+        let mut admitted = [0u64; 3];
+        // Offer far more than is ever served: the mirror fills, RED starts
+        // proposing drops.
+        for i in 0..300 {
+            let s = i % 3;
+            match g.offer(s) {
+                GateVerdict::Admit => admitted[s] += 1,
+                GateVerdict::Shed => shed[s] += 1,
+                GateVerdict::RejectAdmission => {}
+            }
+            // Drain just enough to hold occupancy inside the RED band
+            // (above max_th, below hard capacity): the policy path decides
+            // every drop, never the tail-drop backstop.
+            while g.red.len() > 16 {
+                g.served(s);
+            }
+            g.tick(g.red.len(), 32);
+        }
+        assert!(shed[0] + shed[1] > 0, "tolerant streams get shed");
+        assert_eq!(shed[2], 0, "0/1-window stream is never shed");
+        assert!(g.vetoes() > 0, "protected arrivals rode through on vetoes");
+        assert!(
+            admitted[2] > admitted[0],
+            "protection shows in admit counts"
+        );
+    }
+
+    #[test]
+    fn admission_squeeze_under_pressure() {
+        // Tight buckets: 1 token per tick, burst 1. Under Overloaded
+        // pressure the tolerant streams' refill is right-shifted to 0
+        // every tick (1 >> 3), so only the protected stream keeps flowing.
+        let windows = [wc(3, 4), wc(0, 1)];
+        let mut g = OverloadGate::new(GateConfig::from_windows(
+            &windows,
+            1_000,
+            1_000,
+            RedConfig::classic(1024),
+            1,
+        ));
+        // Force Overloaded: saturate occupancy past the rise threshold and
+        // past the dwell.
+        for _ in 0..64 {
+            g.tick(1000, 1000);
+        }
+        assert_eq!(g.level(), PressureLevel::Overloaded);
+        let mut ok = [0u64; 2];
+        for _ in 0..100 {
+            for (s, count) in ok.iter_mut().enumerate() {
+                if g.offer(s) == GateVerdict::Admit {
+                    *count += 1;
+                    g.served(s);
+                }
+            }
+            g.tick(1000, 1000);
+        }
+        assert!(
+            ok[1] >= 90,
+            "protected stream keeps its refill under pressure: {ok:?}"
+        );
+        assert!(
+            ok[0] <= ok[1] / 4,
+            "tolerant stream squeezed to a trickle: {ok:?}"
+        );
+        assert_eq!(
+            g.ledger().admission,
+            g.offered() - g.admitted(),
+            "all refusals here are admission-site"
+        );
+    }
+
+    #[test]
+    fn ledger_partitions_every_refusal() {
+        let mut g = gate();
+        let mut verdicts = [0u64; 3];
+        for i in 0..500 {
+            match g.offer(i % 3) {
+                GateVerdict::Admit => verdicts[0] += 1,
+                GateVerdict::RejectAdmission => verdicts[1] += 1,
+                GateVerdict::Shed => verdicts[2] += 1,
+            }
+            g.tick(g.red.len(), 32);
+        }
+        assert_eq!(g.offered(), 500);
+        assert_eq!(g.admitted(), verdicts[0]);
+        assert_eq!(g.ledger().admission, verdicts[1]);
+        assert_eq!(g.ledger().shed, verdicts[2]);
+        assert!(g.conserves(0, g.admitted()), "nothing transmitted yet");
+    }
+
+    #[test]
+    fn pressure_reaches_remote_throttlers() {
+        let mut g = gate();
+        let remote = g.shared_pressure();
+        assert_eq!(remote.level(), PressureLevel::Nominal);
+        for _ in 0..64 {
+            g.tick(950, 1000);
+        }
+        assert_eq!(remote.level(), PressureLevel::Overloaded);
+        assert!(SharedPressure::holdback_per_4(remote.level()) > 0);
+        for _ in 0..64 {
+            g.tick(0, 1000);
+        }
+        assert_eq!(remote.level(), PressureLevel::Nominal);
+        assert_eq!(SharedPressure::holdback_per_4(remote.level()), 0);
+    }
+
+    #[test]
+    fn external_loss_flows_into_the_same_ledger() {
+        let mut g = gate();
+        assert_eq!(g.offer(0), GateVerdict::Admit);
+        g.record_external_loss(LossSite::Ring, 3);
+        g.record_external_loss(LossSite::Shard, 2);
+        assert_eq!(g.ledger().ring, 3);
+        assert_eq!(g.ledger().shard, 2);
+        assert_eq!(g.ledger().total(), 5);
+        assert!(!g.conserves(0, 0), "mirror still holds the admitted packet");
+        assert!(
+            g.conserves(0, 1),
+            "external sites stay outside the identity"
+        );
+    }
+}

@@ -19,6 +19,7 @@ use crate::faults::EndsystemFaults;
 use crate::spsc::{spsc_ring, RingStats};
 use ss_core::{DecisionWatchdog, Fabric, FabricConfig, WatchdogVerdict};
 use ss_core::{LatePolicy, StreamState};
+use ss_overload::{LossLedger, LossSite};
 use ss_types::{Error, Result, Wrap16};
 use std::time::Instant;
 
@@ -51,8 +52,16 @@ pub struct ThreadedReport {
     /// Packets lost to faults: dropped at an overflowing arrival ring, or
     /// abandoned when the scheduler's watchdog declared the fabric stuck.
     /// Always 0 in a fault-free run — loss is bounded and *counted*, never
-    /// silent.
+    /// silent. Equals `loss.total()` exactly; kept as a scalar for
+    /// backward compatibility.
     pub lost: u64,
+    /// The same loss, classified by the unique site that consumed each
+    /// packet (admission / ring / shed / shard). Earlier revisions folded
+    /// everything into the one scalar above, which made it impossible to
+    /// tell an overflowing ring from an abandoned backlog — and easy to
+    /// count a packet at two sites. The ledger partition is exact:
+    /// `loss.total() == lost`, asserted in tests.
+    pub loss: LossLedger,
 }
 
 /// Runs the three-thread pipeline: `arrivals_per_slot` packets are pushed
@@ -164,6 +173,213 @@ fn publish_ring_stats(registry: &ss_telemetry::Registry, ring: &str, stats: &Rin
         .fetch_max(stats.high_water as i64);
 }
 
+/// Results of an overload-gated threaded run: the plain report plus the
+/// gate's accounting.
+#[cfg(feature = "overload")]
+#[derive(Debug, Clone)]
+pub struct OverloadRunReport {
+    /// The underlying pipeline report. `report.loss` merges the ring/shard
+    /// sites from the pipeline with the gate's admission/shed sites; the
+    /// partition stays exact: `report.lost == report.loss.total()` and
+    /// `report.total + report.lost == offered`.
+    pub report: ThreadedReport,
+    /// Arrivals offered to the gate by the scheduler thread.
+    pub offered: u64,
+    /// Arrivals the gate admitted into the fabric.
+    pub admitted: u64,
+    /// RED drop proposals vetoed for protected streams.
+    pub vetoes: u64,
+    /// Pressure-level transitions over the run (hysteresis audit: bounded
+    /// even under oscillating load).
+    pub pressure_transitions: u64,
+    /// Producer pacing pauses taken in response to published backpressure.
+    pub holdbacks: u64,
+}
+
+/// Like [`run_threaded`], but with the overload control plane engaged end
+/// to end: the scheduler thread runs every drained arrival through an
+/// [`crate::overload::OverloadGate`] (token-bucket admission squeezed by
+/// pressure, RED + QoS-aware shedding), publishes the hysteresis pressure
+/// level through the gate's [`ss_overload::SharedPressure`], and the
+/// producer thread throttles its ingest on that signal (the hierarchical
+/// backpressure path: fabric backlog → pressure level → Stream-processor
+/// pacing). Loss is classified by site and conserved exactly.
+#[cfg(feature = "overload")]
+pub fn run_threaded_overload(
+    config: FabricConfig,
+    states: Vec<StreamState>,
+    arrivals_per_slot: u64,
+    gate_config: crate::overload::GateConfig,
+) -> Result<OverloadRunReport> {
+    use crate::overload::{GateVerdict, OverloadGate};
+
+    assert_eq!(states.len(), config.slots, "one StreamState per slot");
+    let slots = config.slots;
+    let mut fabric = Fabric::new(config)?;
+    for (i, st) in states.into_iter().enumerate() {
+        let period = st.request_period;
+        fabric.load_stream(i, st, period)?;
+    }
+    let mut gate = OverloadGate::new(gate_config);
+    let shared = gate.shared_pressure();
+
+    let (mut arr_tx, mut arr_rx) = spsc_ring::<ArrivalMsg>(4096);
+    let (mut id_tx, mut id_rx) = spsc_ring::<u8>(4096);
+
+    let start = Instant::now();
+
+    let producer = std::thread::spawn(move || {
+        let mut holdbacks = 0u64;
+        let mut seq = 0u64;
+        for q in 0..arrivals_per_slot {
+            for slot in 0..slots {
+                // Hierarchical backpressure: the published pressure level
+                // asks this thread to hold back 0, 1 or 3 of every 4
+                // arrivals' worth of pacing. A holdback is a bounded yield,
+                // not a drop — ingest slows, nothing is lost here.
+                let hb = ss_overload::SharedPressure::holdback_per_4(shared.level()) as u64;
+                if hb > 0 && seq % 4 < hb {
+                    holdbacks += 1;
+                    std::thread::yield_now();
+                }
+                seq += 1;
+                let mut msg = ArrivalMsg {
+                    slot,
+                    tag: Wrap16::from_wide(q),
+                };
+                loop {
+                    match arr_tx.push(msg) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            msg = back;
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            }
+        }
+        holdbacks
+    });
+
+    let ring_capacity = 4096usize;
+    let scheduler = std::thread::spawn(move || {
+        let mut pending = 0u64;
+        let mut loss = LossLedger::new();
+        let mut watchdog = DecisionWatchdog::new(SCHEDULER_STALL_THRESHOLD, 1);
+        let mut arr_batch: Vec<(usize, Wrap16)> = Vec::with_capacity(4096);
+        loop {
+            arr_batch.clear();
+            while arr_batch.len() < arr_batch.capacity() {
+                match arr_rx.pop() {
+                    Some(msg) if msg.slot < slots => match gate.offer(msg.slot) {
+                        GateVerdict::Admit => arr_batch.push((msg.slot, msg.tag)),
+                        // Refusals are already in the gate's ledger.
+                        GateVerdict::RejectAdmission | GateVerdict::Shed => {}
+                    },
+                    Some(_) => loss.record(LossSite::Ring),
+                    None => break,
+                }
+            }
+            match fabric.push_arrivals(&arr_batch) {
+                Ok(()) => pending += arr_batch.len() as u64,
+                Err(_) => loss.record_n(LossSite::Ring, arr_batch.len() as u64),
+            }
+            // One control tick per scheduler sweep: ring occupancy plus the
+            // fabric backlog against their combined budget drives the
+            // pressure signal (and through it admission refill and the
+            // producer's pacing).
+            let occupied = arr_rx.len() + pending.min(ring_capacity as u64) as usize;
+            gate.tick(occupied, 2 * ring_capacity);
+            if pending == 0 {
+                if arr_rx.is_disconnected() && arr_rx.is_empty() {
+                    break;
+                }
+                std::hint::spin_loop();
+                continue;
+            }
+            let packets = fabric.decision_cycle_into();
+            let produced = packets.len() as u64;
+            pending -= produced;
+            for p in packets {
+                gate.served(p.slot.index());
+                let mut id = p.slot.raw();
+                loop {
+                    match id_tx.push(id) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            id = back;
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            }
+            if watchdog.observe(produced > 0, pending > 0) == WatchdogVerdict::Stuck {
+                loss.record_n(LossSite::Shard, pending);
+                loop {
+                    match arr_rx.pop() {
+                        Some(_) => loss.record(LossSite::Shard),
+                        None => {
+                            if arr_rx.is_disconnected() {
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+                break;
+            }
+        }
+        (arr_rx.stats(), gate, loss)
+    });
+
+    let mut per_slot = vec![0u64; slots];
+    let expected = arrivals_per_slot * slots as u64;
+    let mut got = 0u64;
+    while got < expected {
+        match id_rx.pop() {
+            Some(id) => {
+                per_slot[id as usize] += 1;
+                got += 1;
+            }
+            None => {
+                if id_rx.is_disconnected() && id_rx.is_empty() {
+                    break;
+                }
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    let holdbacks = producer.join().map_err(|_| Error::DegradedMode {
+        reason: "endsystem producer thread panicked".into(),
+    })?;
+    let (arr_ring, gate, mut loss) = scheduler.join().map_err(|_| Error::DegradedMode {
+        reason: "endsystem scheduler thread panicked".into(),
+    })?;
+    let id_ring = id_rx.stats();
+
+    loss.merge(gate.ledger());
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let total: u64 = per_slot.iter().sum();
+    Ok(OverloadRunReport {
+        report: ThreadedReport {
+            per_slot,
+            total,
+            wall_seconds,
+            pps: total as f64 / wall_seconds,
+            arr_ring,
+            id_ring,
+            lost: loss.total(),
+            loss,
+        },
+        offered: gate.offered(),
+        admitted: gate.admitted(),
+        vetoes: gate.vetoes(),
+        pressure_transitions: gate.pressure_transitions(),
+        holdbacks,
+    })
+}
+
 /// How many consecutive unproductive-with-backlog decision cycles the
 /// scheduler thread tolerates before declaring the fabric stuck. Must
 /// comfortably exceed any transient injected wedge
@@ -199,7 +415,7 @@ fn run_threaded_inner(
     let start = Instant::now();
 
     let producer = std::thread::spawn(move || {
-        let mut lost = 0u64;
+        let mut loss = LossLedger::new();
         for q in 0..arrivals_per_slot {
             for slot in 0..slots {
                 let mut msg = ArrivalMsg {
@@ -218,7 +434,7 @@ fn run_threaded_inner(
                                 // Injected overflow burst on a full ring:
                                 // drop the packet and account it instead of
                                 // spinning against the pressure spike.
-                                lost += 1;
+                                loss.record(LossSite::Ring);
                                 #[cfg(feature = "faults")]
                                 if let Some(inj) = prod_faults.injector() {
                                     inj.stats()
@@ -237,12 +453,12 @@ fn run_threaded_inner(
         }
         // Dropping arr_tx disconnects the ring: the scheduler sees
         // empty + disconnected and finishes.
-        lost
+        loss
     });
 
     let scheduler = std::thread::spawn(move || {
         let mut pending = 0u64;
-        let mut lost = 0u64;
+        let mut loss = LossLedger::new();
         let mut watchdog = DecisionWatchdog::new(SCHEDULER_STALL_THRESHOLD, 1);
         // Reusable batch buffer: arrivals are drained from the ring in one
         // sweep and deposited with `push_arrivals`, and the decision cycle
@@ -257,14 +473,15 @@ fn run_threaded_inner(
             while arr_batch.len() < arr_batch.capacity() {
                 match arr_rx.pop() {
                     Some(msg) if msg.slot < slots => arr_batch.push((msg.slot, msg.tag)),
-                    Some(_) => lost += 1,
+                    // Corrupted in the ring: the ring consumed it.
+                    Some(_) => loss.record(LossSite::Ring),
                     None => break,
                 }
             }
             match fabric.push_arrivals(&arr_batch) {
                 Ok(()) => pending += arr_batch.len() as u64,
                 // Unreachable after validation; counted rather than panicked.
-                Err(_) => lost += arr_batch.len() as u64,
+                Err(_) => loss.record_n(LossSite::Ring, arr_batch.len() as u64),
             }
             if pending == 0 {
                 if arr_rx.is_disconnected() && arr_rx.is_empty() {
@@ -293,11 +510,14 @@ fn run_threaded_inner(
                 // crashed card or chained stuck windows, not a transient
                 // wedge. Abandon the backlog (counted, bounded) and drain
                 // the producer dry so it can never deadlock pushing into a
-                // full ring nobody reads.
-                lost += pending;
+                // full ring nobody reads. Everything written off here —
+                // the deposited backlog and the still-ringed arrivals —
+                // is lost to the dead scheduling path, not to the rings:
+                // one site per packet, no double count.
+                loss.record_n(LossSite::Shard, pending);
                 loop {
                     match arr_rx.pop() {
-                        Some(_) => lost += 1,
+                        Some(_) => loss.record(LossSite::Shard),
                         None => {
                             if arr_rx.is_disconnected() {
                                 break;
@@ -310,14 +530,16 @@ fn run_threaded_inner(
                 if let Some(inj) = sched_faults.injector() {
                     use std::sync::atomic::Ordering;
                     inj.stats().detected.fetch_add(1, Ordering::Relaxed);
-                    inj.stats().lost_packets.fetch_add(lost, Ordering::Relaxed);
+                    inj.stats()
+                        .lost_packets
+                        .fetch_add(loss.total(), Ordering::Relaxed);
                 }
                 break;
             }
         }
         // The loop only exits once the producer disconnected, so its final
         // ring stats are published and exact here.
-        (arr_rx.stats(), fabric, lost)
+        (arr_rx.stats(), fabric, loss)
     });
 
     // Transmitter runs on the calling thread. It stops at the expected
@@ -341,10 +563,10 @@ fn run_threaded_inner(
         }
     }
 
-    let prod_lost = producer.join().map_err(|_| Error::DegradedMode {
+    let prod_loss = producer.join().map_err(|_| Error::DegradedMode {
         reason: "endsystem producer thread panicked".into(),
     })?;
-    let (arr_ring, fabric, sched_lost) = scheduler.join().map_err(|_| Error::DegradedMode {
+    let (arr_ring, fabric, sched_loss) = scheduler.join().map_err(|_| Error::DegradedMode {
         reason: "endsystem scheduler thread panicked".into(),
     })?;
     // The scheduler has dropped its id_tx endpoint — its stats are final.
@@ -352,6 +574,8 @@ fn run_threaded_inner(
 
     let wall_seconds = start.elapsed().as_secs_f64();
     let total: u64 = per_slot.iter().sum();
+    let mut loss = prod_loss;
+    loss.merge(&sched_loss);
     Ok((
         ThreadedReport {
             per_slot,
@@ -360,7 +584,8 @@ fn run_threaded_inner(
             pps: total as f64 / wall_seconds,
             arr_ring,
             id_ring,
-            lost: prod_lost + sched_lost,
+            lost: loss.total(),
+            loss,
         },
         fabric,
     ))
@@ -406,6 +631,7 @@ mod tests {
         assert!(report.arr_ring.high_water <= report.arr_ring.capacity);
         assert!(report.id_ring.high_water >= 1);
         assert_eq!(report.lost, 0, "fault-free run loses nothing");
+        assert_eq!(report.loss.total(), 0, "ledger agrees: no loss anywhere");
     }
 
     #[cfg(feature = "faults")]
@@ -473,6 +699,50 @@ mod tests {
             "injector ledger matches the report"
         );
         assert!(stats.injected(FaultSite::DecisionCycle) >= 1);
+        // Site classification: every packet the watchdog wrote off belongs
+        // to the dead scheduling path, none to the rings — and the
+        // partition sums exactly to the scalar.
+        assert_eq!(report.loss.total(), report.lost, "partition is exact");
+        assert_eq!(report.loss.shard, report.lost, "all loss at the shard site");
+        assert_eq!(report.loss.ring, 0);
+        assert_eq!(report.loss.admission, 0);
+        assert_eq!(report.loss.shed, 0);
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn ring_burst_loss_classified_at_ring_site() {
+        use ss_faults::{FaultConfig, FaultInjector, RetryPolicy};
+        use std::sync::Arc;
+        let config = FabricConfig::edf(4, FabricConfigKind::WinnerOnly);
+        let states = (0..4)
+            .map(|_| StreamState {
+                request_period: 4,
+                original_window: ss_types::WindowConstraint::ZERO,
+                static_prio: 0,
+                late_policy: LatePolicy::ServeLate,
+            })
+            .collect();
+        // Only SPSC overflow bursts are armed: any loss must be classified
+        // at the ring site, and the by-site partition must equal the scalar
+        // exactly (the double-count this ledger was introduced to rule out).
+        let inj = Arc::new(FaultInjector::new(
+            21,
+            FaultConfig {
+                spsc_rate_ppm: 400_000,
+                ..FaultConfig::quiet()
+            },
+        ));
+        let report =
+            run_threaded_faulted(config, states, 2_000, inj, RetryPolicy::default()).unwrap();
+        assert_eq!(
+            report.total + report.lost,
+            8_000,
+            "transmitted + lost covers every arrival exactly once"
+        );
+        assert_eq!(report.loss.total(), report.lost, "partition is exact");
+        assert_eq!(report.loss.ring, report.lost, "only ring-site loss armed");
+        assert_eq!(report.loss.shard, 0);
     }
 
     #[cfg(feature = "telemetry")]
@@ -513,6 +783,81 @@ mod tests {
         assert!(snap
             .to_prometheus()
             .contains("ss_endsystem_ring_high_water"));
+    }
+
+    #[cfg(feature = "overload")]
+    #[test]
+    fn overload_run_with_headroom_loses_nothing() {
+        use crate::overload::GateConfig;
+        use crate::red::RedConfig;
+        let config = FabricConfig::edf(4, FabricConfigKind::WinnerOnly);
+        let states: Vec<StreamState> = (0..4)
+            .map(|_| StreamState {
+                request_period: 4,
+                original_window: ss_types::WindowConstraint::ZERO,
+                static_prio: 0,
+                late_policy: LatePolicy::ServeLate,
+            })
+            .collect();
+        let windows = vec![ss_types::WindowConstraint::ZERO; 4];
+        // Generous buckets + a RED band far above any real occupancy: the
+        // gate must be transparent when there is headroom.
+        let gate = GateConfig::from_windows(
+            &windows,
+            1_000_000,
+            4_000_000,
+            RedConfig::classic(1 << 20),
+            3,
+        );
+        let run = run_threaded_overload(config, states, 2_000, gate).unwrap();
+        assert_eq!(run.report.total, 8_000);
+        assert_eq!(run.report.lost, 0, "no loss with headroom");
+        assert_eq!(run.offered, 8_000);
+        assert_eq!(run.admitted, 8_000);
+        assert_eq!(run.report.loss.total(), 0);
+    }
+
+    #[cfg(feature = "overload")]
+    #[test]
+    fn overload_run_conserves_under_starved_admission() {
+        use crate::overload::GateConfig;
+        use crate::red::RedConfig;
+        use ss_overload::StreamClass;
+        let config = FabricConfig::edf(4, FabricConfigKind::WinnerOnly);
+        let states: Vec<StreamState> = (0..4)
+            .map(|_| StreamState {
+                request_period: 4,
+                original_window: ss_types::WindowConstraint::ZERO,
+                static_prio: 0,
+                late_policy: LatePolicy::ServeLate,
+            })
+            .collect();
+        // Buckets refill a fraction of a token per scheduler sweep: most
+        // arrivals must be refused at admission — classified, conserved,
+        // and panic-free.
+        let mut gate = GateConfig::from_windows(
+            &[ss_types::WindowConstraint { num: 3, den: 4 }; 4],
+            1_000_000,
+            4_000_000,
+            RedConfig::classic(1 << 20),
+            5,
+        );
+        gate.classes = (0..4)
+            .map(|_| StreamClass {
+                rate_mtok: 10,
+                burst_mtok: 2_000,
+                protection: 0,
+            })
+            .collect();
+        let run = run_threaded_overload(config, states, 2_000, gate).unwrap();
+        assert_eq!(run.offered, 8_000);
+        assert!(run.report.loss.admission > 0, "starved buckets refuse");
+        assert_eq!(
+            run.report.total + run.report.lost,
+            8_000,
+            "transmitted + classified loss covers every arrival"
+        );
+        assert_eq!(run.report.loss.total(), run.report.lost, "partition exact");
     }
 
     #[test]

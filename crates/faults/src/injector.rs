@@ -36,10 +36,14 @@ pub enum FaultSite {
     DecisionCycle,
     /// A whole scheduler shard (worker thread or card partition).
     Shard,
+    /// The overload-plane admission point: a sampled fault models a
+    /// transient offered-load spike (extra arrivals beyond the schedule)
+    /// slamming into the token buckets.
+    Admission,
 }
 
 /// Number of distinct [`FaultSite`]s (stream / counter array size).
-pub const SITE_COUNT: usize = 6;
+pub const SITE_COUNT: usize = 7;
 
 impl FaultSite {
     /// Dense index for per-site arrays.
@@ -52,6 +56,7 @@ impl FaultSite {
             FaultSite::SpscRing => 3,
             FaultSite::DecisionCycle => 4,
             FaultSite::Shard => 5,
+            FaultSite::Admission => 6,
         }
     }
 
@@ -63,6 +68,7 @@ impl FaultSite {
         FaultSite::SpscRing,
         FaultSite::DecisionCycle,
         FaultSite::Shard,
+        FaultSite::Admission,
     ];
 
     /// Human-readable site name (metric label).
@@ -74,6 +80,7 @@ impl FaultSite {
             FaultSite::SpscRing => "spsc_ring",
             FaultSite::DecisionCycle => "decision_cycle",
             FaultSite::Shard => "shard",
+            FaultSite::Admission => "admission",
         }
     }
 }
@@ -114,6 +121,13 @@ pub enum FaultKind {
     },
     /// The shard dies permanently (worker exit / card partition lost).
     ShardCrash,
+    /// An offered-load spike: this many extra arrivals (beyond the
+    /// deterministic schedule) hit admission control at once. The overload
+    /// plane must shed them by policy, not panic or overflow.
+    OverloadBurst {
+        /// Extra arrivals in the spike.
+        extra: u32,
+    },
 }
 
 /// Per-site injection rates and fault parameters. Rates are in parts per
@@ -134,6 +148,9 @@ pub struct FaultConfig {
     /// Shard fault rate (ppm): stalls, and crashes at
     /// [`FaultConfig::shard_crash_weight_pct`].
     pub shard_rate_ppm: u32,
+    /// Admission-point fault rate (ppm): [`FaultKind::OverloadBurst`]
+    /// offered-load spikes.
+    pub admission_rate_ppm: u32,
     /// Of injected shard faults, this percentage are permanent crashes;
     /// the rest are transient stalls.
     pub shard_crash_weight_pct: u32,
@@ -145,6 +162,8 @@ pub struct FaultConfig {
     pub max_shard_stall_cycles: u32,
     /// Ring overflow burst length (upper bound, ≥1 drawn).
     pub max_burst_len: u32,
+    /// Overload-burst size in extra arrivals (upper bound, ≥1 drawn).
+    pub max_overload_burst: u32,
 }
 
 impl Default for FaultConfig {
@@ -163,11 +182,13 @@ impl FaultConfig {
             spsc_rate_ppm: 0,
             decision_rate_ppm: 0,
             shard_rate_ppm: 0,
+            admission_rate_ppm: 0,
             shard_crash_weight_pct: 0,
             max_stall_ns: 2_000,
             max_stuck_cycles: 8,
             max_shard_stall_cycles: 16,
             max_burst_len: 64,
+            max_overload_burst: 256,
         }
     }
 
@@ -180,6 +201,7 @@ impl FaultConfig {
             spsc_rate_ppm: rate_ppm,
             decision_rate_ppm: rate_ppm,
             shard_rate_ppm: rate_ppm,
+            admission_rate_ppm: rate_ppm,
             shard_crash_weight_pct: 25,
             ..Self::quiet()
         }
@@ -193,6 +215,7 @@ impl FaultConfig {
             FaultSite::SpscRing => self.spsc_rate_ppm,
             FaultSite::DecisionCycle => self.decision_rate_ppm,
             FaultSite::Shard => self.shard_rate_ppm,
+            FaultSite::Admission => self.admission_rate_ppm,
         }
     }
 }
@@ -378,6 +401,9 @@ impl FaultInjector {
                     }
                 }
             }
+            FaultSite::Admission => FaultKind::OverloadBurst {
+                extra: 1 + (param % self.config.max_overload_burst.max(1) as u64) as u32,
+            },
         };
         self.stats.injected[site.index()].fetch_add(1, Ordering::Relaxed);
         Some(kind)

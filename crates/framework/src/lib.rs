@@ -304,6 +304,42 @@ pub fn dwcs_admissible(requests: &[DwcsRequest]) -> bool {
     dwcs_min_utilization(requests) <= 1.0 + 1e-9
 }
 
+/// Per-stream token-bucket parameters derived from a [`DwcsRequest`] —
+/// the planning half of the overload control plane. Pure numbers, no
+/// dependency on the runtime controller: `rate_mtok` / `burst_mtok` feed
+/// an `ss-overload` `StreamClass` (millitokens per packet-time, 1000 ≈
+/// one packet), `protection_permille` is the stream's mandatory fraction
+/// `(y-x)/y` scaled to per-mille (how late it should be shed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdmissionPlan {
+    /// Bucket refill in millitokens per packet-time.
+    pub rate_mtok: u32,
+    /// Bucket depth in millitokens (burst tolerance: one constraint
+    /// window's worth of packets, at least two).
+    pub burst_mtok: u32,
+    /// Mandatory fraction in per-mille (1000 = zero-loss, shed last).
+    pub protection_permille: u16,
+}
+
+/// Plans one token bucket per request: a stream sending one packet per
+/// period `T` needs `1000/T` millitokens per packet-time, scaled up by
+/// `headroom_permille` (e.g. 250 = +25%) so conformant jitter is not
+/// refused at admission. Deterministic integer arithmetic throughout.
+pub fn plan_admission(requests: &[DwcsRequest], headroom_permille: u32) -> Vec<AdmissionPlan> {
+    requests
+        .iter()
+        .map(|r| {
+            let period = r.period.max(1);
+            let rate = (1000u64 * (1000 + headroom_permille as u64)) / (period * 1000);
+            AdmissionPlan {
+                rate_mtok: (rate as u32).max(1),
+                burst_mtok: 1000 * u32::from(r.loss_den.max(2)),
+                protection_permille: (r.mandatory_fraction() * 1000.0).round() as u16,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod admission_tests {
     use super::*;
@@ -326,6 +362,25 @@ mod admission_tests {
         let mut over = reqs.clone();
         over.push(req(4, 0, 1));
         assert!(!dwcs_admissible(&over));
+    }
+
+    #[test]
+    fn plans_rate_from_period_and_protection_from_window() {
+        let plans = plan_admission(&[req(1, 0, 1), req(2, 1, 2), req(4, 3, 4)], 0);
+        assert_eq!(plans[0].rate_mtok, 1000, "one packet per packet-time");
+        assert_eq!(plans[0].protection_permille, 1000, "zero-loss: shed last");
+        assert_eq!(plans[1].rate_mtok, 500, "half the rate at T=2");
+        assert_eq!(plans[1].protection_permille, 500);
+        assert_eq!(plans[2].rate_mtok, 250);
+        assert_eq!(
+            plans[2].protection_permille, 250,
+            "loose window: shed first"
+        );
+        assert_eq!(plans[2].burst_mtok, 4_000, "one window of burst");
+        // Headroom scales the refill, not the protection.
+        let padded = plan_admission(&[req(2, 1, 2)], 250);
+        assert_eq!(padded[0].rate_mtok, 625, "+25% headroom");
+        assert_eq!(padded[0].protection_permille, 500);
     }
 
     #[test]

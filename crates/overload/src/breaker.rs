@@ -1,0 +1,250 @@
+//! Per-shard circuit breakers for the sharded frontend.
+//!
+//! Distinct from PR 3's crash handling: a crashed shard is *dead* and gets
+//! excluded permanently with its backlog written off, while an overloaded
+//! shard is *slow* — its backlog or decision latency has degraded past a
+//! threshold but it can recover if relieved. The breaker encodes that
+//! lifecycle:
+//!
+//! ```text
+//!            sustained lag/backlog            cooldown elapsed
+//!   Closed ──────────────────────▶ Open ──────────────────────▶ HalfOpen
+//!     ▲                             ▲                              │
+//!     │        probe quota met      │      overload re-observed    │
+//!     └─────────────────────────────┴──────────────────────────────┘
+//! ```
+//!
+//! While `Open`, new work for the shard is shed (counted, surfaced as
+//! `Error::Overloaded`) so survivors keep full service; the shard itself
+//! keeps cycling so its clock stays in lockstep with the merge. `HalfOpen`
+//! admits probes again and closes only after a quota of clean cycles —
+//! the same prove-yourself hysteresis the reattach watchdog uses.
+
+use serde::{Deserialize, Serialize};
+
+/// Breaker thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BreakerConfig {
+    /// Consecutive lagging cycles (backlogged but unproductive, or over
+    /// the backlog limit) that trip the breaker.
+    pub trip_lag_cycles: u32,
+    /// Backlog at or above which a cycle counts as lagging even if it
+    /// produced a proposal.
+    pub trip_backlog: usize,
+    /// Cycles the breaker stays open before probing.
+    pub cooldown_cycles: u32,
+    /// Clean half-open cycles required to close again.
+    pub probe_quota: u32,
+}
+
+impl Default for BreakerConfig {
+    /// Trip after 8 lagging cycles or a 1024-deep backlog; probe after a
+    /// 32-cycle cooldown; close after 8 clean probes.
+    fn default() -> Self {
+        Self {
+            trip_lag_cycles: 8,
+            trip_backlog: 1024,
+            cooldown_cycles: 32,
+            probe_quota: 8,
+        }
+    }
+}
+
+/// Breaker lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BreakerState {
+    /// Healthy: all traffic flows.
+    Closed,
+    /// Tripped: new work is shed to survivors until the cooldown elapses.
+    Open,
+    /// Probing: traffic flows again, but one bad cycle re-opens.
+    HalfOpen,
+}
+
+/// One shard's overload breaker.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    lag_streak: u32,
+    cooldown_left: u32,
+    probes_ok: u32,
+    trips: u64,
+    shed: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given thresholds.
+    pub fn new(config: BreakerConfig) -> Self {
+        Self {
+            config,
+            state: BreakerState::Closed,
+            lag_streak: 0,
+            cooldown_left: 0,
+            probes_ok: 0,
+            trips: 0,
+            shed: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Times this breaker has tripped (Closed/HalfOpen → Open).
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Packets shed while open (maintained via [`CircuitBreaker::record_shed`]).
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
+    /// `true` when new work may be routed to the shard (Closed or
+    /// HalfOpen). While false, callers shed to survivors.
+    #[inline]
+    pub fn allows_ingest(&self) -> bool {
+        !matches!(self.state, BreakerState::Open)
+    }
+
+    /// Accounts one packet shed because the breaker was open.
+    #[inline]
+    pub fn record_shed(&mut self) {
+        self.shed += 1;
+    }
+
+    /// Feeds one shard cycle: `made_progress` = the shard produced a valid
+    /// proposal (or had nothing to do), `backlog` = its queued packets at
+    /// cycle start. Returns the possibly-updated state. Hot path:
+    /// integer-only, no allocation, no panic.
+    #[inline]
+    pub fn observe(&mut self, made_progress: bool, backlog: usize) -> BreakerState {
+        let lagging = (backlog > 0 && !made_progress) || backlog >= self.config.trip_backlog;
+        match self.state {
+            BreakerState::Closed => {
+                if lagging {
+                    self.lag_streak = self.lag_streak.saturating_add(1);
+                    if self.lag_streak >= self.config.trip_lag_cycles.max(1) {
+                        self.trip();
+                    }
+                } else {
+                    self.lag_streak = 0;
+                }
+            }
+            BreakerState::Open => {
+                if self.cooldown_left > 1 {
+                    self.cooldown_left -= 1;
+                } else {
+                    self.state = BreakerState::HalfOpen;
+                    self.probes_ok = 0;
+                }
+            }
+            BreakerState::HalfOpen => {
+                if lagging {
+                    // One bad probe re-opens immediately: the shard has
+                    // not recovered, and flapping is worse than waiting.
+                    self.trip();
+                } else {
+                    self.probes_ok = self.probes_ok.saturating_add(1);
+                    if self.probes_ok >= self.config.probe_quota.max(1) {
+                        self.state = BreakerState::Closed;
+                        self.lag_streak = 0;
+                    }
+                }
+            }
+        }
+        self.state
+    }
+
+    #[inline]
+    fn trip(&mut self) {
+        self.state = BreakerState::Open;
+        self.cooldown_left = self.config.cooldown_cycles.max(1);
+        self.lag_streak = 0;
+        self.probes_ok = 0;
+        self.trips += 1;
+    }
+}
+
+impl Default for CircuitBreaker {
+    fn default() -> Self {
+        Self::new(BreakerConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> BreakerConfig {
+        BreakerConfig {
+            trip_lag_cycles: 3,
+            trip_backlog: 10,
+            cooldown_cycles: 4,
+            probe_quota: 2,
+        }
+    }
+
+    #[test]
+    fn trips_on_sustained_lag_not_blips() {
+        let mut b = CircuitBreaker::new(quick());
+        b.observe(false, 5);
+        b.observe(false, 5);
+        assert_eq!(b.observe(true, 5), BreakerState::Closed, "progress resets");
+        b.observe(false, 5);
+        b.observe(false, 5);
+        assert_eq!(b.observe(false, 5), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+        assert!(!b.allows_ingest());
+    }
+
+    #[test]
+    fn deep_backlog_counts_as_lag_even_with_progress() {
+        let mut b = CircuitBreaker::new(quick());
+        b.observe(true, 10);
+        b.observe(true, 12);
+        assert_eq!(b.observe(true, 11), BreakerState::Open);
+    }
+
+    #[test]
+    fn cooldown_then_half_open_then_close() {
+        let mut b = CircuitBreaker::new(quick());
+        for _ in 0..3 {
+            b.observe(false, 1);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        // Cooldown: 4 open cycles, then probing starts.
+        for _ in 0..3 {
+            assert_eq!(b.observe(true, 0), BreakerState::Open);
+        }
+        assert_eq!(b.observe(true, 0), BreakerState::HalfOpen);
+        assert!(b.allows_ingest(), "half-open admits probes");
+        b.observe(true, 0);
+        assert_eq!(b.observe(true, 0), BreakerState::Closed);
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn bad_probe_reopens() {
+        let mut b = CircuitBreaker::new(quick());
+        for _ in 0..3 {
+            b.observe(false, 1);
+        }
+        for _ in 0..4 {
+            b.observe(true, 0);
+        }
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert_eq!(b.observe(false, 3), BreakerState::Open, "probe failed");
+        assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn shed_accounting() {
+        let mut b = CircuitBreaker::default();
+        b.record_shed();
+        b.record_shed();
+        assert_eq!(b.shed(), 2);
+    }
+}

@@ -1,0 +1,318 @@
+//! Window-constraint-aware token-bucket admission.
+//!
+//! One bucket per stream, layered in front of the Queue Manager: an
+//! arrival that finds no token is rejected *at admission* (counted, never
+//! enqueued), so downstream buffers hold only work the system intends to
+//! serve. Tokens are integer millitokens — one packet costs
+//! [`TOKEN_COST_MTOK`] — and refill once per packet-time.
+//!
+//! The DWCS coupling is in the refill, not the spend: each stream carries
+//! a *protection* value, the per-mille mandatory fraction `(y−x)/y` of its
+//! window constraint `x/y` (see `ss_framework::DwcsRequest`). Under
+//! pressure the controller divides the refill of poorly-protected
+//! (loss-tolerant) streams by a power of two while fully-protected
+//! streams keep their whole rate — which is exactly "streams with tighter
+//! loss tolerance get shed last", enforced by arithmetic rather than by a
+//! priority queue on the hot path.
+
+use crate::pressure::PressureLevel;
+use serde::{Deserialize, Serialize};
+use ss_types::WindowConstraint;
+
+/// Millitokens one admitted packet costs.
+pub const TOKEN_COST_MTOK: u32 = 1_000;
+
+/// Protection (‰) at or above which a stream is never squeezed.
+pub const PROTECTED_PERMILLE: u16 = 750;
+
+/// Protection (‰) at or above which a stream is squeezed gently (½ / ¼
+/// refill instead of ¼ / ⅛) — the middle tier of the refill ladder.
+pub const MID_PERMILLE: u16 = 500;
+
+/// Per-stream admission parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamClass {
+    /// Refill rate in millitokens per packet-time (1000 ≈ one packet per
+    /// packet-time).
+    pub rate_mtok: u32,
+    /// Bucket depth in millitokens (burst tolerance).
+    pub burst_mtok: u32,
+    /// Mandatory fraction of the stream's window constraint, per-mille.
+    pub protection: u16,
+}
+
+impl StreamClass {
+    /// A class refilling `rate_mtok` with `burst_mtok` depth, protected
+    /// according to `window`: protection = `(y − x) / y` per-mille. The
+    /// zero constraint (no tolerated losses) is fully protected.
+    pub fn from_window(rate_mtok: u32, burst_mtok: u32, window: WindowConstraint) -> Self {
+        let protection = if window.is_zero() {
+            1000
+        } else {
+            let num = u32::from(window.num.min(window.den));
+            (((u32::from(window.den) - num) * 1000) / u32::from(window.den)) as u16
+        };
+        Self {
+            rate_mtok,
+            burst_mtok,
+            protection,
+        }
+    }
+}
+
+/// Per-stream token buckets with pressure- and window-aware refill.
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    classes: Vec<StreamClass>,
+    /// Current bucket levels, millitokens. Buckets start full so an
+    /// initial burst up to the configured depth is admitted.
+    tokens: Vec<u32>,
+    admitted: Vec<u64>,
+    rejected: Vec<u64>,
+}
+
+impl AdmissionController {
+    /// A controller with one bucket per entry of `classes`, all starting
+    /// full.
+    pub fn new(classes: Vec<StreamClass>) -> Self {
+        let tokens = classes.iter().map(|c| c.burst_mtok).collect();
+        let n = classes.len();
+        Self {
+            classes,
+            tokens,
+            admitted: vec![0; n],
+            rejected: vec![0; n],
+        }
+    }
+
+    /// Streams managed.
+    pub fn streams(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// How much refill a stream with `protection` gets at `level`,
+    /// expressed as a right-shift of its configured rate. The ladder:
+    /// fully-protected streams are never squeezed; mid-tier streams halve
+    /// then quarter; loss-tolerant streams quarter then eighth.
+    #[inline]
+    pub fn refill_shift(level: PressureLevel, protection: u16) -> u32 {
+        if protection >= PROTECTED_PERMILLE {
+            return 0;
+        }
+        match level {
+            PressureLevel::Nominal => 0,
+            PressureLevel::Elevated => {
+                if protection >= MID_PERMILLE {
+                    1
+                } else {
+                    2
+                }
+            }
+            PressureLevel::Overloaded => {
+                if protection >= MID_PERMILLE {
+                    2
+                } else {
+                    3
+                }
+            }
+        }
+    }
+
+    /// One packet-time elapses: refill every bucket at the rate the
+    /// current pressure `level` allows it. Hot path: integer-only, no
+    /// allocation, no panic.
+    #[inline]
+    pub fn tick(&mut self, level: PressureLevel) {
+        for (tokens, class) in self.tokens.iter_mut().zip(self.classes.iter()) {
+            let refill = class.rate_mtok >> Self::refill_shift(level, class.protection);
+            *tokens = (*tokens + refill).min(class.burst_mtok);
+        }
+    }
+
+    /// Tries to admit one packet for `stream`. `true` spends a token;
+    /// `false` means the arrival must be rejected at admission (and the
+    /// caller records it in the loss ledger). Out-of-range streams are
+    /// rejected without panicking. Hot path.
+    #[inline]
+    pub fn try_admit(&mut self, stream: usize) -> bool {
+        let Some(tokens) = self.tokens.get_mut(stream) else {
+            return false;
+        };
+        if *tokens >= TOKEN_COST_MTOK {
+            *tokens -= TOKEN_COST_MTOK;
+            self.admitted[stream] += 1;
+            true
+        } else {
+            self.rejected[stream] += 1;
+            false
+        }
+    }
+
+    /// Current bucket level for `stream`, millitokens.
+    pub fn tokens(&self, stream: usize) -> u32 {
+        self.tokens.get(stream).copied().unwrap_or(0)
+    }
+
+    /// Packets admitted for `stream` so far.
+    pub fn admitted(&self, stream: usize) -> u64 {
+        self.admitted.get(stream).copied().unwrap_or(0)
+    }
+
+    /// Packets rejected at admission for `stream` so far.
+    pub fn rejected(&self, stream: usize) -> u64 {
+        self.rejected.get(stream).copied().unwrap_or(0)
+    }
+
+    /// Total rejections across streams.
+    pub fn total_rejected(&self) -> u64 {
+        self.rejected.iter().sum()
+    }
+
+    /// Total admissions across streams.
+    pub fn total_admitted(&self) -> u64 {
+        self.admitted.iter().sum()
+    }
+
+    /// The configured class for `stream`.
+    pub fn class(&self, stream: usize) -> Option<&StreamClass> {
+        self.classes.get(stream)
+    }
+
+    /// Publishes per-stream admitted/rejected counters and bucket levels
+    /// into `registry` under `ss_overload_*`. Idempotent gauges.
+    #[cfg(feature = "telemetry")]
+    pub fn publish(&self, registry: &ss_telemetry::Registry) {
+        registry
+            .gauge(
+                "ss_overload_admitted_total",
+                "Packets admitted by the token-bucket controller",
+            )
+            .set(self.total_admitted() as i64);
+        registry
+            .gauge(
+                "ss_overload_admission_rejected_total",
+                "Packets rejected at admission (no token)",
+            )
+            .set(self.total_rejected() as i64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wc(num: u8, den: u8) -> WindowConstraint {
+        WindowConstraint::new(num, den)
+    }
+
+    #[test]
+    fn protection_tracks_mandatory_fraction() {
+        assert_eq!(
+            StreamClass::from_window(1000, 1000, wc(0, 1)).protection,
+            1000
+        );
+        assert_eq!(
+            StreamClass::from_window(1000, 1000, wc(1, 4)).protection,
+            750
+        );
+        assert_eq!(
+            StreamClass::from_window(1000, 1000, wc(1, 2)).protection,
+            500
+        );
+        assert_eq!(
+            StreamClass::from_window(1000, 1000, wc(3, 4)).protection,
+            250
+        );
+        // Degenerate inputs stay in range instead of underflowing.
+        assert_eq!(StreamClass::from_window(1000, 1000, wc(9, 4)).protection, 0);
+        assert_eq!(
+            StreamClass::from_window(1000, 1000, WindowConstraint::ZERO).protection,
+            1000
+        );
+    }
+
+    #[test]
+    fn admits_at_configured_rate() {
+        let mut ac = AdmissionController::new(vec![StreamClass {
+            rate_mtok: 500, // one packet every 2 packet-times
+            burst_mtok: 1000,
+            protection: 1000,
+        }]);
+        let mut admitted = 0;
+        for _ in 0..100 {
+            ac.tick(PressureLevel::Nominal);
+            if ac.try_admit(0) {
+                admitted += 1;
+            }
+        }
+        // Starts full (1 burst token) + 50 refilled over 100 ticks.
+        assert!((50..=51).contains(&admitted), "got {admitted}");
+        assert_eq!(ac.admitted(0), admitted);
+        assert_eq!(ac.rejected(0) + admitted, 100);
+    }
+
+    #[test]
+    fn burst_depth_caps_idle_accumulation() {
+        let mut ac = AdmissionController::new(vec![StreamClass {
+            rate_mtok: 1000,
+            burst_mtok: 3000,
+            protection: 1000,
+        }]);
+        for _ in 0..50 {
+            ac.tick(PressureLevel::Nominal);
+        }
+        assert_eq!(ac.tokens(0), 3000, "bucket saturates at burst depth");
+        assert!(ac.try_admit(0) && ac.try_admit(0) && ac.try_admit(0));
+        assert!(!ac.try_admit(0), "burst spent");
+    }
+
+    #[test]
+    fn pressure_squeezes_tolerant_streams_first() {
+        // Protected (0/1) vs tolerant (3/4) stream, same demand.
+        let classes = vec![
+            StreamClass::from_window(1000, 1000, wc(0, 1)),
+            StreamClass::from_window(1000, 1000, wc(3, 4)),
+        ];
+        let mut ac = AdmissionController::new(classes);
+        let mut served = [0u64; 2];
+        for _ in 0..400 {
+            ac.tick(PressureLevel::Overloaded);
+            for (s, count) in served.iter_mut().enumerate() {
+                if ac.try_admit(s) {
+                    *count += 1;
+                }
+            }
+        }
+        assert!(
+            served[0] >= 399,
+            "protected stream keeps full rate, got {}",
+            served[0]
+        );
+        // rate >> 3 = 125 mtok/tick ⇒ one packet every 8 ticks.
+        assert!(
+            (45..=60).contains(&served[1]),
+            "tolerant stream squeezed to ~1/8, got {}",
+            served[1]
+        );
+    }
+
+    #[test]
+    fn refill_shift_ladder() {
+        use PressureLevel::*;
+        assert_eq!(AdmissionController::refill_shift(Nominal, 0), 0);
+        assert_eq!(AdmissionController::refill_shift(Elevated, 1000), 0);
+        assert_eq!(AdmissionController::refill_shift(Elevated, 600), 1);
+        assert_eq!(AdmissionController::refill_shift(Elevated, 100), 2);
+        assert_eq!(AdmissionController::refill_shift(Overloaded, 600), 2);
+        assert_eq!(AdmissionController::refill_shift(Overloaded, 100), 3);
+        assert_eq!(AdmissionController::refill_shift(Overloaded, 800), 0);
+    }
+
+    #[test]
+    fn out_of_range_stream_rejected_without_panic() {
+        let mut ac = AdmissionController::new(vec![]);
+        assert!(!ac.try_admit(7));
+        assert_eq!(ac.tokens(7), 0);
+        assert_eq!(ac.admitted(7), 0);
+    }
+}

@@ -1,0 +1,260 @@
+//! The degradation ladder: full QoS → shed-optional-streams → FCFS drain.
+//!
+//! The failover supervisor already handles the *broken* hardware path
+//! (PR 3); the ladder handles the *overwhelmed* one. Each rung trades a
+//! little scheduling fidelity for drain capacity:
+//!
+//! ```text
+//!   FullQos ──sustained overload──▶ ShedOptional ──still climbing──▶ FcfsDrain
+//!      ▲                                 │  ▲                            │
+//!      └────────sustained calm───────────┘  └───────sustained calm───────┘
+//! ```
+//!
+//! * **FullQos** — every arrival accepted (subject to admission), full
+//!   DWCS service.
+//! * **ShedOptional** — arrivals for streams whose window constraints are
+//!   currently satisfied are refused at the facade (`Error::Overloaded`),
+//!   concentrating service on streams that cannot absorb loss.
+//! * **FcfsDrain** — ingest closes entirely; the scheduler drains the
+//!   queued backlog in plain arrival order until pressure clears.
+//!
+//! Entry and exit are driven by the pressure signal *and* the decision
+//! watchdog (a Suspect/Stuck hardware path escalates even at moderate
+//! occupancy, because service capacity — not offered load — collapsed).
+//! Both directions require a sustained streak and a per-rung minimum
+//! dwell, so a flapping input cannot bounce the facade between rungs.
+
+use crate::pressure::PressureLevel;
+use serde::{Deserialize, Serialize};
+
+/// One rung of the degradation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Rung {
+    /// Full DWCS service, all streams admitted.
+    FullQos,
+    /// Streams with loss headroom are refused at ingest.
+    ShedOptional,
+    /// Ingest closed; backlog drains in arrival order.
+    FcfsDrain,
+}
+
+impl Rung {
+    /// Dense encoding (telemetry gauge value).
+    pub fn as_u8(self) -> u8 {
+        match self {
+            Rung::FullQos => 0,
+            Rung::ShedOptional => 1,
+            Rung::FcfsDrain => 2,
+        }
+    }
+}
+
+/// Ladder hysteresis thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LadderConfig {
+    /// Consecutive stressed observations required to climb one rung.
+    pub escalate_after: u32,
+    /// Consecutive calm observations required to descend one rung.
+    pub deescalate_after: u32,
+    /// Observations a fresh rung must hold before any further move.
+    pub min_dwell: u32,
+}
+
+impl Default for LadderConfig {
+    /// Climb after 16 stressed cycles, descend after 64 calm ones, dwell
+    /// 8 — descending is deliberately slower than climbing, mirroring the
+    /// watchdog's cheap-failover / expensive-flap asymmetry.
+    fn default() -> Self {
+        Self {
+            escalate_after: 16,
+            deescalate_after: 64,
+            min_dwell: 8,
+        }
+    }
+}
+
+/// The rung state machine.
+#[derive(Debug, Clone)]
+pub struct DegradationLadder {
+    config: LadderConfig,
+    rung: Rung,
+    stressed_streak: u32,
+    calm_streak: u32,
+    dwell: u32,
+    transitions: u64,
+}
+
+impl DegradationLadder {
+    /// A ladder starting at [`Rung::FullQos`].
+    pub fn new(config: LadderConfig) -> Self {
+        Self {
+            config,
+            rung: Rung::FullQos,
+            stressed_streak: 0,
+            calm_streak: 0,
+            dwell: 0,
+            transitions: 0,
+        }
+    }
+
+    /// Current rung.
+    #[inline]
+    pub fn rung(&self) -> Rung {
+        self.rung
+    }
+
+    /// Rung transitions so far.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Feeds one observation: the current pressure level and whether the
+    /// decision watchdog considers the scheduling path healthy. Returns
+    /// the — possibly updated — rung. Hot path: integer-only, no
+    /// allocation, no panic.
+    #[inline]
+    pub fn observe(&mut self, pressure: PressureLevel, watchdog_healthy: bool) -> Rung {
+        let stressed = pressure == PressureLevel::Overloaded || !watchdog_healthy;
+        let calm = pressure == PressureLevel::Nominal && watchdog_healthy;
+        if stressed {
+            self.stressed_streak = self.stressed_streak.saturating_add(1);
+            self.calm_streak = 0;
+        } else if calm {
+            self.calm_streak = self.calm_streak.saturating_add(1);
+            self.stressed_streak = 0;
+        } else {
+            // Elevated-but-healthy: hold position, decay both streaks.
+            self.stressed_streak = 0;
+            self.calm_streak = 0;
+        }
+        if self.dwell > 0 {
+            self.dwell -= 1;
+            return self.rung;
+        }
+        let next = if self.stressed_streak >= self.config.escalate_after.max(1) {
+            match self.rung {
+                Rung::FullQos => Rung::ShedOptional,
+                Rung::ShedOptional | Rung::FcfsDrain => Rung::FcfsDrain,
+            }
+        } else if self.calm_streak >= self.config.deescalate_after.max(1) {
+            match self.rung {
+                Rung::FcfsDrain => Rung::ShedOptional,
+                Rung::ShedOptional | Rung::FullQos => Rung::FullQos,
+            }
+        } else {
+            self.rung
+        };
+        if next != self.rung {
+            self.rung = next;
+            self.dwell = self.config.min_dwell;
+            self.stressed_streak = 0;
+            self.calm_streak = 0;
+            self.transitions += 1;
+        }
+        self.rung
+    }
+}
+
+impl Default for DegradationLadder {
+    fn default() -> Self {
+        Self::new(LadderConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use PressureLevel::*;
+
+    fn quick() -> LadderConfig {
+        LadderConfig {
+            escalate_after: 3,
+            deescalate_after: 4,
+            min_dwell: 0,
+        }
+    }
+
+    #[test]
+    fn climbs_one_rung_per_sustained_episode() {
+        let mut l = DegradationLadder::new(quick());
+        for _ in 0..2 {
+            assert_eq!(l.observe(Overloaded, true), Rung::FullQos);
+        }
+        assert_eq!(l.observe(Overloaded, true), Rung::ShedOptional);
+        for _ in 0..2 {
+            l.observe(Overloaded, true);
+        }
+        assert_eq!(l.observe(Overloaded, true), Rung::FcfsDrain);
+        assert_eq!(l.transitions(), 2);
+    }
+
+    #[test]
+    fn descends_on_sustained_calm_only() {
+        let mut l = DegradationLadder::new(quick());
+        for _ in 0..6 {
+            l.observe(Overloaded, true);
+        }
+        assert_eq!(l.rung(), Rung::FcfsDrain);
+        for _ in 0..3 {
+            assert_eq!(l.observe(Nominal, true), Rung::FcfsDrain);
+        }
+        assert_eq!(l.observe(Nominal, true), Rung::ShedOptional);
+        for _ in 0..3 {
+            l.observe(Nominal, true);
+        }
+        assert_eq!(l.observe(Nominal, true), Rung::FullQos);
+    }
+
+    #[test]
+    fn elevated_holds_position() {
+        let mut l = DegradationLadder::new(quick());
+        for _ in 0..3 {
+            l.observe(Overloaded, true);
+        }
+        assert_eq!(l.rung(), Rung::ShedOptional);
+        for _ in 0..100 {
+            assert_eq!(l.observe(Elevated, true), Rung::ShedOptional);
+        }
+        assert_eq!(l.transitions(), 1);
+    }
+
+    #[test]
+    fn unhealthy_watchdog_escalates_without_pressure() {
+        let mut l = DegradationLadder::new(quick());
+        for _ in 0..2 {
+            l.observe(Nominal, false);
+        }
+        assert_eq!(l.observe(Nominal, false), Rung::ShedOptional);
+    }
+
+    #[test]
+    fn dwell_bounds_flapping() {
+        let mut l = DegradationLadder::new(LadderConfig {
+            escalate_after: 1,
+            deescalate_after: 1,
+            min_dwell: 8,
+        });
+        // Alternate stress/calm every observation: without dwell this
+        // flaps every cycle; with it, at most one move per 9.
+        for i in 0..900u32 {
+            l.observe(if i % 2 == 0 { Overloaded } else { Nominal }, true);
+        }
+        assert!(
+            l.transitions() <= 100,
+            "dwell must bound rung flapping, got {}",
+            l.transitions()
+        );
+    }
+
+    #[test]
+    fn interrupted_streaks_do_not_escalate() {
+        let mut l = DegradationLadder::new(quick());
+        for _ in 0..20 {
+            l.observe(Overloaded, true);
+            l.observe(Overloaded, true);
+            l.observe(Nominal, true); // breaks the streak at 2 < 3
+        }
+        assert_eq!(l.rung(), Rung::FullQos);
+        assert_eq!(l.transitions(), 0);
+    }
+}

@@ -40,6 +40,8 @@ use ss_core::decision::{order, DecisionRule};
 use ss_core::{Fabric, FabricConfig, ScheduledPacket, SlotCounters, StreamState};
 use ss_endsystem::spsc::{spsc_ring, Consumer, Producer};
 use ss_hwsim::FabricConfigKind;
+#[cfg(feature = "overload")]
+use ss_overload::{BreakerConfig, BreakerState, CircuitBreaker, LossLedger, LossSite};
 use ss_types::{ComparisonMode, Error, Result, SlotId, StreamAttrs, Wrap16};
 use std::cmp::Ordering;
 use std::thread::JoinHandle;
@@ -128,6 +130,15 @@ pub struct ShardedScheduler {
     stalled_until: Vec<u64>,
     /// Backlogged packets written off when shards failed.
     lost_packets: u64,
+    /// Per-shard overload breakers (`overload` feature, default off —
+    /// empty until [`ShardedScheduler::enable_breakers`]). Distinct from
+    /// `failed`: an open breaker sheds *new* ingest while the shard keeps
+    /// cycling and draining, a failed shard is out of the merge for good.
+    #[cfg(feature = "overload")]
+    breakers: Vec<CircuitBreaker>,
+    /// Where breaker refusals are accounted ([`LossSite::Shed`]).
+    #[cfg(feature = "overload")]
+    overload_ledger: LossLedger,
     #[cfg(feature = "faults")]
     injector: Option<std::sync::Arc<ss_faults::FaultInjector>>,
     #[cfg(feature = "telemetry")]
@@ -186,6 +197,10 @@ impl ShardedScheduler {
             failed: vec![false; shards],
             stalled_until: vec![0; shards],
             lost_packets: 0,
+            #[cfg(feature = "overload")]
+            breakers: Vec::new(),
+            #[cfg(feature = "overload")]
+            overload_ledger: LossLedger::new(),
             #[cfg(feature = "faults")]
             injector: None,
             #[cfg(feature = "telemetry")]
@@ -306,9 +321,120 @@ impl ShardedScheduler {
         Ok(())
     }
 
+    /// Arms one [`CircuitBreaker`] per shard (`overload` feature). Until
+    /// called, breakers are off and ingest is never refused. An open
+    /// breaker refuses [`ShardedScheduler::push_arrival`] for its shard
+    /// with [`Error::Overloaded`] — survivors keep full service — while
+    /// the shard keeps cycling in the merge so its backlog drains and its
+    /// clock stays in lockstep. Breakers are inline-mode state; they do
+    /// not follow the fabrics into [`ShardedScheduler::into_threaded`].
+    #[cfg(feature = "overload")]
+    pub fn enable_breakers(&mut self, config: BreakerConfig) {
+        self.breakers = (0..self.shards.len())
+            .map(|_| CircuitBreaker::new(config))
+            .collect();
+    }
+
+    /// Shard `k`'s breaker state, or `None` before
+    /// [`ShardedScheduler::enable_breakers`].
+    #[cfg(feature = "overload")]
+    pub fn breaker_state(&self, k: usize) -> Option<BreakerState> {
+        self.breakers.get(k).map(CircuitBreaker::state)
+    }
+
+    /// Total breaker trips across all shards.
+    #[cfg(feature = "overload")]
+    pub fn breaker_trips(&self) -> u64 {
+        self.breakers.iter().map(CircuitBreaker::trips).sum()
+    }
+
+    /// The ledger accounting every breaker refusal (at [`LossSite::Shed`]).
+    #[cfg(feature = "overload")]
+    pub fn overload_ledger(&self) -> &LossLedger {
+        &self.overload_ledger
+    }
+
+    /// Publishes per-shard breaker gauges (`ss_overload_breaker_*`) plus
+    /// the breaker-shed ledger into `registry`.
+    #[cfg(all(feature = "overload", feature = "telemetry"))]
+    pub fn publish_breakers(&self, registry: &ss_telemetry::Registry) {
+        for (k, b) in self.breakers.iter().enumerate() {
+            let shard = k.to_string();
+            registry
+                .gauge_labeled(
+                    "ss_overload_breaker_state",
+                    &[("shard", &shard)],
+                    "Breaker state (0 closed, 1 half-open, 2 open)",
+                )
+                .set(match b.state() {
+                    BreakerState::Closed => 0,
+                    BreakerState::HalfOpen => 1,
+                    BreakerState::Open => 2,
+                });
+            registry
+                .gauge_labeled(
+                    "ss_overload_breaker_trips",
+                    &[("shard", &shard)],
+                    "Times this shard's breaker has tripped",
+                )
+                .set(b.trips() as i64);
+            registry
+                .gauge_labeled(
+                    "ss_overload_breaker_shed",
+                    &[("shard", &shard)],
+                    "Arrivals refused while this shard's breaker was open",
+                )
+                .set(b.shed() as i64);
+        }
+        self.overload_ledger.publish(registry);
+    }
+
+    /// Sum of shard `k`'s local queue depths.
+    #[cfg(feature = "overload")]
+    fn shard_backlog(&self, k: usize) -> usize {
+        (0..self.per_shard)
+            .map(|l| self.shards[k].backlog(l).unwrap_or(0))
+            .sum()
+    }
+
+    /// Feeds one global cycle into every live shard's breaker: a shard
+    /// makes progress when it proposes a valid winner word or has nothing
+    /// queued; a backlogged shard proposing nothing (wedged) or one over
+    /// the backlog limit is lagging.
+    #[cfg(feature = "overload")]
+    fn observe_breakers(&mut self) {
+        if self.breakers.is_empty() {
+            return;
+        }
+        for k in 0..self.shards.len() {
+            if self.failed[k] {
+                continue;
+            }
+            let backlog = self.shard_backlog(k);
+            let made_progress = backlog == 0 || self.shards[k].peek_winner().valid;
+            self.breakers[k].observe(made_progress, backlog);
+        }
+    }
+
     /// Deposits one arrival into global slot `g`'s queue.
+    ///
+    /// With breakers armed (`overload` feature), an arrival for a shard
+    /// whose breaker is open is refused with [`Error::Overloaded`] and
+    /// accounted at [`LossSite::Shed`] — intentional, counted load
+    /// shedding, never silent loss.
     pub fn push_arrival(&mut self, global: usize, arrival: Wrap16) -> Result<()> {
         let (shard, local) = self.map_live(global)?;
+        #[cfg(feature = "overload")]
+        if let Some(b) = self.breakers.get_mut(shard) {
+            if !b.allows_ingest() {
+                b.record_shed();
+                self.overload_ledger.record(LossSite::Shed);
+                return Err(Error::Overloaded {
+                    slot: global,
+                    site: "breaker",
+                });
+            }
+        }
         self.shards[shard].push_arrival(local, arrival)
     }
 
@@ -531,6 +657,8 @@ impl ShardedScheduler {
         #[cfg(feature = "faults")]
         self.inject_shard_faults();
         self.auto_exclude_crashed();
+        #[cfg(feature = "overload")]
+        self.observe_breakers();
         // Clock reads only happen when instrumentation is attached, so the
         // detached (and feature-off) hot path never calls `Instant::now`.
         #[cfg(feature = "telemetry")]
@@ -1147,6 +1275,69 @@ mod tests {
         for g in 4..total {
             assert_eq!(s.slot_counters(g).unwrap().serviced, 1);
         }
+    }
+
+    #[cfg(feature = "overload")]
+    #[test]
+    fn open_breaker_sheds_ingest_while_survivors_flow() {
+        use ss_overload::{BreakerConfig, BreakerState, LossSite};
+        let mut s = backlogged(8, 2, 2);
+        // Trip on a 4-deep backlog after 2 lagging cycles; shard 1 holds
+        // 4 slots × 2 arrivals = 8 queued, over the limit even after a win.
+        s.enable_breakers(BreakerConfig {
+            trip_lag_cycles: 2,
+            trip_backlog: 4,
+            cooldown_cycles: 64,
+            probe_quota: 2,
+        });
+        assert_eq!(s.breaker_state(1), Some(BreakerState::Closed));
+        for _ in 0..2 {
+            s.decision_cycle();
+        }
+        assert_eq!(s.breaker_state(0), Some(BreakerState::Open));
+        assert_eq!(s.breaker_state(1), Some(BreakerState::Open));
+        // Open breaker: ingest refused with Overloaded, counted as Shed.
+        assert!(matches!(
+            s.push_arrival(5, Wrap16(9)),
+            Err(Error::Overloaded {
+                slot: 5,
+                site: "breaker"
+            })
+        ));
+        assert_eq!(s.overload_ledger().at(LossSite::Shed), 1);
+        assert_eq!(s.breaker_trips(), 2);
+        // The shard keeps cycling while open: its queued backlog drains
+        // through the merge, nothing hangs. 16 queued minus the 2 already
+        // served by the tripping cycles.
+        let mut served = 0;
+        while s.decision_cycle().is_some() {
+            served += 1;
+        }
+        assert_eq!(served, 14, "queued packets still drain while open");
+    }
+
+    #[cfg(feature = "overload")]
+    #[test]
+    fn breaker_recloses_after_drain_and_probes() {
+        use ss_overload::{BreakerConfig, BreakerState};
+        let mut s = backlogged(8, 2, 2);
+        s.enable_breakers(BreakerConfig {
+            trip_lag_cycles: 1,
+            trip_backlog: 4,
+            cooldown_cycles: 2,
+            probe_quota: 2,
+        });
+        // One cycle trips (8 > 4 backlog); the merge then drains both
+        // shards while the breakers cool down, half-open, and prove
+        // themselves on empty-backlog probes.
+        for _ in 0..40 {
+            s.decision_cycle();
+        }
+        assert_eq!(s.breaker_state(0), Some(BreakerState::Closed));
+        assert_eq!(s.breaker_state(1), Some(BreakerState::Closed));
+        assert!(s.breaker_trips() >= 2, "each shard tripped at least once");
+        // Closed again: ingest flows.
+        s.push_arrival(5, Wrap16(0)).unwrap();
     }
 
     #[cfg(feature = "faults")]

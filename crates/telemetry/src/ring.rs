@@ -63,6 +63,16 @@ pub enum TraceKind {
         /// Direction of the switch.
         to_software: bool,
     },
+    /// The overload plane shed an arrival instead of queueing it. `site`
+    /// distinguishes the shedding decision point: 0 = admission bucket,
+    /// 1 = QoS-aware shedder/RED, 2 = open shard breaker, 3 = degradation
+    /// ladder (facade ingest refused).
+    Shed {
+        /// Stream/slot the shed arrival belonged to.
+        slot: u8,
+        /// Shedding site code (see variant docs).
+        site: u8,
+    },
 }
 
 /// One trace event: when (decision cycle), where (shard), what (kind).

@@ -31,6 +31,8 @@ use ss_core::{
     StreamState, WatchdogVerdict,
 };
 use ss_disciplines::{Discipline, DwcsRef, DwcsStreamConfig, SwPacket};
+#[cfg(feature = "overload")]
+use ss_overload::{DegradationLadder, LadderConfig, PressureConfig, PressureSignal, Rung};
 use ss_types::{ComparisonMode, Error, Result, SlotId, WindowConstraint, Wrap16};
 
 /// Which scheduling path is currently serving decisions.
@@ -79,10 +81,27 @@ pub struct FailoverScheduler {
     arrival_seq: u64,
     failovers: u64,
     reattaches: u64,
+    /// Degradation-ladder supervision (`overload` feature, default off).
+    #[cfg(feature = "overload")]
+    overload: Option<OverloadSupervisor>,
     #[cfg(feature = "faults")]
     injector: Option<std::sync::Arc<ss_faults::FaultInjector>>,
     #[cfg(feature = "telemetry")]
     trace: Option<ss_telemetry::EventRing>,
+}
+
+/// The facade's overload state: a pressure signal derived from total
+/// backlog occupancy driving the full-QoS → shed-optional → FCFS-drain
+/// rung machine.
+#[cfg(feature = "overload")]
+#[derive(Debug)]
+struct OverloadSupervisor {
+    ladder: DegradationLadder,
+    pressure: PressureSignal,
+    /// Backlog depth treated as 100% occupancy for the pressure signal.
+    capacity: usize,
+    /// Arrivals refused by the active rung.
+    sheds: u64,
 }
 
 impl FailoverScheduler {
@@ -115,6 +134,8 @@ impl FailoverScheduler {
             arrival_seq: 0,
             failovers: 0,
             reattaches: 0,
+            #[cfg(feature = "overload")]
+            overload: None,
             #[cfg(feature = "faults")]
             injector: None,
             #[cfg(feature = "telemetry")]
@@ -200,10 +221,124 @@ impl FailoverScheduler {
         Ok(())
     }
 
+    /// Arms the degradation ladder (`overload` feature). `capacity` is
+    /// the total-backlog depth treated as 100% occupancy when deriving
+    /// the pressure level. Until called, no rung logic runs and
+    /// [`FailoverScheduler::enqueue`] never refuses for overload.
+    ///
+    /// Rung semantics at ingest:
+    /// * [`Rung::FullQos`] — every arrival accepted.
+    /// * [`Rung::ShedOptional`] — arrivals for streams whose DWCS window
+    ///   tolerates loss (`x > 0`) are refused with [`Error::Overloaded`];
+    ///   zero-loss streams keep flowing.
+    /// * [`Rung::FcfsDrain`] — ingest closes entirely until pressure
+    ///   clears; the queued backlog drains.
+    #[cfg(feature = "overload")]
+    pub fn enable_degradation_ladder(
+        &mut self,
+        ladder: LadderConfig,
+        pressure: PressureConfig,
+        capacity: usize,
+    ) {
+        self.overload = Some(OverloadSupervisor {
+            ladder: DegradationLadder::new(ladder),
+            pressure: PressureSignal::new(pressure),
+            capacity: capacity.max(1),
+            sheds: 0,
+        });
+    }
+
+    /// The active degradation rung ([`Rung::FullQos`] before
+    /// [`FailoverScheduler::enable_degradation_ladder`]).
+    #[cfg(feature = "overload")]
+    pub fn rung(&self) -> Rung {
+        self.overload
+            .as_ref()
+            .map_or(Rung::FullQos, |ov| ov.ladder.rung())
+    }
+
+    /// Rung transitions so far.
+    #[cfg(feature = "overload")]
+    pub fn ladder_transitions(&self) -> u64 {
+        self.overload
+            .as_ref()
+            .map_or(0, |ov| ov.ladder.transitions())
+    }
+
+    /// Arrivals refused by the ladder's active rung.
+    #[cfg(feature = "overload")]
+    pub fn ladder_sheds(&self) -> u64 {
+        self.overload.as_ref().map_or(0, |ov| ov.sheds)
+    }
+
+    /// Feeds one cycle's occupancy + watchdog health into the ladder.
+    #[cfg(feature = "overload")]
+    fn observe_ladder(&mut self) {
+        if self.overload.is_none() {
+            return;
+        }
+        let occupied = self.total_backlog();
+        // The path is healthy when nothing is accumulating unproductive
+        // cycles; a degraded (software) path counts as unhealthy — service
+        // capacity, not offered load, collapsed.
+        let healthy = self.watchdog.unproductive_cycles() == 0 && self.software.is_none();
+        let ov = self.overload.as_mut().expect("checked above");
+        let level = ov.pressure.observe(occupied, ov.capacity);
+        ov.ladder.observe(level, healthy);
+    }
+
+    /// The rung's ingest verdict for `slot`: `true` = refuse this arrival.
+    #[cfg(feature = "overload")]
+    fn ladder_refuses(&self, slot: usize) -> bool {
+        let Some(ov) = &self.overload else {
+            return false;
+        };
+        match ov.ladder.rung() {
+            Rung::FullQos => false,
+            // Optional = the stream's window tolerates loss (x > 0); a
+            // zero-loss stream keeps its ingress even while shedding.
+            Rung::ShedOptional => self
+                .loaded
+                .get(slot)
+                .and_then(|s| s.as_ref())
+                .is_some_and(|s| s.original_window.num > 0),
+            Rung::FcfsDrain => true,
+        }
+    }
+
     /// Deposits a packet arrival for `slot`. `tag` feeds the hardware
     /// FCFS tie-break; the software path uses the supervisor's own
     /// monotone arrival counter.
+    ///
+    /// With the degradation ladder armed (`overload` feature), the active
+    /// rung may refuse the arrival with [`Error::Overloaded`] — counted
+    /// load shedding, traced as a `Shed` event when tracing is on.
     pub fn enqueue(&mut self, slot: usize, tag: Wrap16) -> Result<()> {
+        #[cfg(feature = "overload")]
+        if self.ladder_refuses(slot) {
+            if let Some(ov) = &mut self.overload {
+                ov.sheds += 1;
+            }
+            #[cfg(feature = "telemetry")]
+            if let Some(ring) = &mut self.trace {
+                ring.push(ss_telemetry::TraceEvent {
+                    cycle: self.now,
+                    shard: 0,
+                    kind: ss_telemetry::TraceKind::Shed {
+                        slot: slot.min(u8::MAX as usize) as u8,
+                        site: 3,
+                    },
+                });
+            }
+            return Err(Error::Overloaded {
+                slot,
+                site: "ladder",
+            });
+        }
+        self.enqueue_inner(slot, tag)
+    }
+
+    fn enqueue_inner(&mut self, slot: usize, tag: Wrap16) -> Result<()> {
         match &mut self.software {
             None => self.fabric.push_arrival(slot, tag),
             Some(sw) => {
@@ -235,6 +370,8 @@ impl FailoverScheduler {
     /// stops; the stall itself costs the packet-times the watchdog
     /// threshold allows.
     pub fn decision_cycle(&mut self) -> Result<Option<ScheduledPacket>> {
+        #[cfg(feature = "overload")]
+        self.observe_ladder();
         if self.software.is_some() {
             let out = self.software_cycle();
             if self.watchdog.ready_to_reattach() {
@@ -480,6 +617,74 @@ mod tests {
         assert_eq!(sup.failovers(), 0);
         assert_eq!(sup.path(), SchedulerPath::Hardware);
         assert_eq!(sup.now(), bare.now());
+    }
+
+    #[cfg(feature = "overload")]
+    #[test]
+    fn ladder_sheds_optional_then_closes_then_recovers() {
+        use ss_overload::{LadderConfig, PressureConfig, Rung};
+        let config = FabricConfig::dwcs(2, FabricConfigKind::WinnerOnly);
+        let mut sup = FailoverScheduler::with_default_watchdog(config).unwrap();
+        let optional = StreamState {
+            request_period: 2,
+            original_window: WindowConstraint { num: 1, den: 2 },
+            static_prio: 0,
+            late_policy: LatePolicy::ServeLate,
+        };
+        let critical = StreamState {
+            request_period: 2,
+            original_window: WindowConstraint { num: 0, den: 2 },
+            static_prio: 0,
+            late_policy: LatePolicy::ServeLate,
+        };
+        sup.load_stream(0, optional, 1).unwrap();
+        sup.load_stream(1, critical, 2).unwrap();
+        sup.enable_degradation_ladder(
+            LadderConfig {
+                escalate_after: 2,
+                deescalate_after: 2,
+                min_dwell: 0,
+            },
+            PressureConfig {
+                min_dwell: 0,
+                ..PressureConfig::default()
+            },
+            8,
+        );
+        assert_eq!(sup.rung(), Rung::FullQos);
+        // Saturate the backlog well past the declared capacity: 16 of 8.
+        for a in 0..8u64 {
+            sup.enqueue(0, Wrap16::from_wide(a)).unwrap();
+            sup.enqueue(1, Wrap16::from_wide(a)).unwrap();
+        }
+        // Two overloaded observations climb to ShedOptional.
+        sup.decision_cycle().unwrap();
+        sup.decision_cycle().unwrap();
+        assert_eq!(sup.rung(), Rung::ShedOptional);
+        assert!(matches!(
+            sup.enqueue(0, Wrap16(99)),
+            Err(Error::Overloaded {
+                slot: 0,
+                site: "ladder"
+            })
+        ));
+        sup.enqueue(1, Wrap16(99)).unwrap(); // zero-loss stream keeps flowing
+        sup.decision_cycle().unwrap();
+        sup.decision_cycle().unwrap();
+        assert_eq!(sup.rung(), Rung::FcfsDrain);
+        assert!(
+            matches!(sup.enqueue(1, Wrap16(100)), Err(Error::Overloaded { .. })),
+            "FcfsDrain closes ingest even for zero-loss streams"
+        );
+        assert_eq!(sup.ladder_sheds(), 2);
+        // Drain with ingest closed: pressure falls, the ladder walks all
+        // the way back down and ingest reopens.
+        for _ in 0..40 {
+            sup.decision_cycle().unwrap();
+        }
+        assert_eq!(sup.rung(), Rung::FullQos);
+        assert!(sup.ladder_transitions() >= 4, "two climbs, two descents");
+        sup.enqueue(0, Wrap16(0)).unwrap();
     }
 
     #[cfg(feature = "faults")]

@@ -52,6 +52,7 @@
 //! | [`endsystem`] | host-router realization: SPSC rings, QM, PCI/SRAM models, TE, aggregation, pipeline |
 //! | [`sharded`] | scale-out frontend: K fabric shards with a Table-2 comparator winner-merge, inline (exact) and thread-per-shard modes |
 //! | [`linecard`] | switch line-card realization with dual-ported SRAM |
+//! | [`overload`] | overload control plane: window-aware admission, hierarchical backpressure, QoS-aware shedding, per-shard breakers, degradation ladder |
 //! | [`framework`] | Figure-1 feasibility reasoning |
 //! | `telemetry` | (cargo feature `telemetry`) lock-free metric registry, Table-3 QoS accounting, decision-cycle trace rings, JSON/Prometheus exporters |
 //!
@@ -73,6 +74,7 @@ pub use ss_faults as faults;
 pub use ss_framework as framework;
 pub use ss_hwsim as hwsim;
 pub use ss_linecard as linecard;
+pub use ss_overload as overload;
 pub use ss_priorityq as priorityq;
 pub use ss_sharded as sharded;
 #[cfg(feature = "telemetry")]
@@ -88,6 +90,7 @@ pub mod prelude {
         ScheduledPacket, SchedulerReport, ShareStreamsScheduler, StreamState, WatchdogVerdict,
     };
     pub use ss_endsystem::{EndsystemConfig, EndsystemPipeline, StreamletSetConfig};
+    pub use ss_overload::{LossLedger, LossSite, PressureLevel, Rung};
     pub use ss_sharded::{ShardedScheduler, StreamletReport, ThreadedShards};
     pub use ss_traffic::ArrivalEvent;
     pub use ss_types::{

@@ -413,3 +413,243 @@ fn fault_ledger_publishes_into_telemetry() {
         "per-site injection gauges are labeled"
     );
 }
+
+/// Overload soak (cargo features `faults` + `overload`): the same pinned
+/// seeds drive a 2× offered load — two arrivals per decision cycle against
+/// a one-packet-per-cycle fabric — plus seeded `OverloadBurst` spikes at
+/// the admission point. The deadline demand is deliberately infeasible
+/// (4 streams at `T=6` plus 4 at `T=8` want 7/6 of the service rate), so
+/// an unmanaged fabric drifts behind on *every* stream, while the managed
+/// run's admission plan passes a feasible mix that gives the tight-window
+/// streams their full rate. Contract: no panics, memory bounded by the
+/// RED mirror's hard capacity, every refusal partitioned exactly by loss
+/// site, tight-window (`0/4`) streams meeting strictly more deadlines
+/// than the unmanaged baseline, and bit-identical replay.
+#[cfg(feature = "overload")]
+mod overload_soak {
+    use super::*;
+    use sharestreams::endsystem::{GateConfig, GateVerdict, OverloadGate, RedConfig};
+    use sharestreams::overload::{PressureConfig, StreamClass};
+    use ss_faults::{FaultKind, FaultSite};
+
+    const SLOTS: usize = 8;
+    /// Slots `0..TIGHT` carry a zero-tolerance `0/4` window and the tight
+    /// `T=6` period; the rest tolerate 3 losses in 4 at `T=8` and are the
+    /// shedder's preferred victims.
+    const TIGHT: usize = 4;
+    const CYCLES: u64 = 4_000;
+    const RED_CAP: usize = 64;
+
+    fn window(slot: usize) -> WindowConstraint {
+        if slot < TIGHT {
+            WindowConstraint { num: 0, den: 4 }
+        } else {
+            WindowConstraint { num: 3, den: 4 }
+        }
+    }
+
+    fn period(slot: usize) -> u64 {
+        if slot < TIGHT {
+            6
+        } else {
+            8
+        }
+    }
+
+    /// The managed run's admission plan: tight streams get their full
+    /// `1000/6` demand, tolerant streams split what remains, so the
+    /// admitted aggregate (4×166 + 4×83 = 996 mtok) fits the fabric's
+    /// 1000 mtok/cycle service rate with the shed policy still protecting
+    /// the zero-loss windows.
+    fn class(slot: usize) -> StreamClass {
+        StreamClass {
+            rate_mtok: if slot < TIGHT { 166 } else { 83 },
+            burst_mtok: 2_000,
+            protection: if slot < TIGHT { 1_000 } else { 250 },
+        }
+    }
+
+    /// Everything a soak run produces, in one comparable value so replay
+    /// checks are a single `assert_eq!`.
+    #[derive(Debug, PartialEq, Eq)]
+    struct Soak {
+        transmitted: Vec<(usize, u64, bool)>,
+        tight_met: u64,
+        offered: u64,
+        still_queued: u64,
+        max_backlog: usize,
+        /// `[admission, ring, shed, shard]` ledger counts.
+        ledger: [u64; 4],
+        bursts: u64,
+        conserved: bool,
+    }
+
+    fn soak(seed: u64, managed: bool) -> Soak {
+        // EDF mode: the fabric itself gives tight windows no special
+        // treatment (a DWCS fabric would starve the tolerant slots to
+        // protect them on its own), so any tight-window advantage in the
+        // managed run is attributable to the gate's shed policy.
+        let mut fabric =
+            Fabric::new(FabricConfig::edf(SLOTS, FabricConfigKind::WinnerOnly)).unwrap();
+        let windows: Vec<WindowConstraint> = (0..SLOTS).map(window).collect();
+        for (slot, w) in windows.iter().enumerate() {
+            fabric
+                .load_stream(
+                    slot,
+                    StreamState {
+                        request_period: period(slot),
+                        original_window: *w,
+                        static_prio: 0,
+                        // ServeLate keeps the fabric loss-free, so every
+                        // missing packet must appear in the gate's ledger.
+                        late_policy: LatePolicy::ServeLate,
+                    },
+                    (slot + 1) as u64,
+                )
+                .unwrap();
+        }
+        // Seeded offered-load spikes on top of the steady 2× base load.
+        let injector = FaultInjector::new(
+            seed,
+            FaultConfig {
+                admission_rate_ppm: 20_000,
+                max_overload_burst: 6,
+                ..FaultConfig::quiet()
+            },
+        );
+        let mut gate = if managed {
+            Some(OverloadGate::new(GateConfig {
+                classes: (0..SLOTS).map(class).collect(),
+                windows,
+                red: RedConfig::classic(RED_CAP),
+                pressure: PressureConfig::default(),
+                red_seed: seed,
+            }))
+        } else {
+            None
+        };
+        let mut out = Soak {
+            transmitted: Vec::new(),
+            tight_met: 0,
+            offered: 0,
+            still_queued: 0,
+            max_backlog: 0,
+            ledger: [0; 4],
+            bursts: 0,
+            conserved: false,
+        };
+        let mut tag = 0u64;
+        for cycle in 0..CYCLES {
+            let mut arrivals = 2u64;
+            if let Some(FaultKind::OverloadBurst { extra }) = injector.sample(FaultSite::Admission)
+            {
+                arrivals += u64::from(extra);
+                out.bursts += 1;
+            }
+            for k in 0..arrivals {
+                let slot = ((cycle * 2 + k) as usize + seed as usize) % SLOTS;
+                out.offered += 1;
+                let admit = match gate.as_mut() {
+                    Some(g) => matches!(g.offer(slot), GateVerdict::Admit),
+                    None => true,
+                };
+                if admit {
+                    fabric.push_arrival(slot, Wrap16::from_wide(tag)).unwrap();
+                    tag += 1;
+                }
+            }
+            if let DecisionOutcome::Winner(Some(p)) = fabric.decision_cycle() {
+                if let Some(g) = gate.as_mut() {
+                    g.served(p.slot.index());
+                }
+                if p.slot.index() < TIGHT && p.met {
+                    out.tight_met += 1;
+                }
+                out.transmitted
+                    .push((p.slot.index(), p.completed_at, p.met));
+            }
+            let backlog: usize = (0..SLOTS).map(|s| fabric.backlog(s).unwrap()).sum();
+            out.max_backlog = out.max_backlog.max(backlog);
+            if let Some(g) = gate.as_mut() {
+                g.tick(backlog, 2 * RED_CAP);
+            }
+        }
+        out.still_queued = (0..SLOTS)
+            .map(|s| fabric.backlog(s).unwrap())
+            .sum::<usize>() as u64;
+        match gate.as_ref() {
+            Some(g) => {
+                out.ledger = [
+                    g.ledger().admission,
+                    g.ledger().ring,
+                    g.ledger().shed,
+                    g.ledger().shard,
+                ];
+                out.conserved = g.conserves(out.transmitted.len() as u64, out.still_queued);
+            }
+            None => {
+                // Unmanaged: nothing is ever refused, so conservation is
+                // just "everything offered is transmitted or still queued".
+                out.conserved = out.offered == out.transmitted.len() as u64 + out.still_queued;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn overload_soak_sheds_exactly_and_keeps_tight_windows_ahead() {
+        for seed in SEEDS {
+            let managed = soak(seed, true);
+            let unmanaged = soak(seed, false);
+            assert_eq!(
+                managed.offered, unmanaged.offered,
+                "seed {seed}: both runs see the identical arrival schedule"
+            );
+            assert!(managed.bursts > 0, "seed {seed}: the spike site fired");
+            assert!(
+                managed.conserved,
+                "seed {seed}: offered == transmitted + queued + admission + shed ({managed:?})"
+            );
+            assert!(
+                unmanaged.conserved,
+                "seed {seed}: the loss-free baseline conserves trivially"
+            );
+            assert!(
+                managed.max_backlog <= RED_CAP,
+                "seed {seed}: backlog never exceeds the RED hard capacity \
+                 (saw {})",
+                managed.max_backlog
+            );
+            assert!(
+                unmanaged.max_backlog > 4 * RED_CAP,
+                "seed {seed}: the baseline really is overloaded (backlog {})",
+                unmanaged.max_backlog
+            );
+            assert!(
+                managed.ledger[0] + managed.ledger[2] > 0,
+                "seed {seed}: 2× load forces admission rejects or sheds"
+            );
+            assert_eq!(
+                managed.ledger[1] + managed.ledger[3],
+                0,
+                "seed {seed}: no ring/shard losses exist in this harness"
+            );
+            assert!(
+                managed.tight_met > unmanaged.tight_met,
+                "seed {seed}: managed tight-window deadlines-met ({}) must \
+                 strictly beat the unmanaged baseline ({})",
+                managed.tight_met,
+                unmanaged.tight_met
+            );
+        }
+    }
+
+    #[test]
+    fn overload_soak_replays_bit_identically() {
+        for seed in SEEDS {
+            let a = soak(seed, true);
+            let b = soak(seed, true);
+            assert_eq!(a, b, "seed {seed}: pinned soak runs are bit-identical");
+        }
+    }
+}

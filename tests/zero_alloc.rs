@@ -248,4 +248,53 @@ fn steady_state_decision_cycles_do_not_allocate() {
             "attached sharded decision_cycle allocated in steady state"
         );
     }
+
+    // --- Overload gate: the admit/shed/tick fast path stays heap-free ---
+    // Warmup drives the RED mirror's VecDeque to its high-water capacity
+    // and the 2-offers-per-serve loop then holds occupancy inside the RED
+    // band, so the measured span exercises every verdict — token-bucket
+    // rejects, RED sheds, protected-stream vetoes, and plain admits —
+    // plus the pressure/ledger bookkeeping behind them.
+    #[cfg(feature = "overload")]
+    {
+        use sharestreams::endsystem::{GateConfig, GateVerdict, OverloadGate, RedConfig};
+        let windows: Vec<WindowConstraint> = (0..SLOTS)
+            .map(|s| WindowConstraint {
+                num: (s % 4) as u8,
+                den: 4,
+            })
+            .collect();
+        let mut gate = OverloadGate::new(GateConfig::from_windows(
+            &windows,
+            400,
+            4_000,
+            RedConfig::classic(64),
+            7,
+        ));
+        let mut next = 0usize;
+        let mut drive = |gate: &mut OverloadGate, cycles: u64| {
+            for _ in 0..cycles {
+                let mut admitted = 0u32;
+                for _ in 0..2 {
+                    next = (next + 1) % SLOTS;
+                    if matches!(gate.offer(next), GateVerdict::Admit) {
+                        admitted += 1;
+                    }
+                }
+                if admitted > 0 {
+                    gate.served(next);
+                }
+                let occupied = gate.ledger().total() as usize % 128;
+                gate.tick(occupied, 128);
+            }
+        };
+        drive(&mut gate, WARMUP);
+        let before = allocations();
+        drive(&mut gate, MEASURED);
+        assert_eq!(
+            allocations() - before,
+            0,
+            "overload gate offer/served/tick allocated in steady state"
+        );
+    }
 }
