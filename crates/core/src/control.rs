@@ -123,6 +123,15 @@ impl ControlFsm {
     /// Runs one full decision: log2(N) SCHEDULE cycles, then one
     /// PRIORITY_UPDATE cycle if enabled. Returns the hardware cycles spent.
     pub fn run_decision(&mut self) -> Cycles {
+        if !self.record {
+            // Same observable effect as the ticked walk below — the
+            // timeline stays empty, so only the cycle count and the LOAD
+            // boundary survive — without an FSM store per network pass.
+            let total = u64::from(self.schedule_cycles) + u64::from(self.priority_update);
+            self.cycle += total;
+            self.state = FsmState::Load;
+            return total;
+        }
         let start = self.cycle;
         for i in 0..self.schedule_cycles {
             self.state = FsmState::Schedule(i);

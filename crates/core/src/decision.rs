@@ -99,6 +99,20 @@ impl RuleCounters {
         self.fcfs += other.fcfs;
         self.slot_id += other.slot_id;
     }
+
+    /// Folds a batched pass's per-rule tallies in. Indices follow the
+    /// Table-2 chain order of [`DecisionRule`] (Validity … SlotId).
+    fn add_counts(&mut self, c: &RuleCounts) {
+        self.validity += c[0];
+        self.earliest_deadline += c[1];
+        self.lowest_window_constraint += c[2];
+        self.highest_denominator += c[3];
+        self.lowest_numerator += c[4];
+        self.static_priority += c[5];
+        self.service_tag += c[6];
+        self.fcfs += c[7];
+        self.slot_id += c[8];
+    }
 }
 
 /// Pure comparison: does `a` order before (win against) `b` under `mode`?
@@ -217,6 +231,174 @@ impl DecisionBlock {
     /// Resets the counters.
     pub fn reset_counters(&mut self) {
         self.counters = RuleCounters::default();
+    }
+}
+
+/// Lane index for [`ComparisonMode::Dwcs`] in the monomorphized SWAR pass.
+const MODE_DWCS: u8 = 0;
+/// Lane index for [`ComparisonMode::Edf`].
+const MODE_EDF: u8 = 1;
+/// Lane index for [`ComparisonMode::StaticPriority`].
+const MODE_PRIO: u8 = 2;
+/// Lane index for [`ComparisonMode::ServiceTag`].
+const MODE_TAG: u8 = 3;
+
+/// Per-rule firing tallies from a batched pass, indexed in the Table-2
+/// chain order of [`DecisionRule`] (Validity … SlotId).
+pub(crate) type RuleCounts = [u64; 9];
+
+/// Branchless serial-number compare term over 16-bit tags sitting in the
+/// low bits of `ta`/`tb` (higher bits are masked off here): −1 when `ta`
+/// orders first, +1 when `tb` does, 0 on equality. The antipodal distance
+/// 0x8000 maps to +1, exactly matching [`ss_types::Wrap16::serial_cmp`].
+#[inline(always)]
+fn serial_term(ta: u64, tb: u64) -> i32 {
+    let t = tb.wrapping_sub(ta) & 0xFFFF;
+    (t >= 0x8000) as i32 - ((t != 0) && (t < 0x8000)) as i32
+}
+
+/// Branchless unsigned three-way compare: −1 / 0 / +1.
+#[inline(always)]
+fn cmp_term(a: u64, b: u64) -> i32 {
+    (a > b) as i32 - (a < b) as i32
+}
+
+/// One fused shuffle-exchange pass over packed lane words: the batched
+/// (SWAR) Decision-block kernel.
+///
+/// Comparator `j` orders `src_w[j]` against `src_w[j + n/2]` — exactly the
+/// pair the perfect shuffle delivers to adjacent exchange ports — and
+/// routes the winner word to `dst_w[2j]`, the loser to `dst_w[2j + 1]`,
+/// with the derived window-rank keys (see [`ss_types::packed::window_key`])
+/// travelling in lockstep. Bit-identical to running
+/// [`DecisionBlock::compare`] on every pair: same winner, same loser, and
+/// the same Table-2 rule tallied into `counters` — the per-pair rule index
+/// is selected with the same mask arithmetic that picks the winner, so
+/// counter fidelity survives batching.
+///
+/// With the `simd` feature enabled, pass-sized batches are dispatched to a
+/// runtime-detected `std::arch` kernel; this portable branchless scalar
+/// loop is both the fallback and the reference.
+pub fn compare_batch(
+    src_w: &[u64],
+    src_k: &[u32],
+    dst_w: &mut [u64],
+    dst_k: &mut [u32],
+    mode: ComparisonMode,
+    counters: &mut RuleCounters,
+) {
+    debug_assert!(src_w.len().is_power_of_two() && src_w.len() >= 2);
+    debug_assert!(src_k.len() == src_w.len());
+    debug_assert!(dst_w.len() == src_w.len() && dst_k.len() == src_w.len());
+    let mut counts = [0u64; 9];
+    #[cfg(feature = "simd")]
+    if crate::simd::try_compare_batch(src_w, src_k, dst_w, dst_k, mode, &mut counts) {
+        counters.add_counts(&counts);
+        return;
+    }
+    match mode {
+        ComparisonMode::Dwcs => swar_pass::<MODE_DWCS>(src_w, src_k, dst_w, dst_k, &mut counts),
+        ComparisonMode::Edf => swar_pass::<MODE_EDF>(src_w, src_k, dst_w, dst_k, &mut counts),
+        ComparisonMode::StaticPriority => {
+            swar_pass::<MODE_PRIO>(src_w, src_k, dst_w, dst_k, &mut counts)
+        }
+        ComparisonMode::ServiceTag => {
+            swar_pass::<MODE_TAG>(src_w, src_k, dst_w, dst_k, &mut counts)
+        }
+    }
+    counters.add_counts(&counts);
+}
+
+/// The hand-tiled branchless comparator loop, monomorphized per mode.
+///
+/// Every pair evaluates a fixed stage chain; each stage yields a term
+/// `c ∈ {−1, 0, +1}` and a rule index, and mask arithmetic commits the
+/// first non-zero term (`und` tracks "still undecided"). Mode stages are
+/// multiplied by `both_valid`, so validity short-circuits them without a
+/// branch; the final slot stage fires whenever the chain is still
+/// undecided — even on full equality — matching `order()`'s total SlotId
+/// verdict. The winner is `a` iff the committed term is strictly negative
+/// (`Equal` routes `b` to the winner port, as `DecisionBlock::compare`
+/// does).
+fn swar_pass<const MODE: u8>(
+    src_w: &[u64],
+    src_k: &[u32],
+    dst_w: &mut [u64],
+    dst_k: &mut [u32],
+    counts: &mut RuleCounts,
+) {
+    use ss_types::packed::{ARRIVAL_SHIFT, DEADLINE_SHIFT, PRIO_SHIFT, SLOT_MASK};
+    let half = src_w.len() / 2;
+    for j in 0..half {
+        let a = src_w[j];
+        let b = src_w[j + half];
+        let ka = src_k[j];
+        let kb = src_k[j + half];
+        let inv_a = (a >> 63) as i32;
+        let inv_b = (b >> 63) as i32;
+        let both_valid = 1 - (inv_a | inv_b);
+
+        let mut res = 0i32;
+        let mut rule = 0usize;
+        let mut und = 1i32;
+        macro_rules! stage {
+            ($c:expr, $r:expr) => {{
+                let c: i32 = $c;
+                let take = ((c != 0) as i32) & und;
+                res += c * take;
+                rule += $r * take as usize;
+                und &= take ^ 1;
+            }};
+        }
+
+        // Validity (rule index 0): an invalid word loses outright.
+        stage!(inv_a - inv_b, 0);
+        if MODE == MODE_DWCS {
+            stage!(
+                serial_term(a >> DEADLINE_SHIFT, b >> DEADLINE_SHIFT) * both_valid,
+                1
+            );
+            // Window chain: the composite key orders rules 2–4 at once;
+            // the fired rule is recovered from which key half differed.
+            let hi_eq = ((ka >> 8) == (kb >> 8)) as usize;
+            let hi_nz = ((ka >> 8) != 0) as usize;
+            let wrule = 2 + hi_eq * (1 + hi_nz);
+            stage!(cmp_term(ka as u64, kb as u64) * both_valid, wrule);
+            stage!(
+                serial_term(a >> ARRIVAL_SHIFT, b >> ARRIVAL_SHIFT) * both_valid,
+                7
+            );
+        } else if MODE == MODE_EDF {
+            stage!(
+                serial_term(a >> DEADLINE_SHIFT, b >> DEADLINE_SHIFT) * both_valid,
+                1
+            );
+            stage!(
+                serial_term(a >> ARRIVAL_SHIFT, b >> ARRIVAL_SHIFT) * both_valid,
+                7
+            );
+        } else if MODE == MODE_PRIO {
+            stage!(
+                cmp_term((a >> PRIO_SHIFT) & 0xFF, (b >> PRIO_SHIFT) & 0xFF) * both_valid,
+                5
+            );
+        } else {
+            stage!(
+                serial_term(a >> DEADLINE_SHIFT, b >> DEADLINE_SHIFT) * both_valid,
+                6
+            );
+        }
+        // Slot tie-break (rule index 8): fires whenever still undecided.
+        res += cmp_term(a & SLOT_MASK, b & SLOT_MASK) * und;
+        rule += 8 * und as usize;
+
+        counts[rule] += 1;
+        let am = ((res < 0) as u64).wrapping_neg();
+        dst_w[2 * j] = (a & am) | (b & !am);
+        dst_w[2 * j + 1] = (b & am) | (a & !am);
+        let km = am as u32;
+        dst_k[2 * j] = (ka & km) | (kb & !km);
+        dst_k[2 * j + 1] = (kb & km) | (ka & !km);
     }
 }
 
@@ -471,6 +653,138 @@ mod tests {
             prop_assume!(a.valid && !b.valid);
             let (ord, _) = order(&a, &b, ComparisonMode::Dwcs);
             prop_assert_eq!(ord, Ordering::Less);
+        }
+    }
+
+    /// Runs one batched comparator on the pair `(a, b)` and returns
+    /// `(winner, loser, counter delta)`.
+    fn batch_pair(
+        a: StreamAttrs,
+        b: StreamAttrs,
+        mode: ComparisonMode,
+    ) -> (StreamAttrs, StreamAttrs, RuleCounters) {
+        use ss_types::packed::{pack, unpack, window_key};
+        let src_w = [pack(&a), pack(&b)];
+        let src_k = [window_key(a.window), window_key(b.window)];
+        let mut dst_w = [0u64; 2];
+        let mut dst_k = [0u32; 2];
+        let mut counters = RuleCounters::default();
+        compare_batch(&src_w, &src_k, &mut dst_w, &mut dst_k, mode, &mut counters);
+        assert_eq!(dst_k[0], window_key(unpack(dst_w[0]).window), "key lockstep");
+        assert_eq!(dst_k[1], window_key(unpack(dst_w[1]).window), "key lockstep");
+        (unpack(dst_w[0]), unpack(dst_w[1]), counters)
+    }
+
+    /// Asserts batched ≡ scalar on one pair: winner, loser, and fired rule.
+    fn assert_pair_equiv(a: StreamAttrs, b: StreamAttrs, mode: ComparisonMode) {
+        let mut blk = DecisionBlock::new();
+        let (sw, sl) = blk.compare(a, b, mode);
+        let (bw, bl, counters) = batch_pair(a, b, mode);
+        assert_eq!(bw, sw, "winner {a} vs {b} in {mode:?}");
+        assert_eq!(bl, sl, "loser {a} vs {b} in {mode:?}");
+        assert_eq!(&counters, blk.counters(), "fired rule {a} vs {b} in {mode:?}");
+    }
+
+    #[test]
+    fn batched_matches_scalar_on_wrap_edges() {
+        // Antipodal deadline/arrival distances (±32768) are the serial
+        // arithmetic's most delicate corner: exercise them explicitly in
+        // every mode, both operand orders.
+        let modes = [
+            ComparisonMode::Dwcs,
+            ComparisonMode::Edf,
+            ComparisonMode::StaticPriority,
+            ComparisonMode::ServiceTag,
+        ];
+        let edge_tags = [0u16, 1, 0x7FFF, 0x8000, 0x8001, 0xFFFF];
+        for mode in modes {
+            for &da in &edge_tags {
+                for &db in &edge_tags {
+                    let mut a = attrs(0);
+                    let mut b = attrs(1);
+                    a.deadline = Wrap16(da);
+                    b.deadline = Wrap16(db);
+                    a.arrival = Wrap16(db); // cross the fields too
+                    b.arrival = Wrap16(da);
+                    assert_pair_equiv(a, b, mode);
+                    assert_pair_equiv(b, a, mode);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_matches_scalar_on_invalid_words() {
+        for (va, vb) in [(true, false), (false, true), (false, false)] {
+            let mut a = attrs(0);
+            let mut b = attrs(1);
+            a.valid = va;
+            b.valid = vb;
+            // Give the invalid side otherwise-winning fields.
+            a.deadline = Wrap16(1);
+            b.deadline = Wrap16(0);
+            for mode in [
+                ComparisonMode::Dwcs,
+                ComparisonMode::Edf,
+                ComparisonMode::StaticPriority,
+                ComparisonMode::ServiceTag,
+            ] {
+                assert_pair_equiv(a, b, mode);
+                assert_pair_equiv(b, a, mode);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_routes_full_pass_like_the_shuffle() {
+        // 8 lanes: comparator j must pair src[j] with src[j+4] and emit
+        // winner/loser adjacently — the fused form of shuffle-then-compare.
+        let mut src = Vec::new();
+        for s in 0..8u8 {
+            let mut w = attrs(s);
+            w.deadline = Wrap16([40, 10, 30, 20, 15, 45, 25, 35][s as usize]);
+            src.push(w);
+        }
+        use ss_types::packed::{pack, unpack, window_key};
+        let src_w: Vec<u64> = src.iter().map(pack).collect();
+        let src_k: Vec<u32> = src.iter().map(|a| window_key(a.window)).collect();
+        let mut dst_w = vec![0u64; 8];
+        let mut dst_k = vec![0u32; 8];
+        let mut counters = RuleCounters::default();
+        compare_batch(
+            &src_w,
+            &src_k,
+            &mut dst_w,
+            &mut dst_k,
+            ComparisonMode::Dwcs,
+            &mut counters,
+        );
+        for j in 0..4 {
+            let mut blk = DecisionBlock::new();
+            let (w, l) = blk.compare(src[j], src[j + 4], ComparisonMode::Dwcs);
+            assert_eq!(unpack(dst_w[2 * j]), w, "pair {j} winner");
+            assert_eq!(unpack(dst_w[2 * j + 1]), l, "pair {j} loser");
+        }
+        assert_eq!(counters.total(), 4, "one firing per comparator");
+    }
+
+    proptest! {
+        /// Batched ≡ scalar (winner, loser, fired rule) on arbitrary words
+        /// across every mode — the SWAR kernel's bit-equivalence contract.
+        #[test]
+        fn compare_batch_matches_scalar(
+            a in arb_attrs(0),
+            b in arb_attrs(1),
+            mode_idx in 0usize..4,
+        ) {
+            let mode = [ComparisonMode::Dwcs, ComparisonMode::Edf,
+                        ComparisonMode::StaticPriority, ComparisonMode::ServiceTag][mode_idx];
+            let mut blk = DecisionBlock::new();
+            let (sw, sl) = blk.compare(a, b, mode);
+            let (bw, bl, counters) = batch_pair(a, b, mode);
+            prop_assert_eq!(bw, sw);
+            prop_assert_eq!(bl, sl);
+            prop_assert_eq!(&counters, blk.counters());
         }
     }
 }

@@ -27,8 +27,10 @@ use crate::network;
 use crate::register::{RegisterBaseBlock, SlotCounters, StreamState};
 use serde::{Deserialize, Serialize};
 use ss_hwsim::FabricConfigKind;
+use ss_types::packed::{lane_slot, lane_valid};
 use ss_types::{
-    ComparisonMode, Cycles, Error, Result, SlotId, StreamAttrs, WindowConstraint, Wrap16,
+    AttrPlanes, ComparisonMode, Cycles, Error, Result, SlotId, StreamAttrs, WindowConstraint,
+    Wrap16,
 };
 
 /// Which end of the block is circulated for PRIORITY_UPDATE, and the block
@@ -186,6 +188,31 @@ pub struct Fabric {
     /// Slots whose canonical word is stale (bit i = slot i); applied at the
     /// start of the next decision cycle.
     dirty: u64,
+    /// Structure-of-arrays mirror of `words`: packed u64 lane words plus
+    /// precomputed window-rank keys, kept in sync through the same
+    /// dirty-mask drain. This is what the batched SWAR/SIMD kernel streams
+    /// — 12 bytes per slot instead of the 24-byte `StreamAttrs` struct.
+    /// Maintained only while `batched` is set.
+    planes: AttrPlanes,
+    /// Ping-pong lane scratch for the batched shuffle-exchange (words).
+    lw_a: Vec<u64>,
+    /// Ping-pong lane scratch (words, odd passes).
+    lw_b: Vec<u64>,
+    /// Ping-pong lane scratch (window keys, even passes).
+    lk_a: Vec<u32>,
+    /// Ping-pong lane scratch (window keys, odd passes).
+    lk_b: Vec<u32>,
+    /// Rule firings from the batched kernel (the scalar path counts inside
+    /// each [`DecisionBlock`]); [`Fabric::rule_counters`] merges both.
+    batch_counters: RuleCounters,
+    /// Route BA decisions through the batched packed-lane kernel. Defaults
+    /// on for non-bitonic BA fabrics of ≥ 8 slots (below that the scalar
+    /// loop wins on setup cost); both paths are bit-identical.
+    batched: bool,
+    /// `true` until [`Fabric::with_updater`] installs a custom rule set:
+    /// lets the hot path call the canonical [`DwcsUpdater`] directly
+    /// instead of through the vtable.
+    updater_is_dwcs: bool,
     /// Persistent block-transaction buffer, reused every cycle.
     block_buf: Vec<ScheduledPacket>,
     /// Slots serviced in the most recent cycle (bit i = slot i; slots ≤ 32).
@@ -218,6 +245,20 @@ impl Fabric {
         let words: Vec<StreamAttrs> = registers.iter().map(|r| r.attrs()).collect();
         let scratch_a = words.clone();
         let scratch_b = words.clone();
+        let mut planes = AttrPlanes::with_slots(config.slots);
+        for (i, w) in words.iter().enumerate() {
+            planes.set(i, w);
+        }
+        // The packed-lane path pays off once the runtime-dispatched
+        // `std::arch` kernel is compiled in (`simd`); the portable SWAR
+        // fallback loses to the branch-predicted scalar reference on wide
+        // out-of-order cores, so the default dispatch only prefers batching
+        // when the vector kernel can actually engage. Either path can still
+        // be forced via `set_batched` — they are bit-identical.
+        let batched = cfg!(feature = "simd")
+            && matches!(config.kind, FabricConfigKind::Base)
+            && !config.bitonic
+            && config.slots >= 8;
         Ok(Self {
             config,
             registers,
@@ -232,6 +273,14 @@ impl Fabric {
             scratch_b,
             words,
             dirty: 0,
+            planes,
+            lw_a: vec![0; config.slots],
+            lw_b: vec![0; config.slots],
+            lk_a: vec![0; config.slots],
+            lk_b: vec![0; config.slots],
+            batch_counters: RuleCounters::default(),
+            batched,
+            updater_is_dwcs: true,
             block_buf: Vec::with_capacity(config.slots),
             serviced: 0,
             telem: crate::telem::FabricTelemetry::new(),
@@ -242,7 +291,76 @@ impl Fabric {
     /// Replaces the PRIORITY_UPDATE rule set (architectural variants).
     pub fn with_updater(mut self, updater: Box<dyn PriorityUpdater + Send>) -> Self {
         self.updater = updater;
+        self.updater_is_dwcs = false;
         self
+    }
+
+    /// Selects the BA decision path: `true` routes through the batched
+    /// packed-lane kernel, `false` through the scalar reference loop. Both
+    /// are bit-identical; this is a performance knob (and the lever the
+    /// equivalence tests and benchmarks use to compare the two). Batching
+    /// only applies to non-bitonic BA fabrics — on any other configuration
+    /// the request is ignored. Returns the effective state.
+    pub fn set_batched(&mut self, on: bool) -> bool {
+        let supported =
+            matches!(self.config.kind, FabricConfigKind::Base) && !self.config.bitonic;
+        let was = self.batched;
+        self.batched = on && supported;
+        // Each path maintains only its own attribute mirror on the hot path
+        // (packed lane planes when batched, `StreamAttrs` words when not),
+        // so a switch rebuilds the newly-active mirror from the registers —
+        // the single source of truth, valid regardless of pending dirty bits.
+        if self.batched != was {
+            for i in 0..self.registers.len() {
+                let a = self.registers[i].attrs();
+                if self.batched {
+                    self.planes.set(i, &a);
+                } else {
+                    self.words[i] = a;
+                }
+            }
+        }
+        self.batched
+    }
+
+    /// `true` while BA decisions route through the batched kernel.
+    pub fn is_batched(&self) -> bool {
+        self.batched
+    }
+
+    /// Refreshes slot `i`'s canonical attribute word from its register (and
+    /// the packed lane mirror, when the batched path maintains one).
+    #[inline]
+    fn refresh_word(&mut self, i: usize) {
+        let a = self.registers[i].attrs();
+        if self.batched {
+            self.planes.set(i, &a);
+        } else {
+            self.words[i] = a;
+        }
+    }
+
+    /// Services `slot`'s head packet. Devirtualized for the canonical DWCS
+    /// rule set: the default updater is a unit struct, so this inlines the
+    /// update rules into the hot loop instead of an indirect call per
+    /// packet.
+    #[inline]
+    fn service_slot(&mut self, slot: usize, t: u64) -> Option<(u64, bool)> {
+        if self.updater_is_dwcs {
+            self.registers[slot].service_with(t, &DwcsUpdater)
+        } else {
+            self.registers[slot].service_with(t, self.updater.as_ref())
+        }
+    }
+
+    /// Runs `slot`'s loser deadline-expiry check (same devirtualization).
+    #[inline]
+    fn expiry_slot(&mut self, slot: usize, t: u64) -> bool {
+        if self.updater_is_dwcs {
+            self.registers[slot].expiry_check_with(t, &DwcsUpdater)
+        } else {
+            self.registers[slot].expiry_check_with(t, self.updater.as_ref())
+        }
     }
 
     /// The configuration.
@@ -368,12 +486,15 @@ impl Fabric {
         }))
     }
 
-    /// Rule-firing counters merged across all Decision blocks.
+    /// Rule-firing counters merged across all Decision blocks, plus any
+    /// firings recorded by the batched kernel (which counts centrally
+    /// instead of per block).
     pub fn rule_counters(&self) -> RuleCounters {
         let mut total = RuleCounters::default();
         for d in &self.decisions {
             total.merge(d.counters());
         }
+        total.merge(&self.batch_counters);
         total
     }
 
@@ -394,9 +515,8 @@ impl Fabric {
         while dirty != 0 {
             let i = dirty.trailing_zeros() as usize;
             dirty &= dirty - 1;
-            self.words[i] = self.registers[i].attrs();
+            self.refresh_word(i);
         }
-        self.scratch_a.copy_from_slice(&self.words);
         self.fsm.run_decision();
         self.decision_count += 1;
         self.block_buf.clear();
@@ -405,6 +525,7 @@ impl Fabric {
 
         match self.config.kind {
             FabricConfigKind::WinnerOnly => {
+                self.scratch_a.copy_from_slice(&self.words);
                 let (winner, _) = network::wr_decision_in_place(
                     &mut self.scratch_a,
                     &mut self.decisions,
@@ -417,9 +538,7 @@ impl Fabric {
                     // A valid winner always has a queued packet; `None` here
                     // would be a decision/register desync. The hot path must
                     // not panic, so release builds skip the slot this cycle.
-                    if let Some((deadline, met)) =
-                        self.registers[slot].service(end, self.updater.as_ref())
-                    {
+                    if let Some((deadline, met)) = self.service_slot(slot, end) {
                         self.block_buf.push(ScheduledPacket {
                             slot: winner.slot,
                             deadline,
@@ -430,14 +549,12 @@ impl Fabric {
                     } else {
                         debug_assert!(false, "valid winner has a queued packet");
                     }
-                    self.words[slot] = self.registers[slot].attrs();
+                    self.refresh_word(slot);
                 }
                 if self.config.priority_update {
                     for i in 0..self.registers.len() {
-                        if self.serviced & (1u64 << i) == 0
-                            && self.registers[i].expiry_check(end, self.updater.as_ref())
-                        {
-                            self.words[i] = self.registers[i].attrs();
+                        if self.serviced & (1u64 << i) == 0 && self.expiry_slot(i, end) {
+                            self.refresh_word(i);
                             expired += 1;
                         }
                     }
@@ -445,62 +562,112 @@ impl Fabric {
                 self.now = end;
             }
             FabricConfigKind::Base => {
-                let (in_a, _) = network::ba_decision_ping_pong(
-                    &mut self.scratch_a,
-                    &mut self.scratch_b,
-                    &mut self.decisions,
-                    self.config.mode,
-                );
                 let n = self.config.slots;
                 let mut t = self.now;
                 // The block transaction carries only occupied slots, in
                 // transmission order: MaxFirst walks the block forward,
                 // MinFirst backward. The circulated winner — the first
                 // occupied slot in transmission order — records the win.
-                for k in 0..n {
-                    let idx = match self.config.block_order {
-                        BlockOrder::MaxFirst => k,
-                        BlockOrder::MinFirst => n - 1 - k,
-                    };
-                    let w = if in_a {
-                        self.scratch_a[idx]
+                let max_first = matches!(self.config.block_order, BlockOrder::MaxFirst);
+                if self.batched {
+                    // Stream the 12-byte packed lanes instead of the 24-byte
+                    // attribute structs: the first pass reads the canonical
+                    // planes in place, so steady state never copies them.
+                    let (in_a, _) = network::ba_decision_from_planes(
+                        self.planes.words(),
+                        self.planes.keys(),
+                        &mut self.lw_a,
+                        &mut self.lk_a,
+                        &mut self.lw_b,
+                        &mut self.lk_b,
+                        self.config.mode,
+                        &mut self.batch_counters,
+                    );
+                    // Detach the sorted lane buffer (a pointer swap) so the
+                    // walk can service registers without aliasing it.
+                    let lanes =
+                        std::mem::take(if in_a { &mut self.lw_a } else { &mut self.lw_b });
+                    for k in 0..n {
+                        let idx = if max_first { k } else { n - 1 - k };
+                        let w = lanes[idx];
+                        if !lane_valid(w) {
+                            continue;
+                        }
+                        let slot = lane_slot(w);
+                        if self.block_buf.is_empty() {
+                            self.registers[slot].record_win();
+                        }
+                        t += 1;
+                        // A valid circulated word always has a queued packet,
+                        // and the hot path must not panic on a desync.
+                        let Some((deadline, met)) = self.service_slot(slot, t) else {
+                            debug_assert!(false, "valid word has a queued packet");
+                            continue;
+                        };
+                        self.block_buf.push(ScheduledPacket {
+                            slot: SlotId::new_unchecked(slot as u8),
+                            deadline,
+                            completed_at: t,
+                            met,
+                        });
+                        self.serviced |= 1u64 << slot;
+                        self.refresh_word(slot);
+                    }
+                    if in_a {
+                        self.lw_a = lanes;
                     } else {
-                        self.scratch_b[idx]
-                    };
-                    if !w.valid {
-                        continue;
+                        self.lw_b = lanes;
                     }
-                    let slot = w.slot.index();
-                    if self.block_buf.is_empty() {
-                        self.registers[slot].record_win();
+                } else {
+                    self.scratch_a.copy_from_slice(&self.words);
+                    let (in_a, _) = network::ba_decision_ping_pong(
+                        &mut self.scratch_a,
+                        &mut self.scratch_b,
+                        &mut self.decisions,
+                        self.config.mode,
+                    );
+                    for k in 0..n {
+                        let idx = if max_first { k } else { n - 1 - k };
+                        let w = if in_a {
+                            self.scratch_a[idx]
+                        } else {
+                            self.scratch_b[idx]
+                        };
+                        if !w.valid {
+                            continue;
+                        }
+                        let slot = w.slot.index();
+                        if self.block_buf.is_empty() {
+                            self.registers[slot].record_win();
+                        }
+                        t += 1;
+                        // As above: a valid circulated word always has a
+                        // queued packet; no panic on the hot path.
+                        let Some((deadline, met)) = self.service_slot(slot, t) else {
+                            debug_assert!(false, "valid word has a queued packet");
+                            continue;
+                        };
+                        self.block_buf.push(ScheduledPacket {
+                            slot: SlotId::new_unchecked(slot as u8),
+                            deadline,
+                            completed_at: t,
+                            met,
+                        });
+                        self.serviced |= 1u64 << slot;
+                        self.refresh_word(slot);
                     }
-                    t += 1;
-                    // As above: a valid circulated word always has a queued
-                    // packet, and the hot path must not panic on a desync.
-                    let Some((deadline, met)) =
-                        self.registers[slot].service(t, self.updater.as_ref())
-                    else {
-                        debug_assert!(false, "valid word has a queued packet");
-                        continue;
-                    };
-                    self.block_buf.push(ScheduledPacket {
-                        slot: w.slot,
-                        deadline,
-                        completed_at: t,
-                        met,
-                    });
-                    self.serviced |= 1u64 << slot;
-                    self.words[slot] = self.registers[slot].attrs();
                 }
                 if self.block_buf.is_empty() {
                     t += 1; // idle packet-time
                 }
-                if self.config.priority_update {
+                // A fully-serviced block has no losers left to expire: every
+                // serviced slot skips the check anyway, so the whole
+                // PRIORITY_UPDATE sweep can be elided (the common case for
+                // saturated BA fabrics).
+                if self.config.priority_update && self.serviced != (1u64 << n) - 1 {
                     for i in 0..self.registers.len() {
-                        if self.serviced & (1u64 << i) == 0
-                            && self.registers[i].expiry_check(t, self.updater.as_ref())
-                        {
-                            self.words[i] = self.registers[i].attrs();
+                        if self.serviced & (1u64 << i) == 0 && self.expiry_slot(i, t) {
+                            self.refresh_word(i);
                             expired += 1;
                         }
                     }
@@ -658,8 +825,8 @@ impl Fabric {
         let end = self.now + 1;
         if self.config.priority_update {
             for i in 0..self.registers.len() {
-                if self.registers[i].expiry_check(end, self.updater.as_ref()) {
-                    self.words[i] = self.registers[i].attrs();
+                if self.expiry_slot(i, end) {
+                    self.refresh_word(i);
                     expired += 1;
                 }
             }
@@ -1222,6 +1389,118 @@ mod tests {
             f.decision_cycle();
         }
         assert!(!f.has_backlog(), "queues drained");
+    }
+
+    #[test]
+    fn batched_flag_follows_configuration() {
+        let f = Fabric::new(FabricConfig::dwcs(8, FabricConfigKind::Base)).unwrap();
+        assert_eq!(
+            f.is_batched(),
+            cfg!(feature = "simd"),
+            "BA ≥ 8 slots defaults to batched exactly when the vector kernel is compiled in"
+        );
+        let mut small = Fabric::new(FabricConfig::dwcs(4, FabricConfigKind::Base)).unwrap();
+        assert!(!small.is_batched(), "small fabrics default to scalar");
+        assert!(small.set_batched(true), "but batching can be forced");
+        let mut wr = Fabric::new(FabricConfig::dwcs(8, FabricConfigKind::WinnerOnly)).unwrap();
+        assert!(!wr.set_batched(true), "WR has no block to batch");
+        let mut bitonic = Fabric::new(FabricConfig {
+            bitonic: true,
+            ..FabricConfig::dwcs(8, FabricConfigKind::Base)
+        })
+        .unwrap();
+        assert!(!bitonic.set_batched(true), "bitonic stays scalar");
+    }
+
+    /// Satellite proof for the batched path: a 10 000-cycle pinned-seed
+    /// replay across every fabric width, with random loads, arrivals,
+    /// mid-run unload/reload and window variety, must be bit-identical to
+    /// the scalar reference — every packet, every counter, every rule
+    /// firing, every packet-time.
+    #[test]
+    fn batched_fabric_replays_scalar_bit_exactly() {
+        // Pinned xorshift64* — deterministic across runs and platforms.
+        let mut rng_state = 0x5DEECE66Du64;
+        let mut rng = move || {
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            rng_state.wrapping_mul(0x2545F4914F6CDD1D)
+        };
+        for (slots, mode) in [
+            (4usize, ComparisonMode::Dwcs),
+            (4, ComparisonMode::Edf),
+            (8, ComparisonMode::Dwcs),
+            (8, ComparisonMode::ServiceTag),
+            (16, ComparisonMode::Dwcs),
+            (16, ComparisonMode::StaticPriority),
+            (32, ComparisonMode::Dwcs),
+            (32, ComparisonMode::Edf),
+        ] {
+            let cfg = FabricConfig {
+                mode,
+                priority_update: matches!(mode, ComparisonMode::Dwcs | ComparisonMode::Edf),
+                ..FabricConfig::dwcs(slots, FabricConfigKind::Base)
+            };
+            let mut scalar = Fabric::new(cfg).unwrap();
+            let mut batched = Fabric::new(cfg).unwrap();
+            assert!(!scalar.set_batched(false));
+            assert!(batched.set_batched(true));
+            for s in 0..slots {
+                let st = StreamState {
+                    request_period: 1 + (s as u64 % 3),
+                    original_window: WindowConstraint::new((s % 5) as u8, 1 + (s % 4) as u8),
+                    static_prio: (s * 7 % 11) as u8,
+                    late_policy: LatePolicy::ServeLate,
+                };
+                scalar.load_stream(s, st.clone(), (s + 1) as u64).unwrap();
+                batched.load_stream(s, st, (s + 1) as u64).unwrap();
+            }
+            for cycle in 0u64..1250 {
+                for s in 0..slots {
+                    let r = rng();
+                    if r & 3 == 0 {
+                        let tag = Wrap16::from_wide(cycle);
+                        scalar.push_arrival(s, tag).unwrap();
+                        batched.push_arrival(s, tag).unwrap();
+                    }
+                    // Occasionally churn a slot's binding mid-run so the
+                    // replay also covers unload/reload word refreshes.
+                    if r % 97 == 0 {
+                        scalar.unload_stream(s).unwrap();
+                        batched.unload_stream(s).unwrap();
+                        let st = StreamState {
+                            request_period: 1 + (r % 2),
+                            original_window: WindowConstraint::new((r % 3) as u8, 2),
+                            static_prio: (r % 13) as u8,
+                            late_policy: LatePolicy::ServeLate,
+                        };
+                        let dl = scalar.now() + 1 + r % 5;
+                        scalar.load_stream(s, st.clone(), dl).unwrap();
+                        batched.load_stream(s, st, dl).unwrap();
+                    }
+                }
+                assert_eq!(
+                    scalar.decision_cycle(),
+                    batched.decision_cycle(),
+                    "divergence at {slots} slots, {mode:?}, cycle {cycle}"
+                );
+                assert_eq!(scalar.now(), batched.now());
+            }
+            for s in 0..slots {
+                assert_eq!(
+                    scalar.slot_counters(s).unwrap(),
+                    batched.slot_counters(s).unwrap(),
+                    "slot {s} counters diverged at {slots} slots {mode:?}"
+                );
+            }
+            assert_eq!(
+                scalar.rule_counters(),
+                batched.rule_counters(),
+                "rule firings diverged at {slots} slots {mode:?}"
+            );
+            assert_eq!(scalar.hw_cycles(), batched.hw_cycles());
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! sort, at log2(N)·(log2(N)+1)/2 passes). The unit tests enshrine the
 //! counterexample.
 
-use crate::decision::DecisionBlock;
+use crate::decision::{compare_batch, DecisionBlock, RuleCounters};
 use ss_types::{ComparisonMode, StreamAttrs};
 
 /// Validates the word-count for the network (power of two, 2..=32).
@@ -110,6 +110,91 @@ pub fn ba_decision_ping_pong(
             shuffle_exchange_pass_into(a, b, blocks, mode);
         } else {
             shuffle_exchange_pass_into(b, a, blocks, mode);
+        }
+        src_is_a = !src_is_a;
+    }
+    (src_is_a, passes)
+}
+
+/// The full batched BA decision, reading the first pass straight out of the
+/// canonical attribute planes: the remaining log2(N)−1 passes ping-pong
+/// between the two scratch lane buffers, so the caller never copies the
+/// planes into scratch first. Returns `(in_a, network_cycles)` exactly like
+/// [`ba_decision_ping_pong_batched`].
+#[allow(clippy::too_many_arguments)]
+pub fn ba_decision_from_planes(
+    src_w: &[u64],
+    src_k: &[u32],
+    a_w: &mut [u64],
+    a_k: &mut [u32],
+    b_w: &mut [u64],
+    b_k: &mut [u32],
+    mode: ComparisonMode,
+    counters: &mut RuleCounters,
+) -> (bool, u64) {
+    let n = src_w.len();
+    check_n(n);
+    debug_assert!(src_k.len() == n && a_w.len() == n && b_w.len() == n);
+    debug_assert!(a_k.len() == n && b_k.len() == n);
+    let passes = n.trailing_zeros() as u64;
+    shuffle_exchange_pass_batched(src_w, src_k, b_w, b_k, mode, counters);
+    let mut src_is_a = false;
+    for _ in 1..passes {
+        if src_is_a {
+            shuffle_exchange_pass_batched(a_w, a_k, b_w, b_k, mode, counters);
+        } else {
+            shuffle_exchange_pass_batched(b_w, b_k, a_w, a_k, mode, counters);
+        }
+        src_is_a = !src_is_a;
+    }
+    (src_is_a, passes)
+}
+
+/// One cycle of the recirculating shuffle-exchange network over *packed*
+/// lane words: the batched counterpart of [`shuffle_exchange_pass_into`],
+/// with the shuffle fused into the comparator indexing (comparator `j`
+/// reads lanes `j` and `j + n/2`, writes ports `2j`/`2j + 1` — the same
+/// wiring, one pass over memory). Rule firings are tallied into
+/// `counters`; the derived window-rank keys travel in lockstep with the
+/// words. No allocation.
+pub fn shuffle_exchange_pass_batched(
+    src_w: &[u64],
+    src_k: &[u32],
+    dst_w: &mut [u64],
+    dst_k: &mut [u32],
+    mode: ComparisonMode,
+    counters: &mut RuleCounters,
+) {
+    check_n(src_w.len());
+    debug_assert_eq!(src_k.len(), src_w.len());
+    debug_assert_eq!(dst_w.len(), src_w.len());
+    debug_assert_eq!(dst_k.len(), src_w.len());
+    compare_batch(src_w, src_k, dst_w, dst_k, mode, counters);
+}
+
+/// Runs the full BA decision over packed lanes by ping-ponging between two
+/// caller-owned scratch plane pairs: the batched counterpart of
+/// [`ba_decision_ping_pong`], bit-identical block for block. The input
+/// starts in the `a` planes; returns `(result_in_a, cycles)` naming the
+/// plane pair holding the final block. No allocation.
+pub fn ba_decision_ping_pong_batched(
+    a_w: &mut [u64],
+    a_k: &mut [u32],
+    b_w: &mut [u64],
+    b_k: &mut [u32],
+    mode: ComparisonMode,
+    counters: &mut RuleCounters,
+) -> (bool, u64) {
+    let n = a_w.len();
+    check_n(n);
+    debug_assert!(a_k.len() == n && b_w.len() == n && b_k.len() == n);
+    let passes = n.trailing_zeros() as u64;
+    let mut src_is_a = true;
+    for _ in 0..passes {
+        if src_is_a {
+            shuffle_exchange_pass_batched(a_w, a_k, b_w, b_k, mode, counters);
+        } else {
+            shuffle_exchange_pass_batched(b_w, b_k, a_w, a_k, mode, counters);
         }
         src_is_a = !src_is_a;
     }
@@ -459,6 +544,56 @@ mod tests {
             let (block, cycles) = bitonic_decision(&words, &mut blocks(n), ComparisonMode::ServiceTag);
             prop_assert!(is_sorted(&block, ComparisonMode::ServiceTag));
             prop_assert_eq!(cycles, bitonic_pass_count(n));
+        }
+
+        /// The batched ping-pong produces the bit-identical final block
+        /// (and total rule-firing count) of the scalar ping-pong, at every
+        /// fabric width, for arbitrary word contents in every mode.
+        #[test]
+        fn batched_ping_pong_matches_scalar(
+            n_idx in 0usize..4,
+            seed in proptest::collection::vec(any::<((u16, u8, u8), (u16, u8, bool))>(), 32),
+            mode_idx in 0usize..4,
+        ) {
+            use ss_types::packed::{pack, unpack, window_key};
+            let n = [4usize, 8, 16, 32][n_idx];
+            let mode = [ComparisonMode::Dwcs, ComparisonMode::Edf,
+                        ComparisonMode::StaticPriority, ComparisonMode::ServiceTag][mode_idx];
+            let words: Vec<StreamAttrs> = seed[..n]
+                .iter()
+                .enumerate()
+                .map(|(i, &((d, num, den), (arr, prio, valid)))| StreamAttrs {
+                    deadline: Wrap16(d),
+                    window: WindowConstraint::new(num, den),
+                    arrival: Wrap16(arr),
+                    slot: SlotId::new(i as u8).unwrap(),
+                    static_prio: prio,
+                    valid,
+                })
+                .collect();
+            // Scalar reference.
+            let mut sa = words.clone();
+            let mut sb = words.clone();
+            let mut blks = blocks(n);
+            let (s_in_a, s_passes) = ba_decision_ping_pong(&mut sa, &mut sb, &mut blks, mode);
+            let scalar = if s_in_a { &sa } else { &sb };
+            let scalar_total: u64 = blks.iter().map(|b| b.counters().total()).sum();
+            // Batched lanes.
+            let mut aw: Vec<u64> = words.iter().map(pack).collect();
+            let mut ak: Vec<u32> = words.iter().map(|w| window_key(w.window)).collect();
+            let mut bw = vec![0u64; n];
+            let mut bk = vec![0u32; n];
+            let mut counters = RuleCounters::default();
+            let (b_in_a, b_passes) =
+                ba_decision_ping_pong_batched(&mut aw, &mut ak, &mut bw, &mut bk, mode, &mut counters);
+            prop_assert_eq!(b_passes, s_passes);
+            prop_assert_eq!(b_in_a, s_in_a);
+            let (bw_final, bk_final) = if b_in_a { (&aw, &ak) } else { (&bw, &bk) };
+            for (i, sw) in scalar.iter().enumerate() {
+                prop_assert_eq!(&unpack(bw_final[i]), sw, "lane {}", i);
+                prop_assert_eq!(bk_final[i], window_key(sw.window), "key {}", i);
+            }
+            prop_assert_eq!(counters.total(), scalar_total);
         }
     }
 }

@@ -241,6 +241,19 @@ impl RegisterBaseBlock {
         completion: u64,
         updater: &dyn PriorityUpdater,
     ) -> Option<(u64, bool)> {
+        self.service_with(completion, updater)
+    }
+
+    /// Monomorphic form of [`Self::service`]: with a concrete `U` (the
+    /// canonical [`crate::DwcsUpdater`]) the window-update rules inline into
+    /// the caller instead of going through the vtable — the fabric's block
+    /// service loop runs one of these per transmitted packet.
+    #[inline]
+    pub fn service_with<U: PriorityUpdater + ?Sized>(
+        &mut self,
+        completion: u64,
+        updater: &U,
+    ) -> Option<(u64, bool)> {
         let state = self.state.as_ref()?;
         self.queue.pop_front()?;
         let deadline = self.deadline;
@@ -284,6 +297,16 @@ impl RegisterBaseBlock {
     ///
     /// Returns `true` if a miss was recorded.
     pub fn expiry_check(&mut self, now: u64, updater: &dyn PriorityUpdater) -> bool {
+        self.expiry_check_with(now, updater)
+    }
+
+    /// Monomorphic form of [`Self::expiry_check`] (see [`Self::service_with`]).
+    #[inline]
+    pub fn expiry_check_with<U: PriorityUpdater + ?Sized>(
+        &mut self,
+        now: u64,
+        updater: &U,
+    ) -> bool {
         let Some(state) = self.state.as_ref() else {
             return false;
         };

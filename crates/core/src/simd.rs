@@ -1,0 +1,278 @@
+//! Optional `std::arch` acceleration of the batched decision kernel
+//! (`simd` feature).
+//!
+//! One AVX2 iteration evaluates four comparators at once: the fused
+//! shuffle means comparator `j` reads lanes `j` and `j + n/2`, so both
+//! operand streams are contiguous — two 256-bit loads bring in four pairs,
+//! every Table-2 stage is computed as a pair of lane masks (a-wins /
+//! b-wins), and an undecided mask commits the first discriminating stage
+//! per lane — the vector form of the SWAR chain in `decision::swar_pass`.
+//! Winners and losers are routed with blends and 64-bit unpacks straight
+//! into the interleaved output ports (two 256-bit stores), and rule
+//! counters are tallied as per-stage movemask popcounts, so counter
+//! fidelity survives vectorization exactly.
+//!
+//! Hosts without AVX2, non-x86_64 ISAs (NEON is not yet implemented), and
+//! batches whose comparator count is not a multiple of the lane width fall
+//! back to the branchless SWAR reference — enabling the feature can change
+//! speed, never results. Dispatch is behind runtime CPU detection; the
+//! unsafe surface is confined to the bounds-asserted load/store helpers
+//! below.
+#![allow(unsafe_code)]
+
+use crate::decision::RuleCounts;
+use ss_types::ComparisonMode;
+
+/// Attempts one batched pass with a runtime-detected `std::arch` kernel.
+///
+/// Returns `false` (nothing written) when no kernel applies: unsupported
+/// ISA, missing CPU feature, or a batch whose comparator count is not a
+/// multiple of the lane width.
+pub(crate) fn try_compare_batch(
+    src_w: &[u64],
+    src_k: &[u32],
+    dst_w: &mut [u64],
+    dst_k: &mut [u32],
+    mode: ComparisonMode,
+    counts: &mut RuleCounts,
+) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if !(src_w.len() / 2).is_multiple_of(4) {
+            return false;
+        }
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            return false;
+        }
+        // SAFETY: AVX2 availability was verified at runtime on the line
+        // above, which is the entire contract of the target-feature
+        // functions; memory access happens only in the bounds-asserted
+        // helpers inside.
+        unsafe {
+            match mode {
+                ComparisonMode::Dwcs => avx2_pass::<0>(src_w, src_k, dst_w, dst_k, counts),
+                ComparisonMode::Edf => avx2_pass::<1>(src_w, src_k, dst_w, dst_k, counts),
+                ComparisonMode::StaticPriority => {
+                    avx2_pass::<2>(src_w, src_k, dst_w, dst_k, counts)
+                }
+                ComparisonMode::ServiceTag => avx2_pass::<3>(src_w, src_k, dst_w, dst_k, counts),
+            }
+        }
+        true
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (src_w, src_k, dst_w, dst_k, mode, counts);
+        false
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+use std::arch::x86_64::{__m128i, __m256i};
+
+/// Four consecutive lane words as 64-bit lanes.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+#[target_feature(enable = "avx2")]
+fn load4w(s: &[u64], i: usize) -> __m256i {
+    use std::arch::x86_64::_mm256_loadu_si256;
+    assert!(i + 4 <= s.len());
+    // SAFETY: the assert above guarantees 32 readable bytes at `i`;
+    // `loadu` has no alignment requirement.
+    unsafe { _mm256_loadu_si256(s.as_ptr().add(i).cast()) }
+}
+
+/// Four consecutive window keys as 32-bit lanes.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+#[target_feature(enable = "avx2")]
+fn load4k(s: &[u32], i: usize) -> __m128i {
+    use std::arch::x86_64::_mm_loadu_si128;
+    assert!(i + 4 <= s.len());
+    // SAFETY: the assert above guarantees 16 readable bytes at `i`;
+    // `loadu` has no alignment requirement.
+    unsafe { _mm_loadu_si128(s.as_ptr().add(i).cast()) }
+}
+
+/// Stores four 64-bit lanes at `d[i..i + 4]`.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+#[target_feature(enable = "avx2")]
+fn store4w(d: &mut [u64], i: usize, v: __m256i) {
+    use std::arch::x86_64::_mm256_storeu_si256;
+    assert!(i + 4 <= d.len());
+    // SAFETY: the assert above guarantees 32 writable bytes at `i`;
+    // `storeu` has no alignment requirement.
+    unsafe { _mm256_storeu_si256(d.as_mut_ptr().add(i).cast(), v) }
+}
+
+/// Stores four 32-bit lanes at `d[i..i + 4]`.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+#[target_feature(enable = "avx2")]
+fn store4k(d: &mut [u32], i: usize, v: __m128i) {
+    use std::arch::x86_64::_mm_storeu_si128;
+    assert!(i + 4 <= d.len());
+    // SAFETY: the assert above guarantees 16 writable bytes at `i`;
+    // `storeu` has no alignment requirement.
+    unsafe { _mm_storeu_si128(d.as_mut_ptr().add(i).cast(), v) }
+}
+
+/// The AVX2 comparator chain, monomorphized per mode (0 = Dwcs, 1 = Edf,
+/// 2 = StaticPriority, 3 = ServiceTag — `decision`'s MODE_* indices):
+/// four pairs per iteration, 64-bit lanes.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn avx2_pass<const MODE: u8>(
+    src_w: &[u64],
+    src_k: &[u32],
+    dst_w: &mut [u64],
+    dst_k: &mut [u32],
+    counts: &mut RuleCounts,
+) {
+    use std::arch::x86_64::*;
+
+    let half = src_w.len() / 2;
+    let zero = _mm256_setzero_si256();
+    let ones = _mm256_set1_epi64x(-1);
+    let m16 = _mm256_set1_epi64x(0xFFFF);
+    let mid = _mm256_set1_epi64x(0x8000);
+    let mid_m1 = _mm256_set1_epi64x(0x7FFF);
+    let slot_m = _mm256_set1_epi64x(0x1F);
+    // Narrowing selector: even 32-bit lanes of a 64-bit lane mask.
+    let narrow = _mm256_set_epi32(0, 0, 0, 0, 6, 4, 2, 0);
+    // Per-rule lane tallies, kept vectorial inside the loop: a firing lane
+    // is all-ones (−1), so subtracting the mask counts it. One horizontal
+    // sum per pass replaces a movemask/popcount round-trip per stage.
+    let mut acc = [zero; 9];
+
+    let mut j = 0;
+    while j < half {
+        let a = load4w(src_w, j);
+        let b = load4w(src_w, j + half);
+        let ka = load4k(src_k, j);
+        let kb = load4k(src_k, j + half);
+        // Bit 63 is the INVALID flag, so an invalid word is negative.
+        let inv_a = _mm256_cmpgt_epi64(zero, a);
+        let inv_b = _mm256_cmpgt_epi64(zero, b);
+        let both_valid = _mm256_xor_si256(_mm256_or_si256(inv_a, inv_b), ones);
+
+        let mut und = ones;
+        let mut awin = zero;
+        macro_rules! stage {
+            ($lt:expr, $gt:expr, $rule:expr) => {{
+                let lt = $lt;
+                let fire = _mm256_and_si256(_mm256_or_si256(lt, $gt), und);
+                awin = _mm256_or_si256(awin, _mm256_and_si256(lt, und));
+                acc[$rule] = _mm256_sub_epi64(acc[$rule], fire);
+                und = _mm256_andnot_si256(fire, und);
+            }};
+        }
+        /// Serial-number order masks for 16-bit fields sitting in 64-bit
+        /// lanes: with t = (fb − fa) mod 2^16, a orders first iff
+        /// t ∈ [1, 0x7FFF] (AVX2 has no 64-bit arithmetic shift, so the
+        /// sign test is a signed range compare).
+        macro_rules! serial {
+            ($fa:expr, $fb:expr) => {{
+                let t = _mm256_and_si256(_mm256_sub_epi64($fb, $fa), m16);
+                let lt =
+                    _mm256_andnot_si256(_mm256_cmpeq_epi64(t, zero), _mm256_cmpgt_epi64(mid, t));
+                let gt = _mm256_cmpgt_epi64(t, mid_m1);
+                (
+                    _mm256_and_si256(lt, both_valid),
+                    _mm256_and_si256(gt, both_valid),
+                )
+            }};
+        }
+
+        // Validity (rule 0): a wins iff a is valid and b is not.
+        stage!(
+            _mm256_andnot_si256(inv_a, inv_b),
+            _mm256_andnot_si256(inv_b, inv_a),
+            0
+        );
+        if MODE == 0 || MODE == 1 || MODE == 3 {
+            // Deadline, serial-number order (rule 1; the ServiceTag chain
+            // reads the same field as the tag, rule 6).
+            let da = _mm256_and_si256(_mm256_srli_epi64::<37>(a), m16);
+            let db = _mm256_and_si256(_mm256_srli_epi64::<37>(b), m16);
+            let (lt, gt) = serial!(da, db);
+            stage!(lt, gt, if MODE == 3 { 6 } else { 1 });
+        }
+        if MODE == 0 {
+            // Window chain (rules 2–4): the derived key orders the whole
+            // chain; the fired rule depends on which key half differed.
+            let ka = _mm256_cvtepu32_epi64(ka);
+            let kb = _mm256_cvtepu32_epi64(kb);
+            let lt = _mm256_and_si256(_mm256_cmpgt_epi64(kb, ka), both_valid);
+            let gt = _mm256_and_si256(_mm256_cmpgt_epi64(ka, kb), both_valid);
+            let fire = _mm256_and_si256(_mm256_or_si256(lt, gt), und);
+            awin = _mm256_or_si256(awin, _mm256_and_si256(lt, und));
+            let hi_a = _mm256_srli_epi64::<8>(ka);
+            let hi_eq = _mm256_cmpeq_epi64(hi_a, _mm256_srli_epi64::<8>(kb));
+            let hi_zero = _mm256_cmpeq_epi64(hi_a, zero);
+            acc[2] = _mm256_sub_epi64(acc[2], _mm256_andnot_si256(hi_eq, fire));
+            acc[3] = _mm256_sub_epi64(
+                acc[3],
+                _mm256_and_si256(_mm256_and_si256(hi_eq, hi_zero), fire),
+            );
+            acc[4] = _mm256_sub_epi64(
+                acc[4],
+                _mm256_and_si256(_mm256_andnot_si256(hi_zero, hi_eq), fire),
+            );
+            und = _mm256_andnot_si256(fire, und);
+        }
+        if MODE == 2 {
+            // Static priority (rule 5): plain unsigned order on the 8-bit
+            // field (lanes are small positives, signed compare is exact).
+            let pa = _mm256_and_si256(_mm256_srli_epi64::<55>(a), _mm256_set1_epi64x(0xFF));
+            let pb = _mm256_and_si256(_mm256_srli_epi64::<55>(b), _mm256_set1_epi64x(0xFF));
+            stage!(
+                _mm256_and_si256(_mm256_cmpgt_epi64(pb, pa), both_valid),
+                _mm256_and_si256(_mm256_cmpgt_epi64(pa, pb), both_valid),
+                5
+            );
+        }
+        if MODE == 0 || MODE == 1 {
+            // Arrival, FCFS (rule 7): same serial-number form.
+            let aa = _mm256_and_si256(_mm256_srli_epi64::<5>(a), m16);
+            let ab = _mm256_and_si256(_mm256_srli_epi64::<5>(b), m16);
+            let (lt, gt) = serial!(aa, ab);
+            stage!(lt, gt, 7);
+        }
+        // Slot tie-break (rule 8): commits every still-undecided lane; on
+        // full equality the b word keeps the winner port (awin stays
+        // clear), matching `DecisionBlock::compare`.
+        {
+            let sa = _mm256_and_si256(a, slot_m);
+            let sb = _mm256_and_si256(b, slot_m);
+            awin = _mm256_or_si256(awin, _mm256_and_si256(_mm256_cmpgt_epi64(sb, sa), und));
+            acc[8] = _mm256_sub_epi64(acc[8], und);
+        }
+
+        // Route winners to even ports, losers to odd: blend both streams,
+        // interleave 64-bit lanes, and store the two output quads.
+        let wv = _mm256_blendv_epi8(b, a, awin);
+        let lv = _mm256_blendv_epi8(a, b, awin);
+        let lo = _mm256_unpacklo_epi64(wv, lv); // w0 l0 w2 l2
+        let hi = _mm256_unpackhi_epi64(wv, lv); // w1 l1 w3 l3
+        store4w(dst_w, 2 * j, _mm256_permute2x128_si256::<0x20>(lo, hi));
+        store4w(dst_w, 2 * j + 4, _mm256_permute2x128_si256::<0x31>(lo, hi));
+        // The keys travel in lockstep: narrow the 64-bit lane mask to the
+        // 32-bit key lanes, blend, interleave, store.
+        let am128 = _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(awin, narrow));
+        let wk = _mm_blendv_epi8(kb, ka, am128);
+        let lk = _mm_blendv_epi8(ka, kb, am128);
+        store4k(dst_k, 2 * j, _mm_unpacklo_epi32(wk, lk));
+        store4k(dst_k, 2 * j + 4, _mm_unpackhi_epi32(wk, lk));
+        j += 4;
+    }
+
+    // Drain the vector tallies into the shared rule counters.
+    for (r, v) in acc.iter().enumerate() {
+        let mut l = [0u64; 4];
+        // SAFETY: `l` is 32 writable bytes; `storeu` is unaligned-safe.
+        unsafe { _mm256_storeu_si256(l.as_mut_ptr().cast(), *v) };
+        counts[r] += l.iter().sum::<u64>();
+    }
+}

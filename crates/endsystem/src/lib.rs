@@ -32,9 +32,12 @@
 //!   Figures 8, 9, 10 and the §5.2 endsystem throughput numbers.
 //! * [`threaded`] — a real multi-threaded pipeline over the SPSC rings
 //!   (used by the `host_router` example and throughput benches).
+//! * [`affinity`] — best-effort CPU pinning for shard/pipeline worker
+//!   threads (raw `sched_setaffinity`; no-op off x86_64 Linux).
 
 #![warn(missing_docs)]
 
+pub mod affinity;
 pub mod aggregation;
 pub mod faults;
 #[cfg(feature = "overload")]
@@ -49,6 +52,7 @@ pub mod streaming;
 pub mod threaded;
 pub mod transmission;
 
+pub use affinity::pin_current_thread;
 pub use aggregation::{StreamletMux, StreamletSetConfig};
 pub use faults::EndsystemFaults;
 #[cfg(feature = "overload")]

@@ -113,6 +113,9 @@ pub struct OverloadGate {
     admitted: u64,
     /// RED drop proposals overruled because the stream was protected.
     vetoes: u64,
+    /// Last level written to `shared`: `tick` republishes only on change,
+    /// keeping the per-packet-time path free of the cross-core store.
+    last_published: PressureLevel,
 }
 
 impl OverloadGate {
@@ -137,6 +140,7 @@ impl OverloadGate {
             offered: 0,
             admitted: 0,
             vetoes: 0,
+            last_published: PressureLevel::Nominal,
         }
     }
 
@@ -200,7 +204,14 @@ impl OverloadGate {
     #[inline]
     pub fn tick(&mut self, occupied: usize, capacity: usize) -> PressureLevel {
         let level = self.pressure.observe(occupied, capacity);
-        self.shared.publish(level);
+        if level != self.last_published {
+            // Hysteresis makes transitions rare; the shared atomic (and the
+            // cache-line ping-pong it costs under remote polling) is touched
+            // only then. `SharedPressure::new` starts Nominal, matching
+            // `last_published`, so the steady state needs no initial store.
+            self.shared.publish(level);
+            self.last_published = level;
+        }
         self.admission.tick(level);
         self.red.idle_tick();
         level

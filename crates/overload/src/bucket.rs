@@ -60,13 +60,32 @@ impl StreamClass {
     }
 }
 
+/// Cumulative packet-times per pressure level, indexed by
+/// [`AdmissionController::level_index`].
+type LevelTicks = [u64; 3];
+
 /// Per-stream token buckets with pressure- and window-aware refill.
+///
+/// Refill is *lazy*: a tick only bumps one of three cumulative per-level
+/// clocks (O(1) regardless of stream count), and each bucket settles the
+/// elapsed refill the next time it is actually touched — the per-level
+/// clock deltas since the bucket's last sync, each multiplied by that
+/// level's ladder rate. Because tokens only ever leave a bucket through
+/// [`AdmissionController::try_admit`] (which syncs first), capping at the
+/// burst depth once at sync time is exactly equivalent to capping every
+/// tick, so the lazy controller is bit-identical to the eager one while
+/// removing the O(streams) sweep from every packet-time.
 #[derive(Debug, Clone)]
 pub struct AdmissionController {
     classes: Vec<StreamClass>,
-    /// Current bucket levels, millitokens. Buckets start full so an
-    /// initial burst up to the configured depth is admitted.
+    /// Bucket levels as of each stream's last sync, millitokens. Buckets
+    /// start full so an initial burst up to the configured depth is
+    /// admitted.
     tokens: Vec<u32>,
+    /// Packet-times elapsed at each pressure level since construction.
+    level_ticks: LevelTicks,
+    /// Per-stream snapshot of `level_ticks` at its last refill sync.
+    synced: Vec<LevelTicks>,
     admitted: Vec<u64>,
     rejected: Vec<u64>,
 }
@@ -80,9 +99,56 @@ impl AdmissionController {
         Self {
             classes,
             tokens,
+            level_ticks: [0; 3],
+            synced: vec![[0; 3]; n],
             admitted: vec![0; n],
             rejected: vec![0; n],
         }
+    }
+
+    /// The per-level clock slot a pressure level accumulates into.
+    #[inline]
+    fn level_index(level: PressureLevel) -> usize {
+        match level {
+            PressureLevel::Nominal => 0,
+            PressureLevel::Elevated => 1,
+            PressureLevel::Overloaded => 2,
+        }
+    }
+
+    /// Millitokens `class` has earned across the per-level clock deltas
+    /// since `synced` — ticks spent at level `l` always refill at level
+    /// `l`'s ladder rate, no matter when the bucket settles them.
+    #[inline]
+    fn pending_refill(class: &StreamClass, synced: &LevelTicks, now: &LevelTicks) -> u64 {
+        const LEVELS: [PressureLevel; 3] = [
+            PressureLevel::Nominal,
+            PressureLevel::Elevated,
+            PressureLevel::Overloaded,
+        ];
+        let mut refill = 0u64;
+        for (l, &level) in LEVELS.iter().enumerate() {
+            let dt = now[l] - synced[l];
+            if dt != 0 {
+                let rate = u64::from(class.rate_mtok >> Self::refill_shift(level, class.protection));
+                refill = refill.saturating_add(dt.saturating_mul(rate));
+            }
+        }
+        refill
+    }
+
+    /// Settles `stream`'s elapsed refill into its bucket and re-anchors
+    /// its sync snapshot. Callers guarantee `stream` is in range.
+    #[inline]
+    fn sync(&mut self, stream: usize) {
+        let refill = Self::pending_refill(
+            &self.classes[stream],
+            &self.synced[stream],
+            &self.level_ticks,
+        );
+        self.tokens[stream] = (u64::from(self.tokens[stream]) + refill)
+            .min(u64::from(self.classes[stream].burst_mtok)) as u32;
+        self.synced[stream] = self.level_ticks;
     }
 
     /// Streams managed.
@@ -118,15 +184,13 @@ impl AdmissionController {
         }
     }
 
-    /// One packet-time elapses: refill every bucket at the rate the
-    /// current pressure `level` allows it. Hot path: integer-only, no
-    /// allocation, no panic.
+    /// One packet-time elapses at pressure `level`: bumps that level's
+    /// cumulative clock. Every bucket's refill is settled lazily on its
+    /// next touch, so this is O(1) in the stream count. Hot path:
+    /// integer-only, no allocation, no panic.
     #[inline]
     pub fn tick(&mut self, level: PressureLevel) {
-        for (tokens, class) in self.tokens.iter_mut().zip(self.classes.iter()) {
-            let refill = class.rate_mtok >> Self::refill_shift(level, class.protection);
-            *tokens = (*tokens + refill).min(class.burst_mtok);
-        }
+        self.level_ticks[Self::level_index(level)] += 1;
     }
 
     /// Tries to admit one packet for `stream`. `true` spends a token;
@@ -135,11 +199,12 @@ impl AdmissionController {
     /// rejected without panicking. Hot path.
     #[inline]
     pub fn try_admit(&mut self, stream: usize) -> bool {
-        let Some(tokens) = self.tokens.get_mut(stream) else {
+        if stream >= self.classes.len() {
             return false;
-        };
-        if *tokens >= TOKEN_COST_MTOK {
-            *tokens -= TOKEN_COST_MTOK;
+        }
+        self.sync(stream);
+        if self.tokens[stream] >= TOKEN_COST_MTOK {
+            self.tokens[stream] -= TOKEN_COST_MTOK;
             self.admitted[stream] += 1;
             true
         } else {
@@ -148,9 +213,14 @@ impl AdmissionController {
         }
     }
 
-    /// Current bucket level for `stream`, millitokens.
+    /// Current bucket level for `stream`, millitokens — elapsed refill
+    /// included, computed without disturbing the bucket's sync state.
     pub fn tokens(&self, stream: usize) -> u32 {
-        self.tokens.get(stream).copied().unwrap_or(0)
+        let Some(class) = self.classes.get(stream) else {
+            return 0;
+        };
+        let refill = Self::pending_refill(class, &self.synced[stream], &self.level_ticks);
+        (u64::from(self.tokens[stream]) + refill).min(u64::from(class.burst_mtok)) as u32
     }
 
     /// Packets admitted for `stream` so far.
@@ -306,6 +376,65 @@ mod tests {
         assert_eq!(AdmissionController::refill_shift(Overloaded, 600), 2);
         assert_eq!(AdmissionController::refill_shift(Overloaded, 100), 3);
         assert_eq!(AdmissionController::refill_shift(Overloaded, 800), 0);
+    }
+
+    #[test]
+    fn lazy_refill_matches_eager_reference() {
+        // A brute-force eager controller (the old per-tick sweep) replayed
+        // against the lazy one through pressure swings, bursty spends, and
+        // long idle gaps: every admit verdict and every observable bucket
+        // level must agree.
+        let classes = vec![
+            StreamClass::from_window(700, 2_500, wc(0, 1)),
+            StreamClass::from_window(1_000, 4_000, wc(1, 2)),
+            StreamClass::from_window(300, 1_000, wc(3, 4)),
+        ];
+        let mut lazy = AdmissionController::new(classes.clone());
+        let mut eager_tokens: Vec<u32> = classes.iter().map(|c| c.burst_mtok).collect();
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for step in 0..4_000u64 {
+            let level = match (step / 250) % 3 {
+                0 => PressureLevel::Nominal,
+                1 => PressureLevel::Elevated,
+                _ => PressureLevel::Overloaded,
+            };
+            lazy.tick(level);
+            for (tokens, class) in eager_tokens.iter_mut().zip(&classes) {
+                let refill =
+                    class.rate_mtok >> AdmissionController::refill_shift(level, class.protection);
+                *tokens = (*tokens + refill).min(class.burst_mtok);
+            }
+            for (s, tokens) in eager_tokens.iter_mut().enumerate() {
+                // Idle gaps: stream 2 only offers every 16th packet-time.
+                if s == 2 && step % 16 != 0 {
+                    continue;
+                }
+                if rng() & 1 == 0 {
+                    let eager_admit = if *tokens >= TOKEN_COST_MTOK {
+                        *tokens -= TOKEN_COST_MTOK;
+                        true
+                    } else {
+                        false
+                    };
+                    assert_eq!(
+                        lazy.try_admit(s),
+                        eager_admit,
+                        "verdicts diverged at step {step} stream {s}"
+                    );
+                    assert_eq!(lazy.tokens(s), *tokens, "levels diverged at {step}");
+                }
+            }
+        }
+        // The read-only accessor also settles pending refill correctly.
+        for (s, class) in classes.iter().enumerate() {
+            assert!(lazy.tokens(s) <= class.burst_mtok);
+        }
     }
 
     #[test]

@@ -742,10 +742,41 @@ pub struct StreamletReport {
     pub missed_proposals: u64,
 }
 
+/// How many failed acquire attempts busy-spin before falling back to
+/// `yield_now`. Pure spinning starves the counterpart thread whenever
+/// shards outnumber cores (always true on a single-core host), turning
+/// every ring handoff into a full scheduler quantum; yielding immediately
+/// costs a syscall per item when cores are plentiful. A short spin window
+/// gets both: lock-free handoff when the peer is truly parallel, prompt
+/// descheduling when it needs this CPU.
+const SPIN_LIMIT: u32 = 64;
+
+/// One failed acquire attempt: busy-spin for the first `SPIN_LIMIT` tries,
+/// then hand the core to whichever thread owns the other ring end.
+#[inline]
+fn spin_or_yield(spins: &mut u32) {
+    if *spins < SPIN_LIMIT {
+        *spins += 1;
+        std::hint::spin_loop();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// Aligned to 128 bytes (two lines on common prefetch-paired hardware) so
+/// that adjacent links in the merger's `links` vec never share a cache
+/// line: each link's ring endpoints hold locally-cached head/tail copies
+/// that the merge loop updates per proposal, and cross-shard false sharing
+/// on those would serialize exactly the path sharding exists to spread.
+#[repr(align(128))]
 struct ShardLink {
     cmd_tx: Producer<Cmd>,
     arr_tx: Producer<(usize, Wrap16)>,
     out_rx: Consumer<CycleProposal>,
+    /// Proposals drained from `out_rx` in batches ahead of the per-cycle
+    /// merge: one ring synchronization covers up to a ring's worth of
+    /// cycles the worker ran ahead.
+    buf: std::collections::VecDeque<CycleProposal>,
     handle: JoinHandle<Fabric>,
     /// Set once the worker's proposal ring disconnects: the shard is out
     /// of every subsequent merge.
@@ -784,15 +815,32 @@ impl ThreadedShards {
         let injector = sched.injector;
         #[cfg(feature = "telemetry")]
         let telem = sched.telem;
+        // Worker pinning (feature `pinning`): shard k stays on core
+        // 1 + k mod (cores − 1), keeping core 0 for the merging thread so
+        // its comparator tree and this struct's ring endpoints stay warm.
+        // On a single-core host pinning would only fight the scheduler, so
+        // it is skipped; `pin_current_thread` itself degrades to a no-op
+        // off x86_64 Linux.
+        #[cfg(feature = "pinning")]
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
         let links = sched
             .shards
             .into_iter()
             .zip(failed)
-            .map(|(mut fabric, was_failed)| {
+            .enumerate()
+            .map(|(shard_idx, (mut fabric, was_failed))| {
                 let (cmd_tx, mut cmd_rx) = spsc_ring::<Cmd>(64);
                 let (arr_tx, mut arr_rx) = spsc_ring::<(usize, Wrap16)>(ring_capacity);
                 let (mut out_tx, out_rx) = spsc_ring::<CycleProposal>(ring_capacity);
+                #[cfg(not(feature = "pinning"))]
+                let _ = shard_idx;
                 let handle = std::thread::spawn(move || {
+                    #[cfg(feature = "pinning")]
+                    if cores > 1 {
+                        let _ = ss_endsystem::pin_current_thread(1 + shard_idx % (cores - 1));
+                    }
                     loop {
                         match cmd_rx.pop() {
                             Some(Cmd::Batch(n)) => {
@@ -806,12 +854,13 @@ impl ThreadedShards {
                                     let word = fabric.peek_winner();
                                     let packet = fabric.decision_cycle_into().first().copied();
                                     let mut msg = CycleProposal { word, packet };
+                                    let mut spins = 0u32;
                                     loop {
                                         match out_tx.push(msg) {
                                             Ok(()) => break,
                                             Err(back) => {
                                                 msg = back;
-                                                std::hint::spin_loop();
+                                                spin_or_yield(&mut spins);
                                             }
                                         }
                                     }
@@ -836,6 +885,7 @@ impl ThreadedShards {
                     cmd_tx,
                     arr_tx,
                     out_rx,
+                    buf: std::collections::VecDeque::with_capacity(ring_capacity),
                     handle,
                     // A shard failed before the move stays excluded.
                     dead: was_failed,
@@ -911,12 +961,13 @@ impl ThreadedShards {
                 continue;
             }
             let mut cmd = Cmd::Batch(n);
+            let mut spins = 0u32;
             loop {
                 match link.cmd_tx.push(cmd) {
                     Ok(()) => break,
                     Err(back) => {
                         cmd = back;
-                        std::hint::spin_loop();
+                        spin_or_yield(&mut spins);
                     }
                 }
             }
@@ -938,16 +989,27 @@ impl ThreadedShards {
                 // means the worker exited (crash fault or panic): exclude
                 // the shard and account the cycles it will never answer,
                 // instead of spinning forever or panicking the merge.
+                // Proposals are drained in batches: the worker runs ahead
+                // of the merge through the ring, so one synchronization on
+                // `out_rx` typically buys a whole backlog of cycles, and
+                // the per-cycle cost collapses to a local `VecDeque` pop.
+                let mut spins = 0u32;
                 let proposal = loop {
-                    match link.out_rx.pop() {
-                        Some(p) => break Some(p),
-                        None => {
-                            if link.out_rx.is_disconnected() && link.out_rx.is_empty() {
-                                break None;
-                            }
-                            std::hint::spin_loop();
-                        }
+                    if let Some(p) = link.buf.pop_front() {
+                        break Some(p);
                     }
+                    let mut drained = false;
+                    while let Some(p) = link.out_rx.pop() {
+                        link.buf.push_back(p);
+                        drained = true;
+                    }
+                    if drained {
+                        continue;
+                    }
+                    if link.out_rx.is_disconnected() && link.out_rx.is_empty() {
+                        break None;
+                    }
+                    spin_or_yield(&mut spins);
                 };
                 let Some(proposal) = proposal else {
                     link.dead = true;

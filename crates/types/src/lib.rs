@@ -28,11 +28,13 @@ pub mod attrs;
 pub mod bandwidth;
 pub mod error;
 pub mod ids;
+pub mod packed;
 pub mod packet;
 pub mod spec;
 pub mod wrap16;
 
 pub use attrs::{ComparisonMode, StreamAttrs, WindowConstraint};
+pub use packed::AttrPlanes;
 pub use bandwidth::{BitsPerSec, BytesPerSec, Ratio};
 pub use error::{Error, Result};
 pub use ids::{SlotId, StreamId, StreamletId, MAX_SLOTS, SLOT_ID_BITS};

@@ -1,0 +1,320 @@
+//! Packed attribute codec: [`StreamAttrs`] ⇄ a single `u64` lane word.
+//!
+//! The hardware routes a 53-bit attribute word between Decision blocks
+//! (see [`crate::field_widths`]); this module widens it to one 64-bit
+//! lane so a whole shuffle-exchange pass can be evaluated with branchless
+//! integer arithmetic (SWAR, or `std::arch` SIMD behind the `simd`
+//! feature). The layout is chosen so the *unsigned* value of the word
+//! already encodes the validity rule:
+//!
+//! ```text
+//!  bit 63    62........55  54..53  52........37  36..29  28..21  20.........5  4...0
+//!  INVALID   static_prio   (zero)  deadline(16)  num(8)  den(8)  arrival(16)   slot(5)
+//! ```
+//!
+//! * **Invalid words lose by construction**: bit 63 is set on `!valid`
+//!   words, so `min(a, b)` over the raw `u64`s can never prefer an empty
+//!   slot over an occupied one, whatever the other fields hold.
+//! * Every hardware field is stored verbatim (16+8+8+16+5 = 53 bits plus
+//!   the 8-bit static-priority register), so the codec round-trips
+//!   exactly — the lane word carries *no more* information per wire than
+//!   the published hardware word did.
+//!
+//! Window constraints order by exact rational value, which a per-field
+//! comparison cannot express; the batched kernel therefore carries a
+//! derived 24-bit rank alongside each word (see [`window_key`]), kept in
+//! lockstep by [`AttrPlanes`].
+
+use crate::attrs::{StreamAttrs, WindowConstraint};
+use crate::ids::SlotId;
+use crate::wrap16::Wrap16;
+
+/// Bit position of the INVALID flag (set ⇒ the word loses).
+pub const INVALID_BIT: u32 = 63;
+/// Shift of the 8-bit static-priority field.
+pub const PRIO_SHIFT: u32 = 55;
+/// Shift of the 16-bit deadline field.
+pub const DEADLINE_SHIFT: u32 = 37;
+/// Shift of the 8-bit window numerator field.
+pub const NUM_SHIFT: u32 = 29;
+/// Shift of the 8-bit window denominator field.
+pub const DEN_SHIFT: u32 = 21;
+/// Shift of the 16-bit arrival field.
+pub const ARRIVAL_SHIFT: u32 = 5;
+/// Mask of the 5-bit slot field (shift 0).
+pub const SLOT_MASK: u64 = 0x1F;
+
+/// Rounded-up fixed-point reciprocals `ceil(2^32 / den) = (2^32 / den) + 1`
+/// for every 8-bit denominator, so [`window_key`] needs no hardware divide.
+/// Index 0 is unused (a zero denominator means a zero window).
+const RECIP: [u64; 256] = {
+    let mut t = [0u64; 256];
+    let mut d = 1usize;
+    while d < 256 {
+        t[d] = (1u64 << 32) / (d as u64) + 1;
+        d += 1;
+    }
+    t
+};
+
+/// Packs an attribute word into its `u64` lane representation.
+///
+/// Exact inverse of [`unpack`]; the INVALID flag occupies the top bit so
+/// invalid words compare greater than (lose to) every valid word.
+#[inline]
+pub fn pack(a: &StreamAttrs) -> u64 {
+    (((!a.valid) as u64) << INVALID_BIT)
+        | ((a.static_prio as u64) << PRIO_SHIFT)
+        | ((a.deadline.raw() as u64) << DEADLINE_SHIFT)
+        | ((a.window.num as u64) << NUM_SHIFT)
+        | ((a.window.den as u64) << DEN_SHIFT)
+        | ((a.arrival.raw() as u64) << ARRIVAL_SHIFT)
+        | (a.slot.raw() as u64 & SLOT_MASK)
+}
+
+/// Unpacks a lane word back into a [`StreamAttrs`]. Exact inverse of
+/// [`pack`].
+#[inline]
+pub fn unpack(w: u64) -> StreamAttrs {
+    StreamAttrs {
+        deadline: Wrap16((w >> DEADLINE_SHIFT) as u16),
+        window: WindowConstraint {
+            num: (w >> NUM_SHIFT) as u8,
+            den: (w >> DEN_SHIFT) as u8,
+        },
+        arrival: Wrap16((w >> ARRIVAL_SHIFT) as u16),
+        slot: SlotId::new_unchecked((w & SLOT_MASK) as u8),
+        static_prio: (w >> PRIO_SHIFT) as u8,
+        valid: (w >> INVALID_BIT) == 0,
+    }
+}
+
+/// `true` if the lane word carries a valid (occupied-slot) attribute word.
+#[inline]
+pub const fn lane_valid(w: u64) -> bool {
+    (w >> INVALID_BIT) == 0
+}
+
+/// The slot index carried in a lane word.
+#[inline]
+pub const fn lane_slot(w: u64) -> usize {
+    (w & SLOT_MASK) as usize
+}
+
+/// Derived `u32` window rank: smaller key ⇔ the constraint wins the DWCS
+/// window tie-break chain (Table 2 rules 2–4) earlier.
+///
+/// Layout: `floor(num·2^16/den) << 8 | tie8`, where the high half ranks
+/// by exact rational value (zero windows rank 0; the smallest nonzero
+/// value 1/255 maps to 257, so `key >> 8 == 0` ⇔ zero window) and the low
+/// 8 bits encode the in-chain tie-break — `255 − den` for zero windows
+/// (HighestDenominator: larger `den` ⇒ smaller key ⇒ wins) and `num` for
+/// nonzero ones (LowestNumerator). Two keys are equal iff rules 2–4 all
+/// tie. Exactness of the high half: distinct 8-bit rationals differ by at
+/// least 1/65025 > 1/65536, so their fixed-point floors differ; equal
+/// values (e.g. 1/2 vs 2/4) collide by design and fall to the numerator
+/// byte.
+#[inline]
+pub fn window_key(w: WindowConstraint) -> u32 {
+    if w.is_zero() {
+        255 - w.den as u32
+    } else {
+        let hi = ((w.num as u64) << 16).wrapping_mul(RECIP[w.den as usize]) >> 32;
+        ((hi as u32) << 8) | w.num as u32
+    }
+}
+
+/// Structure-of-arrays view of a fabric's attribute words: one `u64` lane
+/// word plus one derived window-rank key per slot, kept in lockstep with
+/// the scalar attribute cache by the fabric's dirty-mask refresh.
+#[derive(Debug, Clone, Default)]
+pub struct AttrPlanes {
+    words: Vec<u64>,
+    keys: Vec<u32>,
+}
+
+impl AttrPlanes {
+    /// Planes for `slots` streams, initialized from empty (invalid) words.
+    pub fn with_slots(slots: usize) -> Self {
+        let mut p = Self {
+            words: Vec::with_capacity(slots),
+            keys: Vec::with_capacity(slots),
+        };
+        for s in 0..slots {
+            let empty = StreamAttrs::empty(SlotId::new_unchecked(s as u8));
+            p.words.push(pack(&empty));
+            p.keys.push(window_key(empty.window));
+        }
+        p
+    }
+
+    /// Re-encodes slot `i` from `a` (the dirty-mask refresh hook).
+    #[inline]
+    pub fn set(&mut self, i: usize, a: &StreamAttrs) {
+        self.words[i] = pack(a);
+        self.keys[i] = window_key(a.window);
+    }
+
+    /// The packed lane words, one per slot.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The derived window-rank keys, one per slot.
+    #[inline]
+    pub fn keys(&self) -> &[u32] {
+        &self.keys
+    }
+
+    /// Number of slots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// `true` if the planes cover zero slots.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::cmp::Ordering;
+
+    fn attrs(
+        deadline: u16,
+        num: u8,
+        den: u8,
+        arrival: u16,
+        slot: u8,
+        static_prio: u8,
+        valid: bool,
+    ) -> StreamAttrs {
+        StreamAttrs {
+            deadline: Wrap16(deadline),
+            window: WindowConstraint { num, den },
+            arrival: Wrap16(arrival),
+            slot: SlotId::new(slot % 32).unwrap(),
+            static_prio,
+            valid,
+        }
+    }
+
+    #[test]
+    fn layout_fields_do_not_overlap() {
+        // Each field alone, then all together, must round-trip exactly.
+        let max = attrs(u16::MAX, u8::MAX, u8::MAX, u16::MAX, 31, u8::MAX, false);
+        assert_eq!(unpack(pack(&max)), max);
+        let zero = attrs(0, 0, 0, 0, 0, 0, true);
+        assert_eq!(unpack(pack(&zero)), zero);
+    }
+
+    #[test]
+    fn invalid_words_lose_by_construction() {
+        // The most urgent possible invalid word still compares greater
+        // (unsigned) than the least urgent valid word.
+        let invalid = attrs(0, 0, 0, 0, 0, 0, false);
+        let worst_valid = attrs(u16::MAX, u8::MAX, u8::MAX, u16::MAX, 31, u8::MAX, true);
+        assert!(pack(&invalid) > pack(&worst_valid));
+    }
+
+    #[test]
+    fn reciprocal_table_matches_division_exhaustively() {
+        // floor(num·2^16/den) via the rounded-up reciprocal must equal the
+        // true floored quotient for every 8-bit (num, den) pair.
+        for den in 1u64..=255 {
+            for num in 0u64..=255 {
+                let direct = (num << 16) / den;
+                let recip = (num << 16).wrapping_mul(RECIP[den as usize]) >> 32;
+                assert_eq!(recip, direct, "num={num} den={den}");
+            }
+        }
+    }
+
+    #[test]
+    fn window_key_high_half_separates_zero_from_nonzero() {
+        // Zero windows (either field zero) keep the high 16 bits zero; the
+        // smallest nonzero rational 1/255 lands at 257.
+        assert_eq!(window_key(WindowConstraint::new(0, 200)) >> 8, 0);
+        assert_eq!(window_key(WindowConstraint::new(5, 0)) >> 8, 0);
+        assert_eq!(window_key(WindowConstraint::new(1, 255)), (257 << 8) | 1);
+    }
+
+    #[test]
+    fn window_key_breaks_zero_ties_by_highest_denominator() {
+        // Both zero-valued: the larger denominator must get the smaller key
+        // (HighestDenominator wins the min).
+        let a = window_key(WindowConstraint::new(0, 200));
+        let b = window_key(WindowConstraint::new(0, 3));
+        assert!(a < b);
+    }
+
+    #[test]
+    fn equal_rationals_fall_to_the_numerator_byte() {
+        // 1/2 and 2/4 share the rational value; LowestNumerator decides.
+        let a = window_key(WindowConstraint::new(1, 2));
+        let b = window_key(WindowConstraint::new(2, 4));
+        assert_eq!(a >> 8, b >> 8);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn planes_start_empty_and_track_set() {
+        let mut p = AttrPlanes::with_slots(8);
+        assert_eq!(p.len(), 8);
+        assert!(!p.is_empty());
+        for (s, &w) in p.words().iter().enumerate() {
+            assert!(!lane_valid(w));
+            assert_eq!(lane_slot(w), s);
+        }
+        let a = attrs(9, 1, 4, 3, 5, 0, true);
+        p.set(5, &a);
+        assert_eq!(unpack(p.words()[5]), a);
+        assert_eq!(p.keys()[5], window_key(a.window));
+    }
+
+    proptest! {
+        /// pack/unpack is an exact bijection on the attribute domain.
+        #[test]
+        fn roundtrip(fields in any::<((u16, u8, u8), (u16, u8, u8, bool))>()) {
+            let ((d, num, den), (arr, slot, prio, valid)) = fields;
+            let a = attrs(d, num, den, arr, slot % 32, prio, valid);
+            prop_assert_eq!(unpack(pack(&a)), a);
+        }
+
+        /// The full window key orders exactly like the Table-2 window
+        /// tie-break chain: value first, then HighestDenominator for zero
+        /// windows / LowestNumerator for nonzero ones.
+        #[test]
+        fn window_key_matches_rule_chain(a in any::<(u8, u8)>(), b in any::<(u8, u8)>()) {
+            let (x, y) = (WindowConstraint::new(a.0, a.1), WindowConstraint::new(b.0, b.1));
+            let chain = x.value_cmp(y).then_with(|| {
+                if x.is_zero() {
+                    // HighestDenominator: larger den wins (orders first).
+                    y.den.cmp(&x.den)
+                } else {
+                    x.num.cmp(&y.num)
+                }
+            });
+            prop_assert_eq!(window_key(x).cmp(&window_key(y)), chain);
+        }
+
+        /// The high half of the key alone reproduces value_cmp, except on
+        /// equal-valued rationals where it deliberately collides.
+        #[test]
+        fn window_key_high_half_is_value_cmp(a in any::<(u8, u8)>(), b in any::<(u8, u8)>()) {
+            let (x, y) = (WindowConstraint::new(a.0, a.1), WindowConstraint::new(b.0, b.1));
+            let (hx, hy) = (window_key(x) >> 8, window_key(y) >> 8);
+            match x.value_cmp(y) {
+                Ordering::Less => prop_assert!(hx < hy),
+                Ordering::Greater => prop_assert!(hx > hy),
+                Ordering::Equal => prop_assert_eq!(hx, hy),
+            }
+        }
+    }
+}

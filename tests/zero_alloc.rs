@@ -140,6 +140,31 @@ fn steady_state_decision_cycles_do_not_allocate() {
         "BA decision_cycle_into allocated in steady state"
     );
 
+    // --- Batched lane pass vs pinned scalar reference ---
+    // Wide BA fabrics auto-select the packed-lane pass, so the span above
+    // already runs it; pinning both dispatches explicitly keeps coverage
+    // intact even if the auto-selection heuristic changes. The batched span
+    // proves the plane refresh, lane ping-pong, and (under `simd`) the
+    // runtime-dispatched AVX2 kernel all stay heap-free.
+    for batched in [false, true] {
+        let mut f = backlogged(SLOTS, FabricConfigKind::Base, DEPTH);
+        f.set_batched(batched);
+        for _ in 0..WARMUP {
+            f.decision_cycle_into();
+            refill(&mut f, &mut tag);
+        }
+        let before = allocations();
+        for _ in 0..MEASURED {
+            f.decision_cycle_into();
+            refill(&mut f, &mut tag);
+        }
+        assert_eq!(
+            allocations() - before,
+            0,
+            "BA decision_cycle_into (batched={batched}) allocated in steady state"
+        );
+    }
+
     // --- Batched API with a preallocated sink ---
     let mut batch = backlogged(SLOTS, FabricConfigKind::Base, DEPTH);
     let mut sink: Vec<ScheduledPacket> =
