@@ -5,7 +5,9 @@
 //! per-experiment pass/fail and duration report in the `ss-telemetry`
 //! snapshot schema (the same JSON shape the live schedulers export).
 //! Finishes with `bench_telemetry_overhead` built `--features telemetry`
-//! so the instrumentation-cost artifact regenerates with the figures.
+//! and `exp_trace_lifecycle` built `--features telemetry,faults`, so the
+//! instrumentation-cost and lifecycle-trace artifacts regenerate with the
+//! figures.
 
 use ss_bench::results_dir;
 use std::process::Command;
@@ -74,26 +76,34 @@ fn main() {
         }
     }
 
-    // The instrumentation-cost bench needs the feature-on build of every
-    // scheduler layer; its pass/fail is the artifact's own ≤5% check.
-    let (bench_ok, bench_secs) = run_bin(&["--features", "telemetry"], "bench_telemetry_overhead");
-    let labels: &[(&str, &str)] = &[("experiment", "bench_telemetry_overhead")];
-    registry
-        .gauge_labeled(
-            "ss_bench_experiment_ok",
-            labels,
-            "1 when the experiment passed its shape checks, else 0",
-        )
-        .set(bench_ok as i64);
-    registry
-        .gauge_labeled(
-            "ss_bench_experiment_duration_ms",
-            labels,
-            "Wall-clock runtime of the experiment binary",
-        )
-        .set((bench_secs * 1e3) as i64);
-    if !bench_ok {
-        failures.push("bench_telemetry_overhead");
+    // Feature-gated finishers: the instrumentation-cost bench needs the
+    // feature-on build of every scheduler layer (its pass/fail is the
+    // artifact's own overhead gates), and the lifecycle-trace generator
+    // needs the injector for its pinned-seed Perfetto + flight-dump
+    // artifacts (its pass/fail is the causal/schema assertions inside).
+    for (features, bin) in [
+        ("telemetry", "bench_telemetry_overhead"),
+        ("telemetry,faults", "exp_trace_lifecycle"),
+    ] {
+        let (ok, secs) = run_bin(&["--features", features], bin);
+        let labels: &[(&str, &str)] = &[("experiment", bin)];
+        registry
+            .gauge_labeled(
+                "ss_bench_experiment_ok",
+                labels,
+                "1 when the experiment passed its shape checks, else 0",
+            )
+            .set(ok as i64);
+        registry
+            .gauge_labeled(
+                "ss_bench_experiment_duration_ms",
+                labels,
+                "Wall-clock runtime of the experiment binary",
+            )
+            .set((secs * 1e3) as i64);
+        if !ok {
+            failures.push(bin);
+        }
     }
 
     let summary_path = results_dir().join("run_summary.json");
@@ -103,7 +113,7 @@ fn main() {
     println!("\n=== reproduction summary ===");
     println!(
         "  {} experiments, {} failed",
-        EXPERIMENTS.len() + 1,
+        EXPERIMENTS.len() + 2,
         failures.len()
     );
     for f in &failures {

@@ -438,6 +438,7 @@ impl Fabric {
         let now = self.now;
         self.registers[slot].push_arrival(arrival, now);
         self.dirty |= 1u64 << slot;
+        self.telem.on_arrival(self.decision_count, slot);
         Ok(())
     }
 
@@ -676,7 +677,7 @@ impl Fabric {
             }
         }
         self.telem
-            .on_decision(self.decision_count, &self.block_buf, expired);
+            .on_decision(self.decision_count, &self.block_buf, expired, self.batched);
     }
 
     /// Runs one decision cycle. See the module docs for the exact
@@ -747,6 +748,24 @@ impl Fabric {
     #[cfg(feature = "telemetry")]
     pub fn telemetry(&self) -> &crate::telem::FabricTelemetry {
         &self.telem
+    }
+
+    /// Wires per-packet lifecycle recording into `recorder`: every
+    /// arrival deposit and decision win gets a stage event tagged
+    /// `(origin, slot, per-slot seq)` on a fresh track named `name`, with
+    /// the batched/scalar BA arm recorded in the event detail. Orthogonal
+    /// to [`Fabric::attach_telemetry`].
+    #[cfg(feature = "telemetry")]
+    pub fn attach_spans(&mut self, recorder: &ss_telemetry::SpanRecorder, origin: u16, name: &str) {
+        self.telem
+            .attach_spans(recorder, origin, name, self.config.slots);
+    }
+
+    /// Drops the span track, flushing its events into the parent
+    /// recorder (they become visible to `SpanRecorder::drain`).
+    #[cfg(feature = "telemetry")]
+    pub fn detach_spans(&mut self) {
+        self.telem.detach_spans();
     }
 
     /// Drains telemetry's local accumulators into the registry now. The

@@ -19,9 +19,10 @@
 #[cfg(feature = "telemetry")]
 mod enabled {
     use crate::fabric::ScheduledPacket;
+    use ss_telemetry::span::detail;
     use ss_telemetry::{
-        Counter, EventRing, FsmPhase, Histogram, LocalHistogram, QosSet, Registry, TraceEvent,
-        TraceKind, WinLatencyTracker,
+        Counter, EventRing, FsmPhase, Histogram, LocalHistogram, QosSet, Registry, SpanRecorder,
+        Stage, TraceEvent, TraceKind, TraceTag, TrackRecorder, WinLatencyTracker,
     };
 
     /// Decisions between automatic drains of the local accumulators into
@@ -35,6 +36,22 @@ mod enabled {
     #[derive(Debug, Default)]
     pub struct FabricTelemetry {
         inner: Option<Attached>,
+        spans: Option<SpanState>,
+    }
+
+    /// Per-packet lifecycle recording state — independent of the
+    /// registry attachment so a bench can trace without metrics and
+    /// vice versa. Sequence numbers are per-slot: arrivals and wins are
+    /// FIFO per slot, so the n-th win of a slot serves its n-th
+    /// undropped arrival and the minted [`TraceTag`]s line up with tags
+    /// minted upstream (endsystem admission) without widening any wire
+    /// struct.
+    #[derive(Debug)]
+    struct SpanState {
+        origin: u16,
+        track: TrackRecorder,
+        arrival_seq: Vec<u32>,
+        win_seq: Vec<u32>,
     }
 
     #[derive(Debug)]
@@ -197,6 +214,38 @@ mod enabled {
             self.inner.is_some()
         }
 
+        /// Wires per-packet lifecycle recording into `recorder`: every
+        /// fabric arrival and decision win is stamped with a
+        /// [`TraceTag`] (origin = `origin`, per-slot sequence) on a
+        /// fresh track named `name`. Orthogonal to
+        /// [`FabricTelemetry::attach`] — either, both, or neither may
+        /// be live.
+        pub fn attach_spans(
+            &mut self,
+            recorder: &SpanRecorder,
+            origin: u16,
+            name: &str,
+            slots: usize,
+        ) {
+            self.spans = Some(SpanState {
+                origin,
+                track: recorder.track(name),
+                arrival_seq: vec![0; slots],
+                win_seq: vec![0; slots],
+            });
+        }
+
+        /// Drops the span track (flushing its events into the parent
+        /// recorder).
+        pub fn detach_spans(&mut self) {
+            self.spans = None;
+        }
+
+        /// `true` while a span track is live.
+        pub fn spans_attached(&self) -> bool {
+            self.spans.is_some()
+        }
+
         /// Drains the local accumulators into the registry now. Call
         /// before reading the registry while the fabric is still live;
         /// dropping the fabric (or detaching) flushes automatically.
@@ -228,11 +277,64 @@ mod enabled {
             }
         }
 
+        /// Hook: a packet arrival was deposited into `slot`'s queue.
+        /// Records a `FabricArrival` stage event when spans are live;
+        /// otherwise a cheap branch.
+        #[inline]
+        pub fn on_arrival(&mut self, cycle: u64, slot: usize) {
+            if let Some(sp) = &mut self.spans {
+                let seq = sp.arrival_seq[slot];
+                sp.arrival_seq[slot] = seq.wrapping_add(1);
+                sp.track.record(
+                    TraceTag::new(sp.origin, slot as u16, seq).0,
+                    cycle,
+                    Stage::FabricArrival,
+                    0,
+                    slot as u32,
+                );
+            }
+        }
+
         /// Hook: one decision cycle completed. `block` is the transmitted
         /// packets in transmission order; `expired` counts loser slots whose
-        /// head packet expired this cycle.
+        /// head packet expired this cycle; `batched` says which BA arm
+        /// (packed-lane vs scalar) produced the decision.
         #[inline]
-        pub fn on_decision(&mut self, cycle: u64, block: &[ScheduledPacket], expired: u32) {
+        pub fn on_decision(
+            &mut self,
+            cycle: u64,
+            block: &[ScheduledPacket],
+            expired: u32,
+            batched: bool,
+        ) {
+            if let Some(sp) = &mut self.spans {
+                let arm = if batched {
+                    detail::DECISION_BATCHED
+                } else {
+                    detail::DECISION_SCALAR
+                };
+                // One timestamp for the whole block: a BA block transaction
+                // is a single decision instant, and reading `rdtsc` per
+                // packet would dominate the win loop it is observing.
+                let tsc = sp.track.stamp();
+                for p in block {
+                    let slot = p.slot.index();
+                    let seq = sp.win_seq[slot];
+                    sp.win_seq[slot] = seq.wrapping_add(1);
+                    sp.track.record_at(
+                        tsc,
+                        TraceTag::new(sp.origin, slot as u16, seq).0,
+                        cycle,
+                        Stage::DecisionWin,
+                        arm,
+                        slot as u32,
+                    );
+                }
+                if expired > 0 {
+                    sp.track
+                        .record(TraceTag::CONTROL.0, cycle, Stage::DecisionExpire, 0, expired);
+                }
+            }
             let Some(a) = &mut self.inner else { return };
             a.d_decisions += 1;
             if a.last_phase == FsmPhase::Load {
@@ -357,9 +459,20 @@ mod disabled {
             Self
         }
 
+        /// Hook: a packet arrival was deposited (no-op).
+        #[inline(always)]
+        pub fn on_arrival(&mut self, _cycle: u64, _slot: usize) {}
+
         /// Hook: one decision cycle completed (no-op).
         #[inline(always)]
-        pub fn on_decision(&mut self, _cycle: u64, _block: &[ScheduledPacket], _expired: u32) {}
+        pub fn on_decision(
+            &mut self,
+            _cycle: u64,
+            _block: &[ScheduledPacket],
+            _expired: u32,
+            _batched: bool,
+        ) {
+        }
 
         /// Hook: one attempt consumed by a fault (no-op).
         #[inline(always)]

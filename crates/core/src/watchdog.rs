@@ -40,6 +40,10 @@ pub struct DecisionWatchdog {
     reattach_threshold: u32,
     unproductive: u32,
     healthy_streak: u32,
+    /// Times the watchdog crossed into [`WatchdogVerdict::Stuck`] (each
+    /// stall counted once, not per stuck observation).
+    #[serde(default)]
+    trips: u64,
 }
 
 impl DecisionWatchdog {
@@ -53,6 +57,7 @@ impl DecisionWatchdog {
             reattach_threshold: reattach_threshold.max(1),
             unproductive: 0,
             healthy_streak: 0,
+            trips: 0,
         }
     }
 
@@ -64,6 +69,9 @@ impl DecisionWatchdog {
             self.healthy_streak = 0;
             self.unproductive = self.unproductive.saturating_add(1);
             if self.unproductive >= self.stall_threshold {
+                if self.unproductive == self.stall_threshold {
+                    self.trips += 1;
+                }
                 WatchdogVerdict::Stuck
             } else {
                 WatchdogVerdict::Suspect
@@ -84,6 +92,12 @@ impl DecisionWatchdog {
     /// Consecutive healthy observations so far.
     pub fn healthy_streak(&self) -> u32 {
         self.healthy_streak
+    }
+
+    /// Times the watchdog has tripped (entered `Stuck`) over its lifetime.
+    /// Survives [`DecisionWatchdog::reset`] — it counts stalls, not state.
+    pub fn trips(&self) -> u64 {
+        self.trips
     }
 
     /// `true` once the healthy streak satisfies the re-attach hysteresis.
@@ -165,6 +179,21 @@ mod tests {
         assert_eq!(w.unproductive_cycles(), 0);
         assert_eq!(w.healthy_streak(), 0);
         assert!(!w.ready_to_reattach());
+    }
+
+    #[test]
+    fn trips_count_stalls_once_each_and_survive_reset() {
+        let mut w = DecisionWatchdog::new(2, 2);
+        assert_eq!(w.trips(), 0);
+        w.observe(false, true);
+        w.observe(false, true); // first trip
+        w.observe(false, true); // still stuck — same stall
+        assert_eq!(w.trips(), 1);
+        w.reset();
+        assert_eq!(w.trips(), 1, "reset clears streaks, not the trip count");
+        w.observe(false, true);
+        w.observe(false, true); // second trip
+        assert_eq!(w.trips(), 2);
     }
 
     #[test]

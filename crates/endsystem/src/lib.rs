@@ -56,7 +56,7 @@ pub use affinity::pin_current_thread;
 pub use aggregation::{StreamletMux, StreamletSetConfig};
 pub use faults::EndsystemFaults;
 #[cfg(feature = "overload")]
-pub use overload::{GateConfig, GateVerdict, OverloadGate};
+pub use overload::{GateConfig, GateReason, GateVerdict, OverloadGate};
 pub use pci::{CardLink, PciModel, TransferStrategy};
 pub use pipeline::{EndsystemConfig, EndsystemPipeline, EndsystemReport, StreamPipelineStats};
 pub use queue_manager::QueueManager;
@@ -67,7 +67,7 @@ pub use streaming::{StreamingReport, StreamingUnit};
 #[cfg(feature = "faults")]
 pub use threaded::run_threaded_faulted;
 #[cfg(feature = "telemetry")]
-pub use threaded::run_threaded_instrumented;
+pub use threaded::{run_threaded_instrumented, run_threaded_traced, TraceConfig, TracedReport};
 pub use threaded::{run_threaded, run_threaded_edf, ThreadedReport};
 #[cfg(feature = "overload")]
 pub use threaded::{run_threaded_overload, OverloadRunReport};

@@ -58,6 +58,39 @@ pub enum GateVerdict {
     Shed,
 }
 
+/// *Why* the gate reached its verdict — the decision-point detail behind
+/// the three-way [`GateVerdict`]. Carried into lifecycle trace events
+/// (the discriminants match `ss_telemetry::span::detail::GATE_*`, so
+/// [`GateReason::code`] is the wire value) and available to callers even
+/// in untraced builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum GateReason {
+    /// Token bucket and RED both passed.
+    Admitted = 0,
+    /// The per-stream token bucket refused admission.
+    AdmissionReject = 1,
+    /// RED early-drop picked this (sheddable) arrival.
+    RedEarly = 2,
+    /// RED forced-drop above the max threshold (sheddable stream, or the
+    /// mirror was at hard capacity when the veto tried to re-admit).
+    RedForced = 3,
+    /// The admitted mirror was physically full — tail drop.
+    TailDrop = 4,
+    /// RED proposed dropping a protected (zero-headroom) stream; the QoS
+    /// veto re-admitted it.
+    VetoReadmit = 5,
+}
+
+impl GateReason {
+    /// The stable trace-event detail code for this reason.
+    #[inline]
+    #[must_use]
+    pub const fn code(self) -> u8 {
+        self as u8
+    }
+}
+
 /// Gate construction parameters.
 #[derive(Debug, Clone)]
 pub struct GateConfig {
@@ -150,39 +183,52 @@ impl OverloadGate {
     /// already accounted in the [`LossLedger`] and must be discarded.
     #[inline]
     pub fn offer(&mut self, stream: usize) -> GateVerdict {
+        self.offer_traced(stream).0
+    }
+
+    /// [`OverloadGate::offer`] plus the *reason* behind the verdict, for
+    /// lifecycle tracing (the reason's [`GateReason::code`] rides in the
+    /// `GateVerdict` stage event's detail byte). Same hot-path contract.
+    #[inline]
+    pub fn offer_traced(&mut self, stream: usize) -> (GateVerdict, GateReason) {
         self.offered += 1;
         if !self.admission.try_admit(stream) {
             self.ledger.record(LossSite::Admission);
-            return GateVerdict::RejectAdmission;
+            return (GateVerdict::RejectAdmission, GateReason::AdmissionReject);
         }
         match self.red.offer(()) {
             RedVerdict::Enqueued => {
                 self.admitted += 1;
-                GateVerdict::Admit
+                (GateVerdict::Admit, GateReason::Admitted)
             }
             RedVerdict::TailDrop => {
                 // Physically full: policy cannot help, the packet is shed.
                 self.shedder.record_shed(stream);
                 self.ledger.record(LossSite::Shed);
-                GateVerdict::Shed
+                (GateVerdict::Shed, GateReason::TailDrop)
             }
-            RedVerdict::EarlyDrop | RedVerdict::ForcedDrop => {
+            verdict @ (RedVerdict::EarlyDrop | RedVerdict::ForcedDrop) => {
+                let red_reason = if matches!(verdict, RedVerdict::EarlyDrop) {
+                    GateReason::RedEarly
+                } else {
+                    GateReason::RedForced
+                };
                 if self.shedder.sheddable(stream) {
                     // The stream has loss headroom in its x/y window —
                     // obey RED's proposal.
                     self.shedder.record_shed(stream);
                     self.ledger.record(LossSite::Shed);
-                    GateVerdict::Shed
+                    (GateVerdict::Shed, red_reason)
                 } else if self.red.push_unchecked(()) {
                     // Protected stream: veto the proposal and re-admit.
                     self.vetoes += 1;
                     self.admitted += 1;
-                    GateVerdict::Admit
+                    (GateVerdict::Admit, GateReason::VetoReadmit)
                 } else {
                     // Veto impossible — the mirror is at hard capacity.
                     self.shedder.record_shed(stream);
                     self.ledger.record(LossSite::Shed);
-                    GateVerdict::Shed
+                    (GateVerdict::Shed, GateReason::RedForced)
                 }
             }
         }
@@ -447,6 +493,36 @@ mod tests {
         assert_eq!(g.ledger().admission, verdicts[1]);
         assert_eq!(g.ledger().shed, verdicts[2]);
         assert!(g.conserves(0, g.admitted()), "nothing transmitted yet");
+    }
+
+    #[test]
+    fn traced_reasons_refine_the_verdicts() {
+        let mut g = gate();
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..500 {
+            let (verdict, reason) = g.offer_traced(i % 3);
+            // Every reason is consistent with its verdict.
+            match verdict {
+                GateVerdict::Admit => assert!(matches!(
+                    reason,
+                    GateReason::Admitted | GateReason::VetoReadmit
+                )),
+                GateVerdict::RejectAdmission => {
+                    assert_eq!(reason, GateReason::AdmissionReject);
+                }
+                GateVerdict::Shed => assert!(matches!(
+                    reason,
+                    GateReason::RedEarly | GateReason::RedForced | GateReason::TailDrop
+                )),
+            }
+            seen.insert(reason.code());
+            g.tick(g.red.len(), 32);
+        }
+        assert!(
+            seen.contains(&GateReason::Admitted.code())
+                && seen.contains(&GateReason::AdmissionReject.code()),
+            "drive loop exercised multiple decision points: {seen:?}"
+        );
     }
 
     #[test]

@@ -164,6 +164,50 @@ impl CardLink {
         self.faults
             .transfer_ns(self.model.ids_from_card_ns(n, strategy))
     }
+
+    /// Like [`CardLink::arrivals_to_card`], but leaves a `PciTransfer`
+    /// control event on `track` (detail = direction, arg = modeled ns) so
+    /// host↔card hops show up on the lifecycle timeline between ring
+    /// dequeue and fabric arrival.
+    #[cfg(feature = "telemetry")]
+    pub fn arrivals_to_card_traced(
+        &self,
+        n: u64,
+        strategy: TransferStrategy,
+        cycle: u64,
+        track: &mut ss_telemetry::TrackRecorder,
+    ) -> Result<Nanos> {
+        let cost = self.arrivals_to_card(n, strategy)?;
+        track.record(
+            ss_telemetry::TraceTag::CONTROL.0,
+            cycle,
+            ss_telemetry::Stage::PciTransfer,
+            ss_telemetry::span::detail::PCI_TO_CARD,
+            cost.min(u32::MAX as u64) as u32,
+        );
+        Ok(cost)
+    }
+
+    /// Like [`CardLink::ids_from_card`], traced (see
+    /// [`CardLink::arrivals_to_card_traced`]).
+    #[cfg(feature = "telemetry")]
+    pub fn ids_from_card_traced(
+        &self,
+        n: u64,
+        strategy: TransferStrategy,
+        cycle: u64,
+        track: &mut ss_telemetry::TrackRecorder,
+    ) -> Result<Nanos> {
+        let cost = self.ids_from_card(n, strategy)?;
+        track.record(
+            ss_telemetry::TraceTag::CONTROL.0,
+            cycle,
+            ss_telemetry::Stage::PciTransfer,
+            ss_telemetry::span::detail::PCI_FROM_CARD,
+            cost.min(u32::MAX as u64) as u32,
+        );
+        Ok(cost)
+    }
 }
 
 #[cfg(test)]
@@ -250,6 +294,33 @@ mod tests {
             link.arrivals_to_card(0, TransferStrategy::PioPush).unwrap(),
             0
         );
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn traced_transfers_leave_control_events_with_costs() {
+        use ss_telemetry::span::detail;
+        use ss_telemetry::{SpanRecorder, Stage};
+        let link = CardLink::new(M);
+        let spans = SpanRecorder::new(64);
+        let mut track = spans.track("pci");
+        let to = link
+            .arrivals_to_card_traced(8, TransferStrategy::PioPush, 1, &mut track)
+            .unwrap();
+        let from = link
+            .ids_from_card_traced(8, TransferStrategy::DmaPull, 1, &mut track)
+            .unwrap();
+        drop(track);
+        let tracks = spans.drain();
+        assert_eq!(tracks.len(), 1);
+        let events = &tracks[0].events;
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().all(|e| e.stage == Stage::PciTransfer));
+        assert!(events.iter().all(|e| e.trace_tag().is_control()));
+        assert_eq!(events[0].detail, detail::PCI_TO_CARD);
+        assert_eq!(events[0].arg as u64, to);
+        assert_eq!(events[1].detail, detail::PCI_FROM_CARD);
+        assert_eq!(events[1].arg as u64, from);
     }
 
     #[cfg(feature = "faults")]

@@ -380,6 +380,424 @@ pub fn run_threaded_overload(
     })
 }
 
+/// Tracing knobs for [`run_threaded_traced`].
+#[cfg(feature = "telemetry")]
+#[derive(Clone)]
+pub struct TraceConfig {
+    /// Capacity (events) of each per-thread span track.
+    pub span_capacity: usize,
+    /// Capacity (events) of the always-on flight recorder.
+    pub flight_capacity: usize,
+    /// Overload gate in front of the fabric (runs on the scheduler
+    /// thread), if any.
+    #[cfg(feature = "overload")]
+    pub gate: Option<crate::overload::GateConfig>,
+    /// Fault injector wired into the fabric and the producer's ring
+    /// seam, if any — the chaos half of a traced chaos soak.
+    #[cfg(feature = "faults")]
+    pub faults: Option<(
+        std::sync::Arc<ss_faults::FaultInjector>,
+        ss_faults::RetryPolicy,
+    )>,
+}
+
+#[cfg(feature = "telemetry")]
+impl TraceConfig {
+    /// Tracing with the given capacities and no gate or faults.
+    pub fn new(span_capacity: usize, flight_capacity: usize) -> Self {
+        Self {
+            span_capacity,
+            flight_capacity,
+            #[cfg(feature = "overload")]
+            gate: None,
+            #[cfg(feature = "faults")]
+            faults: None,
+        }
+    }
+}
+
+/// Results of a traced threaded run: the plain report plus the lifecycle
+/// artifacts (span tracks, flight dump).
+#[cfg(feature = "telemetry")]
+#[derive(Debug)]
+pub struct TracedReport {
+    /// The underlying pipeline report.
+    pub report: ThreadedReport,
+    /// Drained span tracks (producer, scheduler, transmitter), ready for
+    /// [`ss_telemetry::stitch`] / [`ss_telemetry::perfetto_json`].
+    pub tracks: Vec<ss_telemetry::TrackDump>,
+    /// The automatic flight-recorder dump taken when the scheduler's
+    /// watchdog tripped; `None` in a healthy run.
+    pub flight_dump: Option<ss_telemetry::FlightDump>,
+    /// Watchdog trips observed by the scheduler thread.
+    pub watchdog_trips: u64,
+    /// Timestamp scale for the events' `tsc` fields.
+    pub ticks_per_us: f64,
+}
+
+/// An arrival on the traced producer → scheduler ring: the plain message
+/// plus the full 8-byte trace tag (the untraced rings stay unwidened —
+/// this runner has its own ring type).
+#[cfg(feature = "telemetry")]
+#[derive(Debug, Clone, Copy)]
+struct TracedArrival {
+    slot: usize,
+    tag16: Wrap16,
+    trace: u64,
+}
+
+/// Like [`run_threaded`], but with per-packet lifecycle tracing on: the
+/// producer mints an 8-byte trace tag per arrival and each thread records
+/// its stage crossings (admission, SPSC enqueue/dequeue, gate verdict,
+/// fabric arrival, decision win, service, shed) into a per-thread span
+/// track, while a shared flight recorder keeps the most recent events and
+/// dumps automatically when the scheduler's watchdog trips. With the
+/// `overload`/`faults` features the [`TraceConfig`] can also engage the
+/// gate and a fault injector, so a chaos soak leaves a causally-ordered
+/// post-mortem artifact instead of just pass/fail.
+#[cfg(feature = "telemetry")]
+pub fn run_threaded_traced(
+    config: FabricConfig,
+    states: Vec<StreamState>,
+    arrivals_per_slot: u64,
+    trace: TraceConfig,
+) -> Result<TracedReport> {
+    use ss_telemetry::span::detail;
+    use ss_telemetry::{clock, DumpReason, SharedFlightRecorder, SpanRecorder, Stage, StageEvent, TraceTag};
+    use std::collections::VecDeque;
+
+    assert_eq!(states.len(), config.slots, "one StreamState per slot");
+    let slots = config.slots;
+    let mut fabric = Fabric::new(config)?;
+    for (i, st) in states.into_iter().enumerate() {
+        let period = st.request_period;
+        fabric.load_stream(i, st, period)?;
+    }
+
+    #[cfg_attr(not(feature = "faults"), allow(unused_mut))]
+    let mut es_faults = EndsystemFaults::new();
+    #[cfg(feature = "faults")]
+    if let Some((inj, pol)) = &trace.faults {
+        es_faults.attach(inj.clone(), *pol);
+        fabric.attach_faults(inj.clone());
+    }
+    #[cfg(feature = "overload")]
+    let mut gate = trace.gate.clone().map(crate::overload::OverloadGate::new);
+
+    let spans = SpanRecorder::new(trace.span_capacity);
+    let flight = SharedFlightRecorder::new(trace.flight_capacity);
+
+    let (mut arr_tx, mut arr_rx) = spsc_ring::<TracedArrival>(4096);
+    let (mut id_tx, mut id_rx) = spsc_ring::<(u8, u64)>(4096);
+
+    let start = Instant::now();
+
+    let prod_spans = spans.clone();
+    let prod_faults = es_faults;
+    let producer = std::thread::spawn(move || {
+        let mut track = prod_spans.track("producer");
+        let mut loss = LossLedger::new();
+        for q in 0..arrivals_per_slot {
+            for slot in 0..slots {
+                let tag = TraceTag::new(0, slot as u16, q as u32).0;
+                track.record(tag, 0, Stage::Admitted, 0, slot as u32);
+                let mut msg = TracedArrival {
+                    slot,
+                    tag16: Wrap16::from_wide(q),
+                    trace: tag,
+                };
+                let mut fresh_episode = true;
+                let mut pushed = true;
+                loop {
+                    match arr_tx.push(msg) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            if fresh_episode && prod_faults.ring_overflows() {
+                                // Injected overflow burst: drop, account,
+                                // and leave a terminal Shed on the trace.
+                                loss.record(LossSite::Ring);
+                                track.record(tag, 0, Stage::Shed, detail::SHED_RING, slot as u32);
+                                pushed = false;
+                                break;
+                            }
+                            fresh_episode = false;
+                            msg = back;
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+                if pushed {
+                    track.record(tag, 0, Stage::RingEnqueue, 0, slot as u32);
+                }
+            }
+        }
+        loss
+    });
+
+    let sched_spans = spans.clone();
+    let sched_flight = flight.clone();
+    let scheduler = std::thread::spawn(move || {
+        let mut track = sched_spans.track("scheduler");
+        let sched_track = track.id();
+        let mut pending = 0u64;
+        let mut loss = LossLedger::new();
+        let mut watchdog = DecisionWatchdog::new(SCHEDULER_STALL_THRESHOLD, 1);
+        let mut arr_batch: Vec<(usize, Wrap16)> = Vec::with_capacity(4096);
+        let mut batch_tags: Vec<u64> = Vec::with_capacity(4096);
+        let mut win_buf = Vec::with_capacity(4096);
+        // Admitted-but-unserved trace tags, FIFO per slot: the fabric
+        // serves each slot's queue in arrival order, so the front of a
+        // slot's queue is exactly the packet its next win (or expiry)
+        // consumes — this is how wins map back to tags without widening
+        // the fabric's wire types.
+        let mut admitted_tags: Vec<VecDeque<u64>> = vec![VecDeque::new(); slots];
+        // Per-slot fabric drop counters at the last sweep; a delta means
+        // `DropLate` expiries consumed head packets.
+        let mut seen_dropped: Vec<u64> = vec![0; slots];
+        let ring_capacity = 4096usize;
+        loop {
+            arr_batch.clear();
+            batch_tags.clear();
+            while arr_batch.len() < arr_batch.capacity() {
+                match arr_rx.pop() {
+                    Some(msg) if msg.slot < slots => {
+                        track.record(msg.trace, 0, Stage::RingDequeue, 0, msg.slot as u32);
+                        #[cfg(feature = "overload")]
+                        if let Some(g) = &mut gate {
+                            let (verdict, reason) = g.offer_traced(msg.slot);
+                            track.record(
+                                msg.trace,
+                                0,
+                                Stage::GateVerdict,
+                                reason.code(),
+                                msg.slot as u32,
+                            );
+                            match verdict {
+                                crate::overload::GateVerdict::Admit => {}
+                                crate::overload::GateVerdict::RejectAdmission
+                                | crate::overload::GateVerdict::Shed => {
+                                    // Refusals are in the gate's ledger.
+                                    track.record(
+                                        msg.trace,
+                                        0,
+                                        Stage::Shed,
+                                        reason.code(),
+                                        msg.slot as u32,
+                                    );
+                                    sched_flight.record(StageEvent {
+                                        tag: msg.trace,
+                                        tsc: clock::now_tsc(),
+                                        cycle: fabric.decision_count(),
+                                        track: sched_track,
+                                        stage: Stage::Shed,
+                                        detail: reason.code(),
+                                        arg: msg.slot as u32,
+                                    });
+                                    continue;
+                                }
+                            }
+                        }
+                        arr_batch.push((msg.slot, msg.tag16));
+                        batch_tags.push(msg.trace);
+                    }
+                    Some(msg) => {
+                        loss.record(LossSite::Ring);
+                        track.record(msg.trace, 0, Stage::Shed, detail::SHED_RING, 0);
+                    }
+                    None => break,
+                }
+            }
+            match fabric.push_arrivals(&arr_batch) {
+                Ok(()) => {
+                    pending += arr_batch.len() as u64;
+                    let cycle = fabric.decision_count();
+                    for (&(slot, _), &tag) in arr_batch.iter().zip(&batch_tags) {
+                        track.record(tag, cycle, Stage::FabricArrival, 0, slot as u32);
+                        admitted_tags[slot].push_back(tag);
+                    }
+                }
+                // Unreachable after validation; counted rather than panicked.
+                Err(_) => loss.record_n(LossSite::Ring, arr_batch.len() as u64),
+            }
+            #[cfg(feature = "overload")]
+            if let Some(g) = &mut gate {
+                let occupied = arr_rx.len() + pending.min(ring_capacity as u64) as usize;
+                g.tick(occupied, 2 * ring_capacity);
+            }
+            #[cfg(not(feature = "overload"))]
+            let _ = ring_capacity;
+            if pending == 0 {
+                if arr_rx.is_disconnected() && arr_rx.is_empty() {
+                    break;
+                }
+                std::hint::spin_loop();
+                continue;
+            }
+            let packets = fabric.decision_cycle_into();
+            let produced = packets.len() as u64;
+            pending -= produced;
+            win_buf.clear();
+            win_buf.extend(packets.iter().map(|p| p.slot));
+            let cycle = fabric.decision_count();
+            let arm = if fabric.is_batched() {
+                detail::DECISION_BATCHED
+            } else {
+                detail::DECISION_SCALAR
+            };
+            for p in &win_buf {
+                let slot = p.index();
+                let tag = admitted_tags[slot]
+                    .pop_front()
+                    .unwrap_or(ss_telemetry::TraceTag::CONTROL.0);
+                track.record(tag, cycle, Stage::DecisionWin, arm, slot as u32);
+                sched_flight.record(StageEvent {
+                    tag,
+                    tsc: clock::now_tsc(),
+                    cycle,
+                    track: sched_track,
+                    stage: Stage::DecisionWin,
+                    detail: arm,
+                    arg: slot as u32,
+                });
+                #[cfg(feature = "overload")]
+                if let Some(g) = &mut gate {
+                    g.served(slot);
+                }
+                let mut id = (p.raw(), tag);
+                loop {
+                    match id_tx.push(id) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            id = back;
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            }
+            // `DropLate` expiries consume head packets without a win:
+            // surface them as terminal Shed events so the tag queues stay
+            // aligned with the fabric's per-slot FIFOs.
+            for slot in 0..slots {
+                let dropped = fabric
+                    .slot_counters(slot)
+                    .map(|c| c.dropped)
+                    .unwrap_or(seen_dropped[slot]);
+                while seen_dropped[slot] < dropped {
+                    seen_dropped[slot] += 1;
+                    pending = pending.saturating_sub(1);
+                    if let Some(tag) = admitted_tags[slot].pop_front() {
+                        track.record(tag, cycle, Stage::Shed, detail::SHED_EXPIRED, slot as u32);
+                    }
+                }
+            }
+            if watchdog.observe(produced > 0, pending > 0) == WatchdogVerdict::Stuck {
+                // Stuck path: leave the trip on both recording surfaces,
+                // write the backlog off (counted), and take the automatic
+                // flight dump — the post-mortem artifact.
+                track.record(
+                    ss_telemetry::TraceTag::CONTROL.0,
+                    cycle,
+                    Stage::WatchdogTrip,
+                    0,
+                    watchdog.trips() as u32,
+                );
+                sched_flight.record_control(
+                    cycle,
+                    sched_track,
+                    Stage::WatchdogTrip,
+                    0,
+                    watchdog.trips() as u32,
+                );
+                loss.record_n(LossSite::Shard, pending);
+                for (slot, tags) in admitted_tags.iter_mut().enumerate() {
+                    while let Some(tag) = tags.pop_front() {
+                        track.record(tag, cycle, Stage::Shed, detail::SHED_SHARD, slot as u32);
+                    }
+                }
+                loop {
+                    match arr_rx.pop() {
+                        Some(msg) => {
+                            loss.record(LossSite::Shard);
+                            track.record(
+                                msg.trace,
+                                cycle,
+                                Stage::Shed,
+                                detail::SHED_SHARD,
+                                msg.slot as u32,
+                            );
+                        }
+                        None => {
+                            if arr_rx.is_disconnected() {
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+                sched_flight.auto_dump(DumpReason::WatchdogTrip, cycle);
+                break;
+            }
+        }
+        #[cfg(feature = "overload")]
+        if let Some(g) = &gate {
+            loss.merge(g.ledger());
+        }
+        (arr_rx.stats(), loss, watchdog.trips())
+    });
+
+    // Transmitter runs on the calling thread, recording Service events.
+    let mut tx_track = spans.track("transmitter");
+    let mut per_slot = vec![0u64; slots];
+    let expected = arrivals_per_slot * slots as u64;
+    let mut got = 0u64;
+    while got < expected {
+        match id_rx.pop() {
+            Some((id, tag)) => {
+                per_slot[id as usize] += 1;
+                got += 1;
+                tx_track.record(tag, 0, Stage::Service, 0, id as u32);
+            }
+            None => {
+                if id_rx.is_disconnected() && id_rx.is_empty() {
+                    break;
+                }
+                std::hint::spin_loop();
+            }
+        }
+    }
+    drop(tx_track);
+
+    let prod_loss = producer.join().map_err(|_| Error::DegradedMode {
+        reason: "endsystem producer thread panicked".into(),
+    })?;
+    let (arr_ring, sched_loss, watchdog_trips) =
+        scheduler.join().map_err(|_| Error::DegradedMode {
+            reason: "endsystem scheduler thread panicked".into(),
+        })?;
+    let id_ring = id_rx.stats();
+
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let total: u64 = per_slot.iter().sum();
+    let mut loss = prod_loss;
+    loss.merge(&sched_loss);
+    Ok(TracedReport {
+        report: ThreadedReport {
+            per_slot,
+            total,
+            wall_seconds,
+            pps: total as f64 / wall_seconds,
+            arr_ring,
+            id_ring,
+            lost: loss.total(),
+            loss,
+        },
+        tracks: spans.drain(),
+        flight_dump: flight.take_last_dump(),
+        watchdog_trips,
+        ticks_per_us: clock::ticks_per_us(),
+    })
+}
+
 /// How many consecutive unproductive-with-backlog decision cycles the
 /// scheduler thread tolerates before declaring the fabric stuck. Must
 /// comfortably exceed any transient injected wedge
@@ -873,5 +1291,140 @@ mod tests {
     fn two_slot_minimal_run() {
         let report = run_threaded_edf(2, FabricConfigKind::WinnerOnly, 100).unwrap();
         assert_eq!(report.total, 200);
+    }
+
+    #[cfg(feature = "telemetry")]
+    fn edf_states(slots: usize) -> Vec<StreamState> {
+        (0..slots)
+            .map(|_| StreamState {
+                request_period: slots as u64,
+                original_window: ss_types::WindowConstraint::ZERO,
+                static_prio: 0,
+                late_policy: LatePolicy::ServeLate,
+            })
+            .collect()
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn traced_run_covers_full_lifecycle() {
+        use ss_telemetry::span::detail;
+        use ss_telemetry::{stitch, validate_causal, validate_perfetto_schema, Stage};
+        let config = FabricConfig::edf(4, FabricConfigKind::WinnerOnly);
+        let run = run_threaded_traced(config, edf_states(4), 500, TraceConfig::new(1 << 15, 256))
+            .unwrap();
+        assert_eq!(run.report.total, 2_000);
+        assert_eq!(run.report.lost, 0);
+        assert_eq!(run.watchdog_trips, 0);
+        assert!(run.flight_dump.is_none(), "healthy run: no automatic dump");
+        assert_eq!(run.tracks.len(), 3, "producer, scheduler, transmitter");
+        for t in &run.tracks {
+            assert_eq!(t.dropped, 0, "track {} overflowed", t.name);
+        }
+        let events = stitch(&run.tracks);
+        // Every arrival crosses every stage exactly once: admission and
+        // enqueue on the producer, dequeue/deposit/win on the scheduler,
+        // service on the transmitter.
+        for (stage, want) in [
+            (Stage::Admitted, 2_000),
+            (Stage::RingEnqueue, 2_000),
+            (Stage::RingDequeue, 2_000),
+            (Stage::FabricArrival, 2_000),
+            (Stage::DecisionWin, 2_000),
+            (Stage::Service, 2_000),
+        ] {
+            let got = events.iter().filter(|e| e.stage == stage).count();
+            assert_eq!(got, want, "stage {}", stage.name());
+        }
+        assert!(events
+            .iter()
+            .filter(|e| e.stage == Stage::DecisionWin)
+            .all(|e| e.detail == detail::DECISION_SCALAR));
+        validate_causal(&events).expect("lifecycle order holds per tag");
+        let json = ss_telemetry::perfetto_json(&run.tracks, run.ticks_per_us);
+        validate_perfetto_schema(&json).expect("trace-event schema");
+        assert!(run.ticks_per_us > 0.0);
+    }
+
+    #[cfg(all(feature = "telemetry", feature = "faults"))]
+    #[test]
+    fn traced_stuck_run_auto_dumps_flight() {
+        use ss_faults::{FaultConfig, FaultInjector, RetryPolicy};
+        use ss_telemetry::{stitch, validate_causal, DumpReason, Stage};
+        use std::sync::Arc;
+        let config = FabricConfig::edf(4, FabricConfigKind::WinnerOnly);
+        let inj = Arc::new(FaultInjector::new(
+            13,
+            FaultConfig {
+                decision_rate_ppm: 1_000_000,
+                ..FaultConfig::quiet()
+            },
+        ));
+        let mut trace = TraceConfig::new(1 << 15, 512);
+        trace.faults = Some((inj, RetryPolicy::default()));
+        let run = run_threaded_traced(config, edf_states(4), 500, trace).unwrap();
+        assert!(run.watchdog_trips >= 1, "chained wedge trips the watchdog");
+        assert_eq!(run.report.total + run.report.lost, 2_000, "conserved");
+        let dump = run.flight_dump.expect("watchdog trip dumps the recorder");
+        assert_eq!(dump.reason, DumpReason::WatchdogTrip);
+        assert!(!dump.events.is_empty(), "dump holds recent events");
+        let round = ss_telemetry::FlightDump::from_json(&dump.to_json()).unwrap();
+        assert_eq!(round.reason, dump.reason);
+        assert_eq!(round.events.len(), dump.events.len());
+        let events = stitch(&run.tracks);
+        assert!(events.iter().any(|e| e.stage == Stage::WatchdogTrip));
+        // Written-off packets get a terminal Shed, and the order still holds.
+        assert!(events.iter().any(|e| e.stage == Stage::Shed));
+        validate_causal(&events).expect("causal even through the trip");
+    }
+
+    #[cfg(all(feature = "telemetry", feature = "overload"))]
+    #[test]
+    fn traced_gate_records_verdicts_and_shed_reasons() {
+        use crate::overload::GateConfig;
+        use crate::red::RedConfig;
+        use ss_overload::StreamClass;
+        use ss_telemetry::span::detail;
+        use ss_telemetry::{stitch, validate_causal, Stage};
+        let config = FabricConfig::edf(4, FabricConfigKind::WinnerOnly);
+        let mut gate = GateConfig::from_windows(
+            &[ss_types::WindowConstraint { num: 3, den: 4 }; 4],
+            1_000_000,
+            4_000_000,
+            RedConfig::classic(1 << 20),
+            5,
+        );
+        // Starved buckets: most arrivals are refused at admission, so the
+        // trace must carry both admit and refuse verdicts with reasons.
+        gate.classes = (0..4)
+            .map(|_| StreamClass {
+                rate_mtok: 10,
+                burst_mtok: 2_000,
+                protection: 0,
+            })
+            .collect();
+        let mut trace = TraceConfig::new(1 << 16, 256);
+        trace.gate = Some(gate);
+        let run = run_threaded_traced(config, edf_states(4), 2_000, trace).unwrap();
+        assert_eq!(run.report.total + run.report.lost, 8_000, "conserved");
+        assert!(run.report.loss.admission > 0, "starved buckets refuse");
+        let events = stitch(&run.tracks);
+        let verdicts: Vec<_> = events
+            .iter()
+            .filter(|e| e.stage == Stage::GateVerdict)
+            .collect();
+        assert_eq!(verdicts.len(), 8_000, "one verdict per dequeued arrival");
+        assert!(verdicts.iter().any(|e| e.detail == detail::GATE_ADMITTED));
+        assert!(verdicts
+            .iter()
+            .any(|e| e.detail == detail::GATE_ADMISSION_REJECT));
+        let refused = events
+            .iter()
+            .filter(|e| {
+                e.stage == Stage::Shed && e.detail == detail::GATE_ADMISSION_REJECT
+            })
+            .count() as u64;
+        assert_eq!(refused, run.report.loss.admission, "shed trail matches ledger");
+        validate_causal(&events).expect("gate verdicts rank after dequeue");
     }
 }

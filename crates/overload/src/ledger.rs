@@ -122,7 +122,11 @@ impl LossLedger {
     }
 
     /// Publishes the per-site counters into `registry` as
-    /// `ss_overload_lost{site=…}` gauges.
+    /// `ss_overload_lost{site=…}` gauges (this ledger's snapshot) and folds
+    /// them into the cumulative `ss_loss_total{site=…}` counters plus the
+    /// unlabeled `ss_loss_packets_total` sum. Call once per finished run:
+    /// the gauges show the latest run, the counters accumulate across runs
+    /// sharing the registry.
     #[cfg(feature = "telemetry")]
     pub fn publish(&self, registry: &ss_telemetry::Registry) {
         for site in LossSite::ALL {
@@ -133,7 +137,20 @@ impl LossLedger {
                     "Packets lost, classified by the unique site that consumed them",
                 )
                 .set(self.at(site) as i64);
+            registry
+                .counter_labeled(
+                    "ss_loss_total",
+                    &[("site", site.name())],
+                    "Cumulative packets lost per consuming site",
+                )
+                .add(self.at(site));
         }
+        registry
+            .counter(
+                "ss_loss_packets_total",
+                "Cumulative packets lost across all sites",
+            )
+            .add(self.total());
     }
 }
 
@@ -182,6 +199,43 @@ mod tests {
         assert_eq!(a.ring, 3);
         assert_eq!(a.shed, 1);
         assert_eq!(a.total(), 4);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn publish_exports_gauges_and_cumulative_counters() {
+        let registry = ss_telemetry::Registry::new();
+        let mut l = LossLedger::new();
+        l.record_n(LossSite::Ring, 3);
+        l.record(LossSite::Shed);
+        l.publish(&registry);
+        // A second run's ledger accumulates into the counters while the
+        // gauges track the latest snapshot.
+        let mut l2 = LossLedger::new();
+        l2.record_n(LossSite::Ring, 2);
+        l2.publish(&registry);
+        let snap = registry.snapshot();
+        let value = |name: &str, site: Option<&str>| {
+            snap.metrics
+                .iter()
+                .find(|m| {
+                    m.name == name
+                        && site.is_none_or(|s| m.labels.iter().any(|(_, v)| v == s))
+                })
+                .map(|m| match &m.value {
+                    ss_telemetry::MetricValue::Counter(c) => *c,
+                    ss_telemetry::MetricValue::Gauge(g) => *g as u64,
+                    other => panic!("unexpected {other:?}"),
+                })
+                .expect("metric present")
+        };
+        assert_eq!(value("ss_loss_total", Some("ring")), 5, "3 + 2 accumulated");
+        assert_eq!(value("ss_loss_total", Some("shed")), 1);
+        assert_eq!(value("ss_loss_packets_total", None), 6);
+        assert_eq!(value("ss_overload_lost", Some("ring")), 2, "latest run");
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("ss_loss_total{site=\"ring\"}"));
+        assert!(prom.contains("ss_loss_packets_total"));
     }
 
     #[test]

@@ -143,6 +143,22 @@ pub struct ShardedScheduler {
     injector: Option<std::sync::Arc<ss_faults::FaultInjector>>,
     #[cfg(feature = "telemetry")]
     telem: Option<ShardedTelemetry>,
+    #[cfg(feature = "telemetry")]
+    spans: Option<MergeSpans>,
+    /// Flight recorder for breaker-open auto-dumps
+    /// ([`ShardedScheduler::attach_flight_recorder`]).
+    #[cfg(all(feature = "telemetry", feature = "overload"))]
+    flight: Option<ss_telemetry::SharedFlightRecorder>,
+}
+
+/// Lifecycle-span state for the inline merge (`telemetry` feature): the
+/// frontend's own track plus per-global-slot win sequence counters, so
+/// each `MergeWin` event carries a reconstructible trace tag
+/// (origin = winning shard, slot = global slot, seq = per-slot win count).
+#[cfg(feature = "telemetry")]
+struct MergeSpans {
+    track: ss_telemetry::TrackRecorder,
+    win_seq: Vec<u32>,
 }
 
 impl ShardedScheduler {
@@ -205,6 +221,10 @@ impl ShardedScheduler {
             injector: None,
             #[cfg(feature = "telemetry")]
             telem: None,
+            #[cfg(feature = "telemetry")]
+            spans: None,
+            #[cfg(all(feature = "telemetry", feature = "overload"))]
+            flight: None,
         })
     }
 
@@ -228,6 +248,36 @@ impl ShardedScheduler {
     #[cfg(feature = "telemetry")]
     pub fn shard_fairness(&self) -> Option<f64> {
         self.telem.as_ref().map(ShardedTelemetry::fairness)
+    }
+
+    /// Attaches lifecycle-span recording to the inline merge: every global
+    /// decision leaves a `MergeWin` event on a `"merge"` track whose tag
+    /// names the winning shard (origin), the global slot and the slot's win
+    /// sequence, and whose detail byte is the Table 2 rule that decided the
+    /// merge ([`ss_telemetry::span::detail::MERGE_ONLY_CANDIDATE`] when
+    /// only one shard competed). Inline-mode state: spans do not follow the
+    /// fabrics into [`ShardedScheduler::into_threaded`].
+    #[cfg(feature = "telemetry")]
+    pub fn attach_spans(&mut self, recorder: &ss_telemetry::SpanRecorder) {
+        self.spans = Some(MergeSpans {
+            track: recorder.track("merge"),
+            win_seq: vec![0; self.total_slots],
+        });
+    }
+
+    /// Drops the merge track (flushing it into its recorder's drain set).
+    #[cfg(feature = "telemetry")]
+    pub fn detach_spans(&mut self) {
+        self.spans = None;
+    }
+
+    /// Wires a shared flight recorder to the breaker sweep: a breaker's
+    /// Closed/HalfOpen → Open transition records a `BreakerOpen` control
+    /// event and takes an automatic dump
+    /// ([`ss_telemetry::DumpReason::BreakerOpen`]).
+    #[cfg(all(feature = "telemetry", feature = "overload"))]
+    pub fn attach_flight_recorder(&mut self, flight: &ss_telemetry::SharedFlightRecorder) {
+        self.flight = Some(flight.clone());
     }
 
     /// Per-stream QoS accounting across all shards, with slot IDs remapped
@@ -412,7 +462,34 @@ impl ShardedScheduler {
             }
             let backlog = self.shard_backlog(k);
             let made_progress = backlog == 0 || self.shards[k].peek_winner().valid;
+            #[cfg(feature = "telemetry")]
+            let before = self.breakers[k].state();
             self.breakers[k].observe(made_progress, backlog);
+            #[cfg(feature = "telemetry")]
+            if before != BreakerState::Open && self.breakers[k].state() == BreakerState::Open {
+                // A shard just went into shed mode: leave the transition on
+                // the merge track and snapshot the recent past.
+                if let Some(sp) = &mut self.spans {
+                    sp.track.record(
+                        ss_telemetry::TraceTag::CONTROL.0,
+                        self.decision_count,
+                        ss_telemetry::Stage::BreakerOpen,
+                        k as u8,
+                        backlog as u32,
+                    );
+                }
+                if let Some(fl) = &self.flight {
+                    let track = self.spans.as_ref().map_or(0, |sp| sp.track.id());
+                    fl.record_control(
+                        self.decision_count,
+                        track,
+                        ss_telemetry::Stage::BreakerOpen,
+                        k as u8,
+                        backlog as u32,
+                    );
+                    fl.auto_dump(ss_telemetry::DumpReason::BreakerOpen, self.decision_count);
+                }
+            }
         }
     }
 
@@ -617,13 +694,20 @@ impl ShardedScheduler {
         }
     }
 
-    /// The winner-merge: picks the shard whose proposal wins the Table 2
-    /// comparison, with slot ties resolved by *global* slot ID (shard-local
-    /// IDs collide across shards; the contiguous partition makes
-    /// lower-shard-first equal to lower-global-ID-first, matching the
-    /// single-fabric tie-break). Returns `None` when every shard is idle.
-    fn merge_pick(&self) -> Option<usize> {
+    /// The winner-merge, with provenance: picks the shard whose proposal
+    /// wins the Table 2 comparison, with slot ties resolved by *global*
+    /// slot ID (shard-local IDs collide across shards; the contiguous
+    /// partition makes lower-shard-first equal to lower-global-ID-first,
+    /// matching the single-fabric tie-break). Returns `None` when every
+    /// shard is idle. The second element is *why*: the Table 2 rule that
+    /// decided the *last* comparison the
+    /// winner took part in — `None` when it was the only competing shard
+    /// (every other shard failed or stalled), so there was no comparison
+    /// to decide. A [`DecisionRule::SlotId`] reason means the winner held
+    /// a full tie on the global-slot-ID convention.
+    pub fn merge_pick_with_reason(&self) -> Option<(usize, Option<DecisionRule>)> {
         let mut best: Option<(usize, StreamAttrs)> = None;
+        let mut reason: Option<DecisionRule> = None;
         for (k, fabric) in self.shards.iter().enumerate() {
             // Failed shards are out of the merge for good; stalled shards
             // sit out their injected window but keep expiring.
@@ -639,13 +723,14 @@ impl ShardedScheduler {
                     // the lower global IDs, so the incumbent keeps the
                     // slot tie.
                     let (ord, rule) = order(&w, b, self.mode);
+                    reason = Some(rule);
                     if rule != DecisionRule::SlotId && ord == Ordering::Less {
                         best = Some((k, w));
                     }
                 }
             }
         }
-        best.and_then(|(k, w)| w.valid.then_some(k))
+        best.and_then(|(k, w)| w.valid.then_some((k, reason)))
     }
 
     /// One exact global decision: the merged winner's shard services its
@@ -663,7 +748,8 @@ impl ShardedScheduler {
         // detached (and feature-off) hot path never calls `Instant::now`.
         #[cfg(feature = "telemetry")]
         let merge_start = self.telem.as_ref().map(|_| std::time::Instant::now());
-        let winner = self.merge_pick();
+        let picked = self.merge_pick_with_reason();
+        let winner = picked.map(|(k, _)| k);
         #[cfg(feature = "telemetry")]
         if let (Some(t0), Some(tm)) = (merge_start, self.telem.as_ref()) {
             tm.merge_latency.record(t0.elapsed().as_nanos() as u64);
@@ -688,6 +774,16 @@ impl ShardedScheduler {
             } else {
                 self.shards[k].expire_cycle();
             }
+        }
+        #[cfg(feature = "telemetry")]
+        if let (Some(sp), Some((k, reason)), Some(p)) = (&mut self.spans, picked, &out) {
+            use ss_telemetry::span::detail;
+            let g = p.slot.index();
+            let tag = ss_telemetry::TraceTag::new(k as u16, g as u16, sp.win_seq[g]).0;
+            sp.win_seq[g] = sp.win_seq[g].wrapping_add(1);
+            let why = reason.map_or(detail::MERGE_ONLY_CANDIDATE, |r| r as u8);
+            sp.track
+                .record(tag, self.decision_count, ss_telemetry::Stage::MergeWin, why, g as u32);
         }
         out
     }
@@ -1520,6 +1616,97 @@ mod tests {
         for row in &qos.streams {
             assert_eq!(row.wins, 1, "slot {} wins", row.slot);
         }
+    }
+
+    #[test]
+    fn merge_reason_names_the_deciding_rule() {
+        // Distinct deadlines across shards: the cross-shard comparison is
+        // decided by EDF, and the provenance says so.
+        let mut s = backlogged(8, 2, 2);
+        let (k, reason) = s.merge_pick_with_reason().expect("backlogged");
+        assert_eq!(k, 0, "deadline 1 lives on shard 0");
+        assert_eq!(reason, Some(DecisionRule::EarliestDeadline));
+        // With shard 1 failed, shard 0 competes alone: no comparison ran.
+        s.fail_shard(1).unwrap();
+        let (k, reason) = s.merge_pick_with_reason().expect("survivor backlogged");
+        assert_eq!(k, 0);
+        assert_eq!(reason, None, "only candidate: nothing to compare");
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn merge_wins_leave_provenance_span_events() {
+        use ss_telemetry::span::detail;
+        use ss_telemetry::{Stage, TraceTag};
+        let mut s = backlogged(8, 2, 2);
+        let recorder = ss_telemetry::SpanRecorder::new(256);
+        s.attach_spans(&recorder);
+        for _ in 0..16 {
+            s.decision_cycle();
+        }
+        s.detach_spans();
+        let tracks = recorder.drain();
+        assert_eq!(tracks.len(), 1);
+        assert_eq!(tracks[0].name, "merge");
+        let wins: Vec<_> = tracks[0]
+            .events
+            .iter()
+            .filter(|e| e.stage == Stage::MergeWin)
+            .collect();
+        assert_eq!(wins.len(), 16, "one MergeWin per serviced cycle");
+        for e in &wins {
+            let tag = TraceTag(e.tag);
+            assert_eq!(
+                tag.origin() as usize,
+                e.arg as usize / 4,
+                "origin names the winning shard of global slot {}",
+                e.arg
+            );
+            assert_eq!(tag.slot() as u32, e.arg, "tag slot is the global slot");
+            assert_ne!(e.detail, detail::MERGE_ONLY_CANDIDATE, "2 shards competed");
+        }
+        // 2 arrivals per slot → per-slot win sequences 0 then 1.
+        let mut seqs: Vec<u32> = wins
+            .iter()
+            .filter(|e| e.arg == 0)
+            .map(|e| TraceTag(e.tag).seq())
+            .collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, vec![0, 1]);
+    }
+
+    #[cfg(all(feature = "telemetry", feature = "overload"))]
+    #[test]
+    fn breaker_open_takes_automatic_flight_dump() {
+        use ss_overload::BreakerConfig;
+        use ss_telemetry::{DumpReason, SharedFlightRecorder, SpanRecorder, Stage};
+        let mut s = backlogged(8, 2, 2);
+        let recorder = SpanRecorder::new(256);
+        let flight = SharedFlightRecorder::new(64);
+        s.attach_spans(&recorder);
+        s.attach_flight_recorder(&flight);
+        s.enable_breakers(BreakerConfig {
+            trip_lag_cycles: 2,
+            trip_backlog: 4,
+            cooldown_cycles: 64,
+            probe_quota: 2,
+        });
+        for _ in 0..2 {
+            s.decision_cycle();
+        }
+        assert_eq!(s.breaker_state(0), Some(ss_overload::BreakerState::Open));
+        let dump = flight.take_last_dump().expect("open transition dumps");
+        assert_eq!(dump.reason, DumpReason::BreakerOpen);
+        assert!(dump
+            .events
+            .iter()
+            .any(|e| e.stage == Stage::BreakerOpen && e.trace_tag().is_control()));
+        s.detach_spans();
+        let tracks = recorder.drain();
+        assert!(tracks[0]
+            .events
+            .iter()
+            .any(|e| e.stage == Stage::BreakerOpen));
     }
 
     #[cfg(feature = "telemetry")]

@@ -1,0 +1,128 @@
+//! Cycle-accurate timestamps for lifecycle tracing.
+//!
+//! Stage events want a timestamp cheap enough to take on the decision
+//! path (tens of millions of times per second) and fine-grained enough
+//! to resolve sub-microsecond stage gaps. On x86-64 that is `rdtsc`:
+//! one unserialized instruction, ~10 cycles, invariant across cores on
+//! every CPU this workspace targets. Elsewhere — and as the documented
+//! portable semantics — [`now_tsc`] falls back to monotonic nanoseconds
+//! since a process-local epoch, which preserves every property the
+//! exporter relies on (monotone per thread, one shared timebase).
+//!
+//! Raw ticks are meaningless without a scale; [`ticks_per_us`]
+//! calibrates once per process against [`std::time::Instant`] and every
+//! dump embeds the result, so traces stay interpretable offline.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Process-local epoch for the monotonic fallback.
+#[cfg(not(target_arch = "x86_64"))]
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Monotonic nanoseconds since the process-local epoch.
+#[cfg(not(target_arch = "x86_64"))]
+#[inline]
+fn monotonic_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// A raw timestamp: `rdtsc` ticks on x86-64, monotonic nanoseconds
+/// elsewhere. Convert with [`ticks_per_us`]. Monotone per thread; on
+/// the CPUs this workspace targets (invariant TSC) also monotone across
+/// threads, which is what lets the exporter stitch per-thread rings
+/// into one causal order.
+#[inline]
+#[must_use]
+pub fn now_tsc() -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        #[allow(unsafe_code)]
+        // SAFETY: `_rdtsc` has no memory or register preconditions — it
+        // reads the time-stamp counter, which is unprivileged at the CPL
+        // this process runs at; the intrinsic is sound to call anywhere.
+        unsafe {
+            core::arch::x86_64::_rdtsc()
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        monotonic_ns()
+    }
+}
+
+/// Ticks per microsecond of the [`now_tsc`] timebase, calibrated once
+/// per process (~1 ms busy-wait against `Instant`). Exactly 1000.0 on
+/// the nanosecond fallback. Embed this in every dump so raw ticks stay
+/// convertible offline.
+#[must_use]
+pub fn ticks_per_us() -> f64 {
+    static TICKS: OnceLock<f64> = OnceLock::new();
+    *TICKS.get_or_init(|| {
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            1000.0
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            let start_wall = Instant::now();
+            let start_tsc = now_tsc();
+            // ~1 ms is enough for <1% calibration error and short enough
+            // to hide in process startup.
+            while start_wall.elapsed().as_micros() < 1000 {
+                std::hint::spin_loop();
+            }
+            let elapsed_us = start_wall.elapsed().as_nanos() as f64 / 1000.0;
+            let elapsed_tsc = now_tsc().wrapping_sub(start_tsc) as f64;
+            if elapsed_us > 0.0 && elapsed_tsc > 0.0 {
+                elapsed_tsc / elapsed_us
+            } else {
+                1000.0
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamps_are_monotone_on_one_thread() {
+        let mut prev = now_tsc();
+        for _ in 0..10_000 {
+            let t = now_tsc();
+            assert!(t >= prev, "timestamp went backwards");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn calibration_is_positive_and_cached() {
+        let a = ticks_per_us();
+        let b = ticks_per_us();
+        assert!(a > 0.0);
+        assert_eq!(a.to_bits(), b.to_bits(), "calibration runs once");
+    }
+
+    #[test]
+    fn calibration_roughly_tracks_wall_time() {
+        let tpus = ticks_per_us();
+        let wall = Instant::now();
+        let t0 = now_tsc();
+        while wall.elapsed().as_millis() < 5 {
+            std::hint::spin_loop();
+        }
+        let ticks = now_tsc().wrapping_sub(t0) as f64;
+        let measured_us = ticks / tpus;
+        let wall_us = wall.elapsed().as_nanos() as f64 / 1000.0;
+        let ratio = measured_us / wall_us;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "tsc-derived time off by >2x: {measured_us:.1}us vs {wall_us:.1}us"
+        );
+    }
+}

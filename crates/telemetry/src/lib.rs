@@ -26,6 +26,14 @@
 //!   Prometheus-text exporters.
 //! * [`stats`] — [`Summary`], the Welford mean/variance accumulator
 //!   (moved here from `ss-hwsim` so both report through one schema).
+//! * [`span`] / [`clock`] / [`recorder`] / [`export`] — per-packet
+//!   lifecycle tracing: 8-byte [`TraceTag`]s minted at admission,
+//!   32-byte [`StageEvent`]s recorded into per-thread rings with
+//!   `rdtsc`-class timestamps ([`clock::now_tsc`]), an always-on bounded
+//!   [`FlightRecorder`] dumped on watchdog trip / rung change / breaker
+//!   open / panic, and an exporter that stitches tracks into
+//!   causally-ordered Chrome/Perfetto trace JSON plus per-stage latency
+//!   histograms merged into this crate's snapshot schema.
 //!
 //! # Feature gating
 //!
@@ -44,18 +52,32 @@
 //! `ss_sharded_merge_latency_ns`. Per-shard series carry a
 //! `shard="<k>"` label.
 
-#![forbid(unsafe_code)]
+// `clock::now_tsc` needs the `_rdtsc` intrinsic on x86-64 — the one
+// sanctioned unsafe site in this crate (allow-listed in lint.toml with a
+// `// SAFETY:` argument). Every other target promises safety outright.
+#![cfg_attr(not(target_arch = "x86_64"), forbid(unsafe_code))]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clock;
+pub mod export;
 pub mod metrics;
 pub mod qos;
+pub mod recorder;
 pub mod ring;
 pub mod snapshot;
+pub mod span;
 pub mod stats;
 
+pub use export::{perfetto_json, validate_causal, validate_perfetto_schema, StageLatencies};
 pub use metrics::{Counter, Gauge, Histogram, LocalHistogram, Registry};
 pub use qos::{jain_fairness, QosSet, StreamQos, WinLatencyTracker};
+pub use recorder::{
+    install_panic_hook, stitch, DumpReason, FlightDump, FlightRecorder, SharedFlightRecorder,
+    SpanRecorder, StageRing, TrackDump, TrackRecorder,
+};
 pub use ring::{EventRing, FsmPhase, TraceEvent, TraceKind};
+pub use span::{Stage, StageEvent, TraceTag};
 pub use snapshot::{
     Bucket, HistogramSnapshot, MetricSnapshot, MetricValue, Snapshot, SummarySnapshot,
 };

@@ -380,14 +380,28 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Consume one UTF-8 scalar (may be multi-byte).
-                    let rest = &self.bytes[self.pos..];
-                    let text = std::str::from_utf8(rest)
+                Some(b) if b < 0x80 => {
+                    s.push(b as char);
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Consume one multi-byte UTF-8 scalar. Validate only the
+                    // scalar's own bytes: validating `&bytes[pos..]` here made
+                    // parsing quadratic in document length.
+                    let width = match b {
+                        0xC2..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF4 => 4,
+                        _ => return Err(Error::new("invalid UTF-8 in string")),
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + width)
+                        .ok_or_else(|| Error::new("invalid UTF-8 in string"))?;
+                    let text = std::str::from_utf8(chunk)
                         .map_err(|_| Error::new("invalid UTF-8 in string"))?;
-                    let c = text.chars().next().unwrap();
-                    s.push(c);
-                    self.pos += c.len_utf8();
+                    s.push(text.chars().next().unwrap());
+                    self.pos += width;
                 }
             }
         }

@@ -88,6 +88,10 @@ pub struct FailoverScheduler {
     injector: Option<std::sync::Arc<ss_faults::FaultInjector>>,
     #[cfg(feature = "telemetry")]
     trace: Option<ss_telemetry::EventRing>,
+    /// Flight recorder for automatic incident dumps: path failovers and
+    /// ladder rung changes ([`FailoverScheduler::attach_flight_recorder`]).
+    #[cfg(feature = "telemetry")]
+    flight: Option<ss_telemetry::SharedFlightRecorder>,
 }
 
 /// The facade's overload state: a pressure signal derived from total
@@ -140,6 +144,8 @@ impl FailoverScheduler {
             injector: None,
             #[cfg(feature = "telemetry")]
             trace: None,
+            #[cfg(feature = "telemetry")]
+            flight: None,
         })
     }
 
@@ -284,7 +290,30 @@ impl FailoverScheduler {
         let healthy = self.watchdog.unproductive_cycles() == 0 && self.software.is_none();
         let ov = self.overload.as_mut().expect("checked above");
         let level = ov.pressure.observe(occupied, ov.capacity);
+        #[cfg(feature = "telemetry")]
+        let before = ov.ladder.rung();
         ov.ladder.observe(level, healthy);
+        #[cfg(feature = "telemetry")]
+        {
+            let after = ov.ladder.rung();
+            if before != after {
+                if let Some(fl) = &self.flight {
+                    let rung_code = |r: Rung| match r {
+                        Rung::FullQos => 0u8,
+                        Rung::ShedOptional => 1,
+                        Rung::FcfsDrain => 2,
+                    };
+                    fl.record_control(
+                        self.now,
+                        0,
+                        ss_telemetry::Stage::RungChange,
+                        rung_code(after),
+                        rung_code(before) as u32,
+                    );
+                    fl.auto_dump(ss_telemetry::DumpReason::RungChange, self.now);
+                }
+            }
+        }
     }
 
     /// The rung's ingest verdict for `slot`: `true` = refuse this arrival.
@@ -522,6 +551,22 @@ impl FailoverScheduler {
                 kind: ss_telemetry::TraceKind::Failover { to_software },
             });
         }
+        #[cfg(feature = "telemetry")]
+        if let Some(fl) = &self.flight {
+            fl.record_control(
+                self.now,
+                0,
+                ss_telemetry::Stage::Failover,
+                to_software as u8,
+                self.failovers.min(u32::MAX as u64) as u32,
+            );
+            // The hardware→software switch is the incident (the watchdog
+            // declared the fabric stuck); re-attachment is recovery and
+            // only leaves the control event.
+            if to_software {
+                fl.auto_dump(ss_telemetry::DumpReason::WatchdogTrip, self.now);
+            }
+        }
     }
 
     /// Wires the supervised fabric (and every fabric built by future
@@ -551,6 +596,17 @@ impl FailoverScheduler {
     #[cfg(feature = "telemetry")]
     pub fn trace(&self) -> Option<&ss_telemetry::EventRing> {
         self.trace.as_ref()
+    }
+
+    /// Wires a shared flight recorder to the supervisor's incident paths:
+    /// a hardware→software failover records a `Failover` control event and
+    /// takes an automatic [`ss_telemetry::DumpReason::WatchdogTrip`] dump;
+    /// a degradation-ladder rung change records `RungChange` and dumps with
+    /// [`ss_telemetry::DumpReason::RungChange`] (detail = new rung,
+    /// arg = old rung; 0 full-QoS, 1 shed-optional, 2 FCFS-drain).
+    #[cfg(feature = "telemetry")]
+    pub fn attach_flight_recorder(&mut self, flight: &ss_telemetry::SharedFlightRecorder) {
+        self.flight = Some(flight.clone());
     }
 }
 
@@ -792,5 +848,70 @@ mod tests {
         assert!(kinds
             .iter()
             .any(|e| e.kind == TraceKind::Failover { to_software: false }));
+    }
+
+    #[cfg(all(feature = "faults", feature = "telemetry"))]
+    #[test]
+    fn failover_takes_automatic_flight_dump() {
+        use ss_telemetry::{DumpReason, SharedFlightRecorder, Stage};
+        let mut sup = FailoverScheduler::new(wr_edf(2), DecisionWatchdog::new(2, 64)).unwrap();
+        let flight = SharedFlightRecorder::new(64);
+        sup.attach_flight_recorder(&flight);
+        sup.load_stream(0, edf_state(1), 1).unwrap();
+        for a in 0..10u64 {
+            sup.enqueue(0, Wrap16::from_wide(a)).unwrap();
+        }
+        sup.inject_crash();
+        for _ in 0..6 {
+            sup.decision_cycle().unwrap();
+        }
+        assert!(sup.failovers() >= 1);
+        let dump = flight.take_last_dump().expect("failover dumps the recorder");
+        assert_eq!(dump.reason, DumpReason::WatchdogTrip);
+        assert!(dump
+            .events
+            .iter()
+            .any(|e| e.stage == Stage::Failover && e.detail == 1));
+    }
+
+    #[cfg(all(feature = "overload", feature = "telemetry"))]
+    #[test]
+    fn rung_change_takes_automatic_flight_dump() {
+        use ss_overload::{LadderConfig, PressureConfig, Rung};
+        use ss_telemetry::{DumpReason, SharedFlightRecorder, Stage};
+        let config = FabricConfig::dwcs(2, FabricConfigKind::WinnerOnly);
+        let mut sup = FailoverScheduler::with_default_watchdog(config).unwrap();
+        let flight = SharedFlightRecorder::new(64);
+        sup.attach_flight_recorder(&flight);
+        sup.load_stream(0, edf_state(2), 1).unwrap();
+        sup.load_stream(1, edf_state(2), 2).unwrap();
+        sup.enable_degradation_ladder(
+            LadderConfig {
+                escalate_after: 2,
+                deescalate_after: 2,
+                min_dwell: 0,
+            },
+            PressureConfig {
+                min_dwell: 0,
+                ..PressureConfig::default()
+            },
+            8,
+        );
+        for a in 0..8u64 {
+            sup.enqueue(0, Wrap16::from_wide(a)).unwrap();
+            sup.enqueue(1, Wrap16::from_wide(a)).unwrap();
+        }
+        sup.decision_cycle().unwrap();
+        sup.decision_cycle().unwrap();
+        assert_ne!(sup.rung(), Rung::FullQos, "pressure climbed the ladder");
+        let dump = flight.take_last_dump().expect("rung change dumps");
+        assert_eq!(dump.reason, DumpReason::RungChange);
+        let rc = dump
+            .events
+            .iter()
+            .find(|e| e.stage == Stage::RungChange)
+            .expect("RungChange control event in the window");
+        assert_eq!(rc.arg, 0, "climbed away from full QoS");
+        assert_ne!(rc.detail, 0);
     }
 }

@@ -82,6 +82,35 @@ pub use ss_telemetry as telemetry;
 pub use ss_traffic as traffic;
 pub use ss_types as types;
 
+/// Publishes an `ss_build_info` gauge (value 1) carrying the crate version
+/// and the compiled feature set as labels — the standard Prometheus idiom
+/// for joining metrics against build metadata.
+#[cfg(feature = "telemetry")]
+pub fn publish_build_info(registry: &ss_telemetry::Registry) {
+    let features = [
+        ("telemetry", cfg!(feature = "telemetry")),
+        ("faults", cfg!(feature = "faults")),
+        ("overload", cfg!(feature = "overload")),
+        ("simd", cfg!(feature = "simd")),
+        ("pinning", cfg!(feature = "pinning")),
+    ]
+    .iter()
+    .filter(|(_, on)| *on)
+    .map(|(name, _)| *name)
+    .collect::<Vec<_>>()
+    .join(",");
+    registry
+        .gauge_labeled(
+            "ss_build_info",
+            &[
+                ("version", env!("CARGO_PKG_VERSION")),
+                ("features", &features),
+            ],
+            "Build metadata (constant 1; labels carry version and features)",
+        )
+        .set(1);
+}
+
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use crate::failover::{FailoverScheduler, SchedulerPath};

@@ -272,6 +272,55 @@ fn steady_state_decision_cycles_do_not_allocate() {
             0,
             "attached sharded decision_cycle allocated in steady state"
         );
+
+        // --- Lifecycle tracing: span recording stays heap-free ---
+        // The span ring (capacity 256) is allocated at attach; MEASURED
+        // cycles push ~MEASURED win events, so the ring wraps many times
+        // over and the measured span covers the overwrite path, not just
+        // the initial fill.
+        let spans = sharestreams::telemetry::SpanRecorder::new(256);
+        let mut traced = backlogged(SLOTS, FabricConfigKind::WinnerOnly, DEPTH);
+        traced.attach_spans(&spans, 0, "zero-alloc");
+        for _ in 0..WARMUP {
+            traced.decision_cycle_into();
+            refill(&mut traced, &mut tag);
+        }
+        let before = allocations();
+        for _ in 0..MEASURED {
+            traced.decision_cycle_into();
+            refill(&mut traced, &mut tag);
+        }
+        assert_eq!(
+            allocations() - before,
+            0,
+            "traced WR decision_cycle_into allocated in steady state"
+        );
+
+        // --- Flight recorder: the always-on record path stays heap-free ---
+        // `record` is a try-lock push into a preallocated overwrite ring;
+        // 4× capacity wraps it fully, and the auto_dump clone below is
+        // *allowed* to allocate (post-mortem path), so only `record` sits
+        // inside the measured span.
+        use sharestreams::telemetry::{DumpReason, SharedFlightRecorder, Stage, StageEvent};
+        let flight = SharedFlightRecorder::new(128);
+        let before = allocations();
+        for i in 0..512u64 {
+            flight.record(StageEvent {
+                tag: i,
+                tsc: i,
+                cycle: i,
+                track: 0,
+                stage: Stage::Service,
+                detail: 0,
+                arg: 0,
+            });
+        }
+        assert_eq!(
+            allocations() - before,
+            0,
+            "flight recorder record() allocated in steady state"
+        );
+        assert_eq!(flight.auto_dump(DumpReason::Manual, 512).events.len(), 128);
     }
 
     // --- Overload gate: the admit/shed/tick fast path stays heap-free ---
