@@ -1,0 +1,232 @@
+//! The per-node overload gate: ss-overload's feature-free state machines
+//! composed for the cluster simulation.
+//!
+//! Each simulated endsystem runs one [`NodeGate`] in front of its sharded
+//! fabric: a window-aware [`AdmissionController`], a QoS-aware
+//! [`QosShedder`], and a hysteresis [`PressureSignal`], with every
+//! rejection classified in a [`LossLedger`]. The composition deliberately
+//! mirrors `ss_endsystem::overload::OverloadGate` but depends only on the
+//! always-built `ss-overload` crate, so `ss-cluster` never flips another
+//! crate's cargo features through unification (see the crate docs).
+//!
+//! Two structural properties the invariant engine leans on:
+//!
+//! * **exact loss partition** — every `false` from [`NodeGate::offer`]
+//!   records exactly one ledger site, so node-level conservation
+//!   (`offered == lost + transmitted + backlog`) holds by construction;
+//! * **protected floor** — a fully-protected stream (0/y window,
+//!   protection 1000‰) is never sheddable ([`QosShedder`] gives 0/y
+//!   windows zero headroom) and never squeezed by the admission ladder,
+//!   so its shed count must be identically zero. The per-slot
+//!   `shed_per_slot` counters make that checkable every tick.
+
+use serde::Serialize;
+use ss_overload::{
+    AdmissionController, LossLedger, LossSite, PressureConfig, PressureLevel, PressureSignal,
+    QosShedder, StreamClass,
+};
+use ss_types::WindowConstraint;
+
+/// Full protection, ‰ — a 0/y window's mandatory fraction.
+pub const FULLY_PROTECTED: u16 = 1000;
+
+/// Why an offered arrival did not reach the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum GateDrop {
+    /// No token: rejected at admission.
+    Admission,
+    /// Sheddable stream dropped under overload pressure.
+    Shed,
+}
+
+/// One node's composed admission/shed/pressure front end.
+#[derive(Debug, Clone)]
+pub struct NodeGate {
+    admission: AdmissionController,
+    shedder: QosShedder,
+    pressure: PressureSignal,
+    ledger: LossLedger,
+    /// Per-slot shed counts — the protected-floor invariant's witness.
+    shed_per_slot: Vec<u64>,
+    /// Per-slot protection (‰), mirrored from the classes for O(1) veto.
+    protection: Vec<u16>,
+}
+
+impl NodeGate {
+    /// Builds a gate for `windows`, deriving per-stream admission classes
+    /// from each window constraint: every stream gets the same
+    /// `rate_mtok`/`burst_mtok` budget, and its protection — hence its
+    /// squeeze tier and sheddability — comes from the window.
+    pub fn new(windows: &[WindowConstraint], rate_mtok: u32, burst_mtok: u32) -> Self {
+        let classes: Vec<StreamClass> = windows
+            .iter()
+            .map(|&w| StreamClass::from_window(rate_mtok, burst_mtok, w))
+            .collect();
+        let protection = classes.iter().map(|c| c.protection).collect();
+        Self {
+            admission: AdmissionController::new(classes),
+            shedder: QosShedder::new(windows),
+            pressure: PressureSignal::new(PressureConfig::default()),
+            ledger: LossLedger::new(),
+            shed_per_slot: vec![0; windows.len()],
+            protection,
+        }
+    }
+
+    /// Offers one arrival for `slot`. `true` admits it to the fabric;
+    /// `false` records the loss (admission or shed) in the ledger.
+    /// Registered hot path: integer-only, allocation-free, panic-free.
+    #[inline]
+    pub fn offer(&mut self, slot: usize) -> bool {
+        if !self.admission.try_admit(slot) {
+            self.ledger.record(LossSite::Admission);
+            return false;
+        }
+        // Under sustained overload, shed admitted work from streams with
+        // loss headroom. 0/y windows have zero headroom, so the protected
+        // floor is structural, not a policy promise.
+        if self.pressure.level() == PressureLevel::Overloaded && self.shedder.sheddable(slot) {
+            self.shedder.record_shed(slot);
+            self.ledger.record(LossSite::Shed);
+            if let Some(c) = self.shed_per_slot.get_mut(slot) {
+                *c += 1;
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Records a served outcome for `slot` (advances its loss window).
+    /// Registered hot path.
+    #[inline]
+    pub fn served(&mut self, slot: usize) {
+        self.shedder.record_served(slot);
+    }
+
+    /// Records a ring-site loss (overflow burst consumed an admitted
+    /// arrival before the fabric saw it). Registered hot path.
+    #[inline]
+    pub fn ring_drop(&mut self) {
+        self.ledger.record(LossSite::Ring);
+    }
+
+    /// Records `n` shard-site losses (written-off backlog of a crashed
+    /// shard, or arrivals addressed to dead slots). Registered hot path.
+    #[inline]
+    pub fn shard_loss(&mut self, n: u64) {
+        self.ledger.record_n(LossSite::Shard, n);
+    }
+
+    /// One virtual tick elapses: observe fabric occupancy, advance the
+    /// pressure signal, and refill admission at the resulting level.
+    /// Registered hot path.
+    #[inline]
+    pub fn tick(&mut self, occupied: usize, capacity: usize) {
+        let level = self.pressure.observe(occupied, capacity);
+        self.admission.tick(level);
+    }
+
+    /// Sabotage hook for the violation-path test: forges a shed on a
+    /// fully-protected slot, which must trip the `ProtectedShed`
+    /// invariant on the same tick. Test-only by convention — the sim only
+    /// calls it under an explicit `--sabotage` plan.
+    pub fn force_protected_shed(&mut self) {
+        // Prefer a fully-protected slot; fall back to slot 0.
+        let victim = self
+            .protection
+            .iter()
+            .position(|&p| p >= FULLY_PROTECTED)
+            .unwrap_or(0);
+        self.shed_per_slot[victim] += 1;
+    }
+
+    /// Current pressure level.
+    pub fn pressure_level(&self) -> PressureLevel {
+        self.pressure.level()
+    }
+
+    /// The loss ledger (exact partition of every gate/ring/shard loss).
+    pub fn ledger(&self) -> &LossLedger {
+        &self.ledger
+    }
+
+    /// Sheds charged to `slot` so far.
+    pub fn shed_for(&self, slot: usize) -> u64 {
+        self.shed_per_slot.get(slot).copied().unwrap_or(0)
+    }
+
+    /// Protection (‰) of `slot`.
+    pub fn protection(&self, slot: usize) -> u16 {
+        self.protection.get(slot).copied().unwrap_or(0)
+    }
+
+    /// Slots managed.
+    pub fn slots(&self) -> usize {
+        self.protection.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gate(windows: &[WindowConstraint]) -> NodeGate {
+        NodeGate::new(windows, 1000, 2000)
+    }
+
+    #[test]
+    fn losses_partition_exactly() {
+        let mut g = gate(&[WindowConstraint::new(0, 1), WindowConstraint::new(3, 4)]);
+        let mut admitted = 0u64;
+        let offered = 600u64;
+        for t in 0..offered {
+            let slot = (t % 2) as usize;
+            if g.offer(slot) {
+                admitted += 1;
+            }
+            // Saturated fabric: full occupancy drives the gate to
+            // Overloaded and keeps it there.
+            g.tick(100, 100);
+        }
+        assert_eq!(
+            admitted + g.ledger().total(),
+            offered,
+            "every offer is admitted or ledgered"
+        );
+        assert!(g.ledger().total() > 0, "2-slot demand at 1×/slot sheds");
+    }
+
+    #[test]
+    fn protected_slots_never_shed() {
+        let mut g = gate(&[WindowConstraint::new(0, 1), WindowConstraint::new(3, 4)]);
+        for _ in 0..2000 {
+            g.offer(0);
+            g.offer(1);
+            g.tick(100, 100);
+        }
+        assert_eq!(g.shed_for(0), 0, "0/1 window is structurally unsheddable");
+        assert!(g.shed_for(1) > 0, "the tolerant slot absorbed the pressure");
+    }
+
+    #[test]
+    fn nominal_pressure_admits_within_rate() {
+        let mut g = gate(&[WindowConstraint::new(0, 1)]);
+        let mut admitted = 0;
+        for _ in 0..100 {
+            g.tick(0, 100);
+            if g.offer(0) {
+                admitted += 1;
+            }
+        }
+        assert!(admitted >= 99, "1×-rate stream passes untouched");
+        assert_eq!(g.ledger().shed, 0);
+    }
+
+    #[test]
+    fn forced_protected_shed_is_visible() {
+        let mut g = gate(&[WindowConstraint::new(0, 1), WindowConstraint::new(1, 2)]);
+        assert_eq!(g.shed_for(0), 0);
+        g.force_protected_shed();
+        assert_eq!(g.shed_for(0), 1, "the sabotage lands on the protected slot");
+    }
+}

@@ -1,0 +1,422 @@
+//! One simulated endsystem: sharded fabric + overload gate + per-node
+//! fault stream, stepped on the cluster's virtual clock.
+//!
+//! A [`SimNode`] owns everything whose state a tick can touch, so nodes
+//! are independent within a tick and the simulation may step them on any
+//! number of threads without changing a single bit of the outcome:
+//! arrival sampling is keyed by `(seed, node, tick)`, the fault stream is
+//! per-node, and all cross-node coupling (the shared egress linecard, the
+//! invariant engine, flight recording) happens in the sequential
+//! post-barrier phase owned by the simulation.
+//!
+//! ## Per-tick order (fixed; determinism depends on it)
+//!
+//! 1. **Fault draws** — one sample per site (shard, decision, ring,
+//!    admission), mapped onto unconditional APIs: crashes call
+//!    [`ShardedScheduler::fail_shard`] (the last live shard degrades a
+//!    crash to a stall so the node never goes fully dark), stalls skip
+//!    upcoming decision cycles, ring bursts arm a drop budget, overload
+//!    bursts add offered arrivals.
+//! 2. **Arrivals** — scenario-drawn counts (plus burst extras) pass the
+//!    gate, then the armed ring-drop budget, then land in the fabric.
+//!    Ring bursts only consume unprotected-stream arrivals: protected
+//!    lanes are modeled as reserved ring capacity, which keeps the
+//!    QoS-floor invariant exact rather than probabilistic.
+//! 3. **Decision** — one `decision_cycle` unless stalled; the winner
+//!    feeds the loss-window bookkeeping, the virtual-time monotonicity
+//!    check, and the node's replay fingerprint.
+//!
+//! ## Accounting identities the invariant engine checks
+//!
+//! * `offered == ledger.total() + transmitted + live_backlog` — every
+//!   offered arrival is admitted-and-served, admitted-and-queued, or
+//!   ledgered at exactly one loss site (admission / ring / shed / shard).
+//! * The incremental backlog counter equals the recomputed sum of live
+//!   slots' fabric backlogs.
+//! * Winner `completed_at` is strictly increasing (lock-step clocks).
+
+use crate::gate::{NodeGate, FULLY_PROTECTED};
+use crate::scenario::Scenario;
+use ss_core::{FabricConfig, FabricConfigKind, LatePolicy, ScheduledPacket, StreamState};
+use ss_faults::rng::mix;
+use ss_faults::{FaultInjector, FaultKind, FaultSite};
+use ss_overload::LossLedger;
+use ss_sharded::ShardedScheduler;
+use ss_types::{Error, Wrap16};
+
+/// A winner record: `(global slot, completed_at, met deadline)`.
+pub type Winner = (u16, u64, bool);
+
+/// Construction parameters for one node.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeParams {
+    /// Global slots per node (must satisfy the sharded constraints).
+    pub slots: usize,
+    /// Shards per node.
+    pub shards: usize,
+    /// Per-stream admission refill, mtok/tick.
+    pub gate_rate_mtok: u32,
+    /// Per-stream admission burst depth, mtok.
+    pub gate_burst_mtok: u32,
+    /// Capture the full winner sequence (tests; off for long soaks).
+    pub record_winners: bool,
+}
+
+/// One simulated endsystem.
+#[derive(Debug)]
+pub struct SimNode {
+    id: usize,
+    sched: ShardedScheduler,
+    gate: NodeGate,
+    injector: FaultInjector,
+    per_shard: usize,
+    /// Arrival-count scratch, reused every tick.
+    counts: Vec<u32>,
+    /// Slots stranded on crashed shards.
+    dead_slot: Vec<bool>,
+    /// Arrivals pushed into the fabric, per slot (live-slot sanity).
+    pushed_per_slot: Vec<u64>,
+    offered: u64,
+    transmitted: u64,
+    /// Incremental mirror of the live fabric backlog.
+    backlog_ctr: u64,
+    /// Decision cycles still consumed by an injected stall/wedge.
+    stall: u32,
+    /// Admitted arrivals the armed ring-overflow burst will consume.
+    ring_drop_budget: u32,
+    last_completed: u64,
+    monotone_ok: bool,
+    /// Consecutive non-stalled ticks with backlog but no winner.
+    idle_streak: u32,
+    /// An unexpected fabric error surfaced (checked by CounterSanity).
+    internal_error: bool,
+    shard_crashes: u64,
+    fingerprint: u64,
+    winners: Option<Vec<Winner>>,
+}
+
+impl SimNode {
+    /// Builds node `id`: a DWCS winner-only sharded fabric with the
+    /// scenario's class mix loaded, behind a fresh gate and a per-node
+    /// fault stream.
+    pub fn new(
+        id: usize,
+        params: NodeParams,
+        scenario: &Scenario,
+        seed: u64,
+        injector: FaultInjector,
+    ) -> Result<Self, Error> {
+        let config = FabricConfig::dwcs(params.slots, FabricConfigKind::WinnerOnly);
+        let mut sched = ShardedScheduler::new(config, params.shards)?;
+        for (g, &window) in scenario.windows().iter().enumerate() {
+            let state = StreamState {
+                request_period: params.slots as u64,
+                original_window: window,
+                // Later slots get higher static priority so DWCS
+                // tie-breaks stay deterministic and asymmetric.
+                static_prio: (g % 8) as u8,
+                late_policy: LatePolicy::ServeLate,
+            };
+            sched.load_stream(g, state, (g + 1) as u64)?;
+        }
+        let gate = NodeGate::new(
+            scenario.windows(),
+            params.gate_rate_mtok,
+            params.gate_burst_mtok,
+        );
+        Ok(Self {
+            id,
+            per_shard: params.slots / params.shards,
+            sched,
+            gate,
+            injector,
+            counts: vec![0; params.slots],
+            dead_slot: vec![false; params.slots],
+            pushed_per_slot: vec![0; params.slots],
+            offered: 0,
+            transmitted: 0,
+            backlog_ctr: 0,
+            stall: 0,
+            ring_drop_budget: 0,
+            last_completed: 0,
+            monotone_ok: true,
+            idle_streak: 0,
+            internal_error: false,
+            shard_crashes: 0,
+            fingerprint: mix(seed ^ mix(id as u64 + 0xA11CE)),
+            winners: params.record_winners.then(Vec::new),
+        })
+    }
+
+    /// Advances the node one virtual tick (see the module docs for the
+    /// fixed phase order) and returns this tick's winner, if any.
+    /// Registered hot path: no allocation beyond optional winner capture,
+    /// no panic, no formatting.
+    #[inline]
+    pub fn step(&mut self, tick: u64, scenario: &Scenario, seed: u64) -> Option<Winner> {
+        self.sample_faults();
+        let slots = self.counts.len();
+
+        // Phase 2: arrivals. Burst extras are spread round-robin from a
+        // tick-derived offset so they are deterministic and don't always
+        // land on slot 0.
+        let mut burst_extra = 0u32;
+        if let Some(FaultKind::OverloadBurst { extra }) = self.injector.sample(FaultSite::Admission)
+        {
+            burst_extra = extra;
+        }
+        scenario.sample_arrivals(seed, self.id, tick, &mut self.counts);
+        for i in 0..burst_extra as usize {
+            let s = (tick as usize + i) % slots;
+            self.counts[s] += 1;
+        }
+        for s in 0..slots {
+            let n = self.counts[s];
+            for _ in 0..n {
+                self.offer_one(s, tick);
+            }
+        }
+
+        // Phase 3: one decision cycle, unless an injected wedge holds the
+        // fabric. Clocks stay lock-step inside `decision_cycle`.
+        let winner = if self.stall > 0 {
+            self.stall -= 1;
+            None
+        } else {
+            match self.sched.decision_cycle() {
+                Some(p) => Some(self.account_winner(p)),
+                None => {
+                    if self.backlog_ctr > 0 {
+                        self.idle_streak += 1;
+                    } else {
+                        self.idle_streak = 0;
+                    }
+                    None
+                }
+            }
+        };
+
+        // The gate observes post-decision occupancy: the fabric's live
+        // backlog against a nominal per-slot queue depth of 8.
+        self.gate.tick(self.backlog_ctr as usize, slots * 8);
+        winner
+    }
+
+    /// Samples the shard / decision / ring fault sites and arms their
+    /// effects. Registered hot path.
+    #[inline]
+    fn sample_faults(&mut self) {
+        match self.injector.sample(FaultSite::Shard) {
+            Some(FaultKind::ShardCrash) => self.crash_one_shard(),
+            Some(FaultKind::ShardStall { cycles }) => self.stall += cycles,
+            _ => {}
+        }
+        if let Some(FaultKind::StuckCycles { cycles }) =
+            self.injector.sample(FaultSite::DecisionCycle)
+        {
+            self.stall += cycles;
+        }
+        if let Some(FaultKind::RingOverflowBurst { len }) =
+            self.injector.sample(FaultSite::SpscRing)
+        {
+            self.ring_drop_budget += len;
+        }
+    }
+
+    /// Offers one arrival for `slot` through gate → ring → fabric,
+    /// ledgering the first site that consumes it. Registered hot path.
+    #[inline]
+    fn offer_one(&mut self, slot: usize, tick: u64) {
+        self.offered += 1;
+        if self.dead_slot[slot] {
+            self.gate.shard_loss(1);
+            return;
+        }
+        if !self.gate.offer(slot) {
+            return; // ledgered at admission or shed
+        }
+        if self.ring_drop_budget > 0 && self.gate.protection(slot) < FULLY_PROTECTED {
+            self.ring_drop_budget -= 1;
+            self.gate.ring_drop();
+            return;
+        }
+        match self.sched.push_arrival(slot, Wrap16::from_wide(tick)) {
+            Ok(()) => {
+                self.pushed_per_slot[slot] += 1;
+                self.backlog_ctr += 1;
+            }
+            Err(Error::ShardFailed { .. }) => {
+                self.dead_slot[slot] = true;
+                self.gate.shard_loss(1);
+            }
+            Err(_) => self.internal_error = true,
+        }
+    }
+
+    /// Books one transmitted winner: loss-window advance, virtual-time
+    /// monotonicity, replay fingerprint. Registered hot path.
+    #[inline]
+    fn account_winner(&mut self, p: ScheduledPacket) -> Winner {
+        self.transmitted += 1;
+        self.backlog_ctr = self.backlog_ctr.saturating_sub(1);
+        self.idle_streak = 0;
+        let slot = p.slot.index();
+        self.gate.served(slot);
+        if self.transmitted > 1 && p.completed_at <= self.last_completed {
+            self.monotone_ok = false;
+        }
+        self.last_completed = p.completed_at;
+        let word =
+            ((slot as u64) << 48) | ((p.met as u64) << 40) | (p.completed_at & 0xFF_FFFF_FFFF);
+        self.fingerprint = mix(self.fingerprint ^ mix(word));
+        let w = (slot as u16, p.completed_at, p.met);
+        if let Some(ws) = self.winners.as_mut() {
+            ws.push(w);
+        }
+        w
+    }
+
+    /// Crashes one live shard (round-robin victim). The last live shard
+    /// degrades the crash to a stall: a real deployment's "last replica
+    /// stays up" posture, and it keeps every scenario's winner stream
+    /// alive for the livelock check.
+    fn crash_one_shard(&mut self) {
+        let shards = self.sched.shard_count();
+        let alive = (0..shards).filter(|&k| !self.sched.is_failed(k)).count();
+        if alive <= 1 {
+            self.stall += 4;
+            return;
+        }
+        let start = (self.shard_crashes as usize) % shards;
+        for off in 0..shards {
+            let k = (start + off) % shards;
+            if self.sched.is_failed(k) {
+                continue;
+            }
+            if let Ok(lost) = self.sched.fail_shard(k) {
+                self.gate.shard_loss(lost);
+                self.backlog_ctr = self.backlog_ctr.saturating_sub(lost);
+                for s in k * self.per_shard..(k + 1) * self.per_shard {
+                    self.dead_slot[s] = true;
+                }
+                self.shard_crashes += 1;
+            }
+            return;
+        }
+    }
+
+    /// Sabotage: forge one phantom offered arrival that no site will ever
+    /// account for — Conservation must fire on this tick.
+    pub fn sabotage_phantom(&mut self) {
+        self.offered += 1;
+    }
+
+    /// Sabotage: forge a shed on a fully-protected slot — ProtectedShed
+    /// must fire on this tick.
+    pub fn sabotage_protected_shed(&mut self) {
+        self.gate.force_protected_shed();
+    }
+
+    /// Recomputes the live fabric backlog from scratch (BacklogMirror's
+    /// reference side). Registered hot path: runs every tick.
+    #[inline]
+    pub fn recomputed_backlog(&self) -> u64 {
+        let mut sum = 0u64;
+        for s in 0..self.dead_slot.len() {
+            if !self.dead_slot[s] {
+                sum += self.sched.backlog(s).unwrap_or(0) as u64;
+            }
+        }
+        sum
+    }
+
+    /// Node ID.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Total arrivals offered (scenario + bursts + phantoms).
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Winners transmitted.
+    pub fn transmitted(&self) -> u64 {
+        self.transmitted
+    }
+
+    /// The incremental backlog mirror.
+    pub fn backlog_ctr(&self) -> u64 {
+        self.backlog_ctr
+    }
+
+    /// The node's loss ledger.
+    pub fn ledger(&self) -> &LossLedger {
+        self.gate.ledger()
+    }
+
+    /// The composed gate (protected-floor witnesses live here).
+    pub fn gate(&self) -> &NodeGate {
+        &self.gate
+    }
+
+    /// `true` while virtual time has never gone backwards.
+    pub fn monotone_ok(&self) -> bool {
+        self.monotone_ok
+    }
+
+    /// Consecutive non-stalled ticks with backlog but no winner.
+    pub fn idle_streak(&self) -> u32 {
+        self.idle_streak
+    }
+
+    /// `true` if the fabric returned an unexpected error.
+    pub fn internal_error(&self) -> bool {
+        self.internal_error
+    }
+
+    /// `true` while an injected stall is holding the fabric.
+    pub fn stalled(&self) -> bool {
+        self.stall > 0
+    }
+
+    /// Shards crashed so far.
+    pub fn shard_crashes(&self) -> u64 {
+        self.shard_crashes
+    }
+
+    /// Arrivals pushed into the fabric for `slot`.
+    pub fn pushed(&self, slot: usize) -> u64 {
+        self.pushed_per_slot.get(slot).copied().unwrap_or(0)
+    }
+
+    /// `true` if `slot` is stranded on a crashed shard.
+    pub fn is_dead_slot(&self, slot: usize) -> bool {
+        self.dead_slot.get(slot).copied().unwrap_or(false)
+    }
+
+    /// Slots on this node.
+    pub fn slots(&self) -> usize {
+        self.dead_slot.len()
+    }
+
+    /// Per-slot fabric counters (Err on dead slots).
+    pub fn slot_counters(&self, slot: usize) -> Result<&ss_core::SlotCounters, Error> {
+        self.sched.slot_counters(slot)
+    }
+
+    /// Live fabric backlog of `slot` (Err on dead slots).
+    pub fn slot_backlog(&self, slot: usize) -> Result<usize, Error> {
+        self.sched.backlog(slot)
+    }
+
+    /// The node's running replay fingerprint (winner sequence digest).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The captured winner sequence, when recording was requested.
+    pub fn winners(&self) -> Option<&[Winner]> {
+        self.winners.as_deref()
+    }
+}

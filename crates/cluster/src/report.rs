@@ -1,0 +1,227 @@
+//! Run reports and the `BENCH_soak.json` trend file.
+//!
+//! A [`RunReport`] is the full outcome of one simulation (serializable;
+//! what the tests assert on). A [`TrendPoint`] is its one-line nightly
+//! distillation: the soak CI leg appends one per run to
+//! `BENCH_soak.json`, making multi-PR robustness trajectories — loss
+//! rate, protected-floor compliance, decision throughput, violation
+//! count — a first-class tracked artifact alongside the other
+//! `BENCH_*.json` families.
+
+use serde::{Deserialize, Serialize};
+use ss_overload::LossLedger;
+
+/// One rendered invariant violation.
+#[derive(Debug, Clone, Serialize)]
+pub struct ViolationReport {
+    /// Node it fired on (−1 = cluster-level egress check).
+    pub node: i64,
+    /// Virtual tick of detection.
+    pub tick: u64,
+    /// Stable invariant name.
+    pub invariant: String,
+    /// Human-readable description.
+    pub detail: String,
+    /// One-line command that replays the run bit-identically.
+    pub repro: String,
+}
+
+/// The full outcome of one cluster run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunReport {
+    /// Virtual ticks actually run (< configured horizon iff halted).
+    pub ticks_run: u64,
+    /// Endsystems simulated.
+    pub nodes: u64,
+    /// Arrivals offered across the cluster.
+    pub offered: u64,
+    /// Winners transmitted by node fabrics.
+    pub transmitted: u64,
+    /// Winners forwarded by the linecard.
+    pub egressed: u64,
+    /// Winners still queued at the linecard.
+    pub egress_queued: u64,
+    /// Winners dropped at the bounded linecard queue.
+    pub egress_dropped: u64,
+    /// Merged per-site loss partition.
+    pub ledger: LossLedger,
+    /// Packets serviced from fully-protected slots.
+    pub protected_serviced: u64,
+    /// Of those, packets that met their deadline.
+    pub protected_met: u64,
+    /// Shards crashed by the fault schedule.
+    pub shard_crashes: u64,
+    /// Per-node replay fingerprints.
+    pub node_fingerprints: Vec<u64>,
+    /// Cluster replay fingerprint (winner sequences + ledger + egress).
+    pub fingerprint: u64,
+    /// Violations, in detection order.
+    pub violations: Vec<ViolationReport>,
+}
+
+impl RunReport {
+    /// Cluster loss rate, ‰ of offered load.
+    pub fn loss_permille(&self) -> u64 {
+        if self.offered == 0 {
+            return 0;
+        }
+        self.ledger.total() * 1000 / self.offered
+    }
+
+    /// Deadline-met rate on fully-protected slots, ‰.
+    pub fn protected_met_permille(&self) -> u64 {
+        if self.protected_serviced == 0 {
+            return 1000;
+        }
+        self.protected_met * 1000 / self.protected_serviced
+    }
+
+    /// Egress drop rate, ‰ of transmitted winners.
+    pub fn egress_drop_permille(&self) -> u64 {
+        if self.transmitted == 0 {
+            return 0;
+        }
+        self.egress_dropped * 1000 / self.transmitted
+    }
+}
+
+/// One nightly soak observation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrendPoint {
+    /// Wall-clock time of the run, unix seconds.
+    pub unix_s: u64,
+    /// Run seed.
+    pub seed: u64,
+    /// Scenario, in `ScenarioSpec::parse` form.
+    pub scenario: String,
+    /// Fault profile name.
+    pub faults: String,
+    /// Endsystems.
+    pub nodes: u64,
+    /// Shards per endsystem.
+    pub shards: u64,
+    /// Slots per endsystem.
+    pub slots: u64,
+    /// Virtual ticks run.
+    pub ticks: u64,
+    /// Winners transmitted (the soak's "decisions").
+    pub decisions: u64,
+    /// Wall-clock of the run, milliseconds.
+    pub wall_ms: u64,
+    /// Virtual decisions per wall second.
+    pub decisions_per_s: f64,
+    /// Cluster loss rate, ‰ of offered.
+    pub loss_permille: u64,
+    /// Protected-floor deadline-met rate, ‰.
+    pub protected_met_permille: u64,
+    /// Egress drop rate, ‰ of transmitted.
+    pub egress_drop_permille: u64,
+    /// Invariant violations observed (0 on a healthy run).
+    pub violations: u64,
+    /// Cluster replay fingerprint.
+    pub fingerprint: u64,
+}
+
+/// The `BENCH_soak.json` schema.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TrendFile {
+    /// Observations, append-only, oldest first.
+    pub points: Vec<TrendPoint>,
+}
+
+/// Appends `point` to the trend file at `path`, creating it if absent.
+/// An unreadable existing file is an error, never silently overwritten.
+pub fn append_trend(path: &std::path::Path, point: TrendPoint) -> Result<(), String> {
+    let mut file = match std::fs::read_to_string(path) {
+        Ok(text) => serde_json::from_str::<TrendFile>(&text)
+            .map_err(|e| format!("{} exists but does not parse: {e}", path.display()))?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => TrendFile::default(),
+        Err(e) => return Err(format!("reading {}: {e}", path.display())),
+    };
+    file.points.push(point);
+    let json =
+        serde_json::to_string_pretty(&file).map_err(|e| format!("serializing trend file: {e}"))?;
+    std::fs::write(path, json).map_err(|e| format!("writing {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(ticks: u64) -> TrendPoint {
+        TrendPoint {
+            unix_s: 1_754_000_000,
+            seed: 0xC0FF_EE00,
+            scenario: "steady:rate=2000".to_string(),
+            faults: "chaos".to_string(),
+            nodes: 4,
+            shards: 4,
+            slots: 8,
+            ticks,
+            decisions: ticks / 2,
+            wall_ms: 120,
+            decisions_per_s: 1_000_000.0,
+            loss_permille: 210,
+            protected_met_permille: 993,
+            egress_drop_permille: 12,
+            violations: 0,
+            fingerprint: 0xDEAD_BEEF,
+        }
+    }
+
+    #[test]
+    fn trend_file_appends_and_round_trips() {
+        let dir = std::env::temp_dir().join("ss_cluster_trend_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("BENCH_soak.json");
+        let _ = std::fs::remove_file(&path);
+        append_trend(&path, point(100)).expect("first append");
+        append_trend(&path, point(200)).expect("second append");
+        let parsed: TrendFile =
+            serde_json::from_str(&std::fs::read_to_string(&path).expect("readable"))
+                .expect("parses");
+        assert_eq!(parsed.points.len(), 2);
+        assert_eq!(parsed.points[0].ticks, 100);
+        assert_eq!(parsed.points[1].ticks, 200);
+        assert_eq!(parsed.points[1].scenario, "steady:rate=2000");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_trend_file_is_an_error_not_an_overwrite() {
+        let dir = std::env::temp_dir().join("ss_cluster_trend_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("BENCH_soak_corrupt.json");
+        std::fs::write(&path, "not json").expect("write");
+        assert!(append_trend(&path, point(1)).is_err());
+        assert_eq!(
+            std::fs::read_to_string(&path).expect("still there"),
+            "not json",
+            "the corrupt file is preserved for forensics"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn report_rates_guard_division() {
+        let r = RunReport {
+            ticks_run: 0,
+            nodes: 0,
+            offered: 0,
+            transmitted: 0,
+            egressed: 0,
+            egress_queued: 0,
+            egress_dropped: 0,
+            ledger: LossLedger::new(),
+            protected_serviced: 0,
+            protected_met: 0,
+            shard_crashes: 0,
+            node_fingerprints: Vec::new(),
+            fingerprint: 0,
+            violations: Vec::new(),
+        };
+        assert_eq!(r.loss_permille(), 0);
+        assert_eq!(r.protected_met_permille(), 1000);
+        assert_eq!(r.egress_drop_permille(), 0);
+    }
+}

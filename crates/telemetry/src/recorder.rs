@@ -316,6 +316,8 @@ pub enum DumpReason {
     Panic,
     /// Explicit operator/test request.
     Manual,
+    /// A continuously-checked simulation/soak invariant failed.
+    InvariantViolation,
 }
 
 /// A flight-recorder snapshot: the last-N events before `reason` fired,

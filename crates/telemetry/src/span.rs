@@ -130,6 +130,9 @@ pub enum Stage {
     BreakerOpen = 36,
     /// Control: the decision watchdog declared the path stuck.
     WatchdogTrip = 37,
+    /// Control: a continuously-checked simulation invariant failed
+    /// (`detail` = invariant code, `arg` = node).
+    InvariantViolation = 38,
 }
 
 impl Stage {
@@ -156,7 +159,8 @@ impl Stage {
             | Stage::Failover
             | Stage::RungChange
             | Stage::BreakerOpen
-            | Stage::WatchdogTrip => None,
+            | Stage::WatchdogTrip
+            | Stage::InvariantViolation => None,
         }
     }
 
@@ -179,6 +183,7 @@ impl Stage {
             Stage::RungChange => "rung_change",
             Stage::BreakerOpen => "breaker_open",
             Stage::WatchdogTrip => "watchdog_trip",
+            Stage::InvariantViolation => "invariant_violation",
         }
     }
 }

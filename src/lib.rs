@@ -53,6 +53,7 @@
 //! | [`sharded`] | scale-out frontend: K fabric shards with a Table-2 comparator winner-merge, inline (exact) and thread-per-shard modes |
 //! | [`linecard`] | switch line-card realization with dual-ported SRAM |
 //! | [`overload`] | overload control plane: window-aware admission, hierarchical backpressure, QoS-aware shedding, per-shard breakers, degradation ladder |
+//! | [`cluster`] | deterministic cluster-scale simulation + soak lab: scenario generators, per-tick invariant engine, flight-dump repro pipeline, `soak` binary |
 //! | [`framework`] | Figure-1 feasibility reasoning |
 //! | `telemetry` | (cargo feature `telemetry`) lock-free metric registry, Table-3 QoS accounting, decision-cycle trace rings, JSON/Prometheus exporters |
 //!
@@ -66,6 +67,7 @@
 pub mod failover;
 
 pub use failover::{FailoverScheduler, SchedulerPath};
+pub use ss_cluster as cluster;
 pub use ss_core as core;
 pub use ss_disciplines as disciplines;
 pub use ss_endsystem as endsystem;

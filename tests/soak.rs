@@ -1,17 +1,39 @@
-//! Long-run soak tests (ignored by default; run with `--ignored`).
+//! Long-run soak tests, in two gears:
+//!
+//! * **smoke gear** (default, runs on every CI leg): the same invariant
+//!   bodies at an env-scaled horizon — `SS_SOAK_DECISIONS` sets the
+//!   decision count (default 20 000, enough for several 16-bit tag
+//!   half-spaces of headroom while staying sub-second);
+//! * **full gear** (`--ignored`): the original million-decision runs.
 //!
 //! ```sh
-//! cargo test --release --test soak -- --ignored
+//! cargo test --release --test soak                    # smoke gear
+//! SS_SOAK_DECISIONS=200000 cargo test --test soak     # bigger smoke
+//! cargo test --release --test soak -- --ignored       # full gear
 //! ```
 //!
-//! Million-decision runs checking that invariants survive far past where
-//! the ordinary suite looks: 16-bit tag wrap-around epochs, counter
-//! consistency over long horizons, and fabric/RTL lock-step at scale.
+//! The same invariants also run continuously inside the cluster
+//! simulator's per-tick checker set (`ss-cluster`'s `CounterSanity`), so
+//! long-horizon coverage no longer depends on remembering `--ignored`.
+//!
+//! Invariants checked far past where the ordinary suite looks: 16-bit
+//! tag wrap-around epochs, counter consistency over long horizons, and
+//! fabric/RTL lock-step at scale.
 
 use sharestreams::core::{
     Fabric, FabricConfig, FabricConfigKind, LatePolicy, RtlFabric, StreamState,
 };
 use sharestreams::types::{WindowConstraint, Wrap16};
+
+/// Decision horizon for the smoke gear: `SS_SOAK_DECISIONS` when set and
+/// parseable, else `default`.
+fn soak_decisions(default: u64) -> u64 {
+    std::env::var("SS_SOAK_DECISIONS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+        .max(1)
+}
 
 fn state(period: u64, policy: LatePolicy) -> StreamState {
     StreamState {
@@ -22,13 +44,10 @@ fn state(period: u64, policy: LatePolicy) -> StreamState {
     }
 }
 
-/// A million decisions: tags wrap the 16-bit space ~15 times; conservation
-/// and counter invariants must hold throughout.
-#[test]
-#[ignore = "soak: ~1M decisions"]
-fn million_decision_conservation() {
+/// Tags wrap the 16-bit space every ~65k decisions; conservation and
+/// counter invariants must hold throughout `decisions` of them.
+fn run_decision_conservation(decisions: u64) {
     const N: usize = 8;
-    const DECISIONS: u64 = 1_000_000;
     let mut fabric = Fabric::new(FabricConfig::dwcs(N, FabricConfigKind::WinnerOnly)).unwrap();
     let policies = [LatePolicy::ServeLate, LatePolicy::Drop, LatePolicy::Renew];
     for s in 0..N {
@@ -42,7 +61,8 @@ fn million_decision_conservation() {
     }
     let mut pushed = [0u64; N];
     let mut transmitted = [0u64; N];
-    for d in 0..DECISIONS {
+    let check_every = (decisions / 10).max(1);
+    for d in 0..decisions {
         // Keep a rolling backlog; arrival tags wrap naturally.
         for (s, count) in pushed.iter_mut().enumerate() {
             while fabric.backlog(s).unwrap() < 4 {
@@ -54,7 +74,7 @@ fn million_decision_conservation() {
         for p in outcome.packets() {
             transmitted[p.slot.index()] += 1;
         }
-        if d % 100_000 == 0 {
+        if d % check_every == 0 {
             for s in 0..N {
                 let c = fabric.slot_counters(s).unwrap();
                 assert_eq!(
@@ -66,18 +86,17 @@ fn million_decision_conservation() {
             }
         }
     }
-    assert_eq!(fabric.decision_count(), DECISIONS);
+    assert_eq!(fabric.decision_count(), decisions);
     let total: u64 = transmitted.iter().sum();
     assert_eq!(
-        total, DECISIONS,
+        total, decisions,
         "WR transmits exactly one packet per decision when backlogged"
     );
 }
 
-/// Fabric and RTL stay in lock-step across 200k interleaved decisions.
-#[test]
-#[ignore = "soak: 200k differential decisions"]
-fn long_differential_lock_step() {
+/// Fabric and RTL stay in lock-step across `decisions` interleaved
+/// decision cycles.
+fn run_differential_lock_step(decisions: u64) {
     const N: usize = 4;
     let config = FabricConfig::dwcs(N, FabricConfigKind::Base);
     let mut functional = Fabric::new(config).unwrap();
@@ -90,7 +109,7 @@ fn long_differential_lock_step() {
         rtl.load_stream(s, st, (s + 1) as u64).unwrap();
     }
     let mut seq = 0u64;
-    for d in 0..200_000u64 {
+    for d in 0..decisions {
         // Pseudo-random-ish arrival pattern without an RNG: push to the
         // slot selected by a linear congruence, twice every three cycles.
         if d % 3 != 0 {
@@ -114,11 +133,9 @@ fn long_differential_lock_step() {
     }
 }
 
-/// The 16-bit deadline field wraps many epochs without disturbing pairwise
+/// The 16-bit deadline field wraps epochs without disturbing pairwise
 /// ordering (live deadlines stay within a half-space of each other).
-#[test]
-#[ignore = "soak: tag wrap epochs"]
-fn deadline_wrap_epochs_stay_ordered() {
+fn run_deadline_wrap_epochs(decisions: u64) {
     const N: usize = 4;
     let mut fabric = Fabric::new(FabricConfig::edf(N, FabricConfigKind::WinnerOnly)).unwrap();
     for s in 0..N {
@@ -127,8 +144,7 @@ fn deadline_wrap_epochs_stay_ordered() {
             .unwrap();
     }
     let mut pushed = [0u64; N];
-    // 500k decisions ≈ 7.6 wraps of the 16-bit space at 1 packet-time each.
-    for _ in 0..500_000u64 {
+    for _ in 0..decisions {
         for (s, count) in pushed.iter_mut().enumerate() {
             while fabric.backlog(s).unwrap() < 2 {
                 fabric.push_arrival(s, Wrap16::from_wide(*count)).unwrap();
@@ -147,4 +163,44 @@ fn deadline_wrap_epochs_stay_ordered() {
         max - min <= 2,
         "equal-rate streams drifted apart across wrap epochs: {counts:?}"
     );
+}
+
+// ---- smoke gear: every CI leg, env-scalable ----
+
+#[test]
+fn decision_conservation_smoke() {
+    run_decision_conservation(soak_decisions(20_000));
+}
+
+#[test]
+fn differential_lock_step_smoke() {
+    run_differential_lock_step(soak_decisions(20_000));
+}
+
+#[test]
+fn deadline_wrap_epochs_smoke() {
+    run_deadline_wrap_epochs(soak_decisions(20_000));
+}
+
+// ---- full gear: `--ignored` ----
+
+/// A million decisions: tags wrap the 16-bit space ~15 times.
+#[test]
+#[ignore = "soak: ~1M decisions"]
+fn million_decision_conservation() {
+    run_decision_conservation(1_000_000);
+}
+
+/// Fabric and RTL stay in lock-step across 200k interleaved decisions.
+#[test]
+#[ignore = "soak: 200k differential decisions"]
+fn long_differential_lock_step() {
+    run_differential_lock_step(200_000);
+}
+
+/// 500k decisions ≈ 7.6 wraps of the 16-bit space at 1 packet-time each.
+#[test]
+#[ignore = "soak: tag wrap epochs"]
+fn deadline_wrap_epochs_stay_ordered() {
+    run_deadline_wrap_epochs(500_000);
 }
