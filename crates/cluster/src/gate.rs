@@ -76,6 +76,7 @@ impl NodeGate {
     /// Offers one arrival for `slot`. `true` admits it to the fabric;
     /// `false` records the loss (admission or shed) in the ledger.
     /// Registered hot path: integer-only, allocation-free, panic-free.
+    // lint:hot-path
     #[inline]
     pub fn offer(&mut self, slot: usize) -> bool {
         if !self.admission.try_admit(slot) {
@@ -98,6 +99,7 @@ impl NodeGate {
 
     /// Records a served outcome for `slot` (advances its loss window).
     /// Registered hot path.
+    // lint:hot-path
     #[inline]
     pub fn served(&mut self, slot: usize) {
         self.shedder.record_served(slot);
@@ -105,6 +107,7 @@ impl NodeGate {
 
     /// Records a ring-site loss (overflow burst consumed an admitted
     /// arrival before the fabric saw it). Registered hot path.
+    // lint:hot-path
     #[inline]
     pub fn ring_drop(&mut self) {
         self.ledger.record(LossSite::Ring);
@@ -112,6 +115,7 @@ impl NodeGate {
 
     /// Records `n` shard-site losses (written-off backlog of a crashed
     /// shard, or arrivals addressed to dead slots). Registered hot path.
+    // lint:hot-path
     #[inline]
     pub fn shard_loss(&mut self, n: u64) {
         self.ledger.record_n(LossSite::Shard, n);
@@ -120,6 +124,7 @@ impl NodeGate {
     /// One virtual tick elapses: observe fabric occupancy, advance the
     /// pressure signal, and refill admission at the resulting level.
     /// Registered hot path.
+    // lint:hot-path
     #[inline]
     pub fn tick(&mut self, occupied: usize, capacity: usize) {
         let level = self.pressure.observe(occupied, capacity);

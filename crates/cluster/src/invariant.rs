@@ -143,6 +143,7 @@ impl InvariantEngine {
     /// returning) the first violated invariant. Registered hot path: the
     /// every-tick checks are O(slots) integer reads; formatting happens
     /// only in violation reporting, outside this function.
+    // lint:hot-path
     #[inline]
     pub fn check_node(&mut self, node: &SimNode, tick: u64) -> Option<Invariant> {
         let failed = self.first_failure(node, tick);
@@ -157,6 +158,7 @@ impl InvariantEngine {
     }
 
     /// The per-node checks, first failure wins. Registered hot path.
+    // lint:hot-path
     #[inline]
     fn first_failure(&self, node: &SimNode, tick: u64) -> Option<Invariant> {
         let live_backlog = node.recomputed_backlog();
@@ -205,6 +207,7 @@ impl InvariantEngine {
     }
 
     /// Checks cluster-level egress conservation. Registered hot path.
+    // lint:hot-path
     #[inline]
     pub fn check_egress(&mut self, egress: EgressView, tick: u64) -> Option<Invariant> {
         if egress.transmitted != egress.egressed + egress.queued + egress.dropped {

@@ -152,6 +152,7 @@ impl SimNode {
     /// fixed phase order) and returns this tick's winner, if any.
     /// Registered hot path: no allocation beyond optional winner capture,
     /// no panic, no formatting.
+    // lint:hot-path
     #[inline]
     pub fn step(&mut self, tick: u64, scenario: &Scenario, seed: u64) -> Option<Winner> {
         self.sample_faults();
@@ -204,6 +205,7 @@ impl SimNode {
 
     /// Samples the shard / decision / ring fault sites and arms their
     /// effects. Registered hot path.
+    // lint:hot-path
     #[inline]
     fn sample_faults(&mut self) {
         match self.injector.sample(FaultSite::Shard) {
@@ -225,6 +227,7 @@ impl SimNode {
 
     /// Offers one arrival for `slot` through gate → ring → fabric,
     /// ledgering the first site that consumes it. Registered hot path.
+    // lint:hot-path
     #[inline]
     fn offer_one(&mut self, slot: usize, tick: u64) {
         self.offered += 1;
@@ -255,6 +258,7 @@ impl SimNode {
 
     /// Books one transmitted winner: loss-window advance, virtual-time
     /// monotonicity, replay fingerprint. Registered hot path.
+    // lint:hot-path
     #[inline]
     fn account_winner(&mut self, p: ScheduledPacket) -> Winner {
         self.transmitted += 1;
@@ -319,6 +323,7 @@ impl SimNode {
 
     /// Recomputes the live fabric backlog from scratch (BacklogMirror's
     /// reference side). Registered hot path: runs every tick.
+    // lint:hot-path
     #[inline]
     pub fn recomputed_backlog(&self) -> u64 {
         let mut sum = 0u64;

@@ -260,6 +260,7 @@ impl Scenario {
 
     /// Aggregate intensity at `tick`, ‰ arrivals per node per tick.
     /// Integer-only piecewise shapes; registered hot path.
+    // lint:hot-path
     #[inline]
     pub fn intensity_permille(&self, tick: u64) -> u32 {
         let s = &self.spec;
@@ -307,6 +308,7 @@ impl Scenario {
     /// `(seed, node, tick)` — draw order is node-local, so any stepping
     /// order or thread count produces identical counts. Registered hot
     /// path: integer-only, allocation-free, panic-free.
+    // lint:hot-path
     #[inline]
     pub fn sample_arrivals(&self, seed: u64, node: usize, tick: u64, counts: &mut [u32]) -> u32 {
         let intensity = self.intensity_permille(tick);

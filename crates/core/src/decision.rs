@@ -120,6 +120,7 @@ impl RuleCounters {
 /// Returns the ordering (`Less` means `a` wins) and the rule that decided.
 /// This free function is the combinational core; [`DecisionBlock`] wraps it
 /// with firing counters.
+// lint:hot-path
 pub fn order(a: &StreamAttrs, b: &StreamAttrs, mode: ComparisonMode) -> (Ordering, DecisionRule) {
     // Rule 0 (implicit in hardware): an empty slot always loses.
     match (a.valid, b.valid) {
@@ -184,6 +185,7 @@ fn fcfs_then_slot(a: &StreamAttrs, b: &StreamAttrs) -> (Ordering, DecisionRule) 
     }
 }
 
+// lint:hot-path
 fn slot_tiebreak(a: &StreamAttrs, b: &StreamAttrs) -> Ordering {
     a.slot.cmp(&b.slot)
 }
@@ -279,6 +281,7 @@ fn cmp_term(a: u64, b: u64) -> i32 {
 /// With the `simd` feature enabled, pass-sized batches are dispatched to a
 /// runtime-detected `std::arch` kernel; this portable branchless scalar
 /// loop is both the fallback and the reference.
+// lint:hot-path
 pub fn compare_batch(
     src_w: &[u64],
     src_k: &[u32],
@@ -320,6 +323,7 @@ pub fn compare_batch(
 /// verdict. The winner is `a` iff the committed term is strictly negative
 /// (`Equal` routes `b` to the winner port, as `DecisionBlock::compare`
 /// does).
+// lint:hot-path
 fn swar_pass<const MODE: u8>(
     src_w: &[u64],
     src_k: &[u32],

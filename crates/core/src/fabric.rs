@@ -330,6 +330,7 @@ impl Fabric {
 
     /// Refreshes slot `i`'s canonical attribute word from its register (and
     /// the packed lane mirror, when the batched path maintains one).
+    // lint:hot-path
     #[inline]
     fn refresh_word(&mut self, i: usize) {
         let a = self.registers[i].attrs();
@@ -344,6 +345,7 @@ impl Fabric {
     /// rule set: the default updater is a unit struct, so this inlines the
     /// update rules into the hot loop instead of an indirect call per
     /// packet.
+    // lint:hot-path
     #[inline]
     fn service_slot(&mut self, slot: usize, t: u64) -> Option<(u64, bool)> {
         if self.updater_is_dwcs {
@@ -354,6 +356,7 @@ impl Fabric {
     }
 
     /// Runs `slot`'s loser deadline-expiry check (same devirtualization).
+    // lint:hot-path
     #[inline]
     fn expiry_slot(&mut self, slot: usize, t: u64) -> bool {
         if self.updater_is_dwcs {
@@ -433,6 +436,7 @@ impl Fabric {
     /// Deposits a packet arrival tag into `slot`'s queue. Idle slots with
     /// stale deadlines are re-anchored to the current scheduler time (see
     /// [`RegisterBaseBlock::push_arrival`]).
+    // lint:hot-path
     pub fn push_arrival(&mut self, slot: usize, arrival: Wrap16) -> Result<()> {
         self.check_slot(slot)?;
         let now = self.now;
@@ -445,6 +449,7 @@ impl Fabric {
     /// Batched arrival deposit: one bounds-checked pass over `(slot, tag)`
     /// pairs. Amortizes the per-call dispatch when an endsystem drains a
     /// whole ring of arrivals at once. Stops at the first invalid slot.
+    // lint:hot-path
     pub fn push_arrivals(&mut self, arrivals: &[(usize, Wrap16)]) -> Result<()> {
         for &(slot, arrival) in arrivals {
             self.push_arrival(slot, arrival)?;
@@ -503,6 +508,7 @@ impl Fabric {
     /// transmitted packets (in transmission order) in the persistent
     /// `block_buf`. Steady state touches only the preallocated scratch
     /// buffers — no heap traffic per cycle.
+    // lint:hot-path
     fn decision_cycle_core(&mut self) {
         if self.faults.begin_cycle() {
             self.blocked_cycle();
@@ -696,6 +702,7 @@ impl Fabric {
     /// transmitted packets (in transmission order) in the fabric's
     /// persistent block buffer. For WR the slice holds at most one packet.
     /// The slice is invalidated by the next decision cycle.
+    // lint:hot-path
     pub fn decision_cycle_into(&mut self) -> &[ScheduledPacket] {
         self.decision_cycle_core();
         &self.block_buf
@@ -711,6 +718,7 @@ impl Fabric {
     /// appended. With a sink of sufficient capacity the whole batch is
     /// allocation-free; the FSM dispatch and bounds checks are amortized
     /// across the batch.
+    // lint:hot-path
     pub fn decision_cycles(&mut self, n: u64, sink: &mut Vec<ScheduledPacket>) -> usize {
         let mut appended = 0;
         for _ in 0..n {
@@ -814,6 +822,7 @@ impl Fabric {
     /// because the Table 2 rule chain with the slot tie-break is a total
     /// order. This is the probe a sharded frontend uses to collect shard
     /// proposals before the global merge decides who transmits.
+    // lint:hot-path
     pub fn peek_winner(&self) -> StreamAttrs {
         let mode = self.config.mode;
         let mut best = self.registers[0].attrs();
@@ -831,6 +840,7 @@ impl Fabric {
     /// another stream (on another shard) had won this packet-time. The
     /// shuffle-exchange still clocks (the FSM advances), but nothing is
     /// serviced and the block buffer is left empty.
+    // lint:hot-path
     pub fn expire_cycle(&mut self) {
         if self.faults.begin_cycle() {
             self.blocked_cycle();
@@ -859,6 +869,7 @@ impl Fabric {
     /// state — service, expiry, priority update — changes. This is what a
     /// stuck SCHEDULE↔PRIORITY_UPDATE loop looks like from outside: time
     /// passes, nothing is scheduled.
+    // lint:hot-path
     #[cfg_attr(not(feature = "faults"), allow(dead_code))]
     fn blocked_cycle(&mut self) {
         self.decision_count += 1;

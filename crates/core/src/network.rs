@@ -34,6 +34,7 @@ fn check_n(n: usize) {
 /// The perfect shuffle permutation, written into a caller-provided buffer
 /// (`dst[2i] = src[i]`, `dst[2i+1] = src[i + n/2]`). This is the hot-path
 /// form: no allocation, mirroring the hardware's fixed wiring.
+// lint:hot-path
 pub fn perfect_shuffle_into<T: Copy>(src: &[T], dst: &mut [T]) {
     let n = src.len();
     debug_assert!(n.is_power_of_two() && n >= 2);
@@ -58,6 +59,7 @@ pub fn perfect_shuffle<T: Copy>(words: &[T]) -> Vec<T> {
 /// adjacent pair in place (winner to the even port, loser to the odd port).
 /// This is the BA (Base Architecture) datapath where both winners and losers
 /// are routed. No allocation.
+// lint:hot-path
 pub fn shuffle_exchange_pass_into(
     src: &[StreamAttrs],
     dst: &mut [StreamAttrs],
@@ -94,6 +96,7 @@ pub fn shuffle_exchange_pass(
 /// current buffer into the other, and no allocation occurs. Returns
 /// `(result_in_a, cycles)` where `result_in_a` says which buffer holds the
 /// final block (position 0 = highest priority, position N−1 = lowest).
+// lint:hot-path
 pub fn ba_decision_ping_pong(
     a: &mut [StreamAttrs],
     b: &mut [StreamAttrs],
@@ -121,6 +124,7 @@ pub fn ba_decision_ping_pong(
 /// between the two scratch lane buffers, so the caller never copies the
 /// planes into scratch first. Returns `(in_a, network_cycles)` exactly like
 /// [`ba_decision_ping_pong_batched`].
+// lint:hot-path
 #[allow(clippy::too_many_arguments)]
 pub fn ba_decision_from_planes(
     src_w: &[u64],
@@ -157,6 +161,7 @@ pub fn ba_decision_from_planes(
 /// wiring, one pass over memory). Rule firings are tallied into
 /// `counters`; the derived window-rank keys travel in lockstep with the
 /// words. No allocation.
+// lint:hot-path
 pub fn shuffle_exchange_pass_batched(
     src_w: &[u64],
     src_k: &[u32],
@@ -177,6 +182,7 @@ pub fn shuffle_exchange_pass_batched(
 /// [`ba_decision_ping_pong`], bit-identical block for block. The input
 /// starts in the `a` planes; returns `(result_in_a, cycles)` naming the
 /// plane pair holding the final block. No allocation.
+// lint:hot-path
 pub fn ba_decision_ping_pong_batched(
     a_w: &mut [u64],
     a_k: &mut [u32],
@@ -219,6 +225,7 @@ pub fn ba_decision(
 /// compacts the winners into the front of `scratch`, so the buffer is
 /// clobbered but nothing is allocated. Returns the winning attribute word
 /// and the number of network cycles consumed.
+// lint:hot-path
 pub fn wr_decision_in_place(
     scratch: &mut [StreamAttrs],
     blocks: &mut [DecisionBlock],

@@ -215,6 +215,7 @@ impl RegisterBaseBlock {
     /// The attribute word this slot drives onto the fabric wires.
     ///
     /// Valid only when a stream is bound *and* a packet is queued.
+    // lint:hot-path
     pub fn attrs(&self) -> StreamAttrs {
         match (&self.state, self.queue.front()) {
             (Some(state), Some(&arrival)) => StreamAttrs {
@@ -248,6 +249,7 @@ impl RegisterBaseBlock {
     /// canonical [`crate::DwcsUpdater`]) the window-update rules inline into
     /// the caller instead of going through the vtable — the fabric's block
     /// service loop runs one of these per transmitted packet.
+    // lint:hot-path
     #[inline]
     pub fn service_with<U: PriorityUpdater + ?Sized>(
         &mut self,
@@ -301,6 +303,7 @@ impl RegisterBaseBlock {
     }
 
     /// Monomorphic form of [`Self::expiry_check`] (see [`Self::service_with`]).
+    // lint:hot-path
     #[inline]
     pub fn expiry_check_with<U: PriorityUpdater + ?Sized>(
         &mut self,

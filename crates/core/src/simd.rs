@@ -28,6 +28,7 @@ use ss_types::ComparisonMode;
 /// Returns `false` (nothing written) when no kernel applies: unsupported
 /// ISA, missing CPU feature, or a batch whose comparator count is not a
 /// multiple of the lane width.
+// lint:hot-path
 pub(crate) fn try_compare_batch(
     src_w: &[u64],
     src_k: &[u32],
@@ -38,7 +39,16 @@ pub(crate) fn try_compare_batch(
 ) -> bool {
     #[cfg(target_arch = "x86_64")]
     {
-        if !(src_w.len() / 2).is_multiple_of(4) {
+        // Shape guard: `half` must be a quad multiple and every buffer at
+        // least as long as its source — this is the entire bounds contract
+        // the unsafe load/store helpers inside `avx2_pass` rely on, so it
+        // is checked once here (falling back to the scalar kernel) instead
+        // of per-iteration asserts on the hot path.
+        if !(src_w.len() / 2).is_multiple_of(4)
+            || src_k.len() != src_w.len()
+            || dst_w.len() < src_w.len()
+            || dst_k.len() < src_k.len()
+        {
             return false;
         }
         if !std::arch::is_x86_feature_detected!("avx2") {
@@ -46,8 +56,8 @@ pub(crate) fn try_compare_batch(
         }
         // SAFETY: AVX2 availability was verified at runtime on the line
         // above, which is the entire contract of the target-feature
-        // functions; memory access happens only in the bounds-asserted
-        // helpers inside.
+        // functions; memory access happens only in the helpers inside,
+        // whose bounds preconditions follow from the shape guard above.
         unsafe {
             match mode {
                 ComparisonMode::Dwcs => avx2_pass::<0>(src_w, src_k, dst_w, dst_k, counts),
@@ -71,56 +81,76 @@ pub(crate) fn try_compare_batch(
 use std::arch::x86_64::{__m128i, __m256i};
 
 /// Four consecutive lane words as 64-bit lanes.
+///
+/// # Safety
+///
+/// `i + 4 <= s.len()`. Checked only in debug builds — release callers
+/// prove it from `try_compare_batch`'s shape guard plus the quad-stepped
+/// loop invariant in `avx2_pass` (a release-mode `assert!` here would put
+/// a panic on the per-cycle decision path).
 #[cfg(target_arch = "x86_64")]
 #[inline]
 #[target_feature(enable = "avx2")]
-fn load4w(s: &[u64], i: usize) -> __m256i {
+unsafe fn load4w(s: &[u64], i: usize) -> __m256i {
     use std::arch::x86_64::_mm256_loadu_si256;
-    assert!(i + 4 <= s.len());
-    // SAFETY: the assert above guarantees 32 readable bytes at `i`;
-    // `loadu` has no alignment requirement.
+    debug_assert!(i + 4 <= s.len());
+    // SAFETY: the `# Safety` contract guarantees 32 readable bytes at
+    // `i`; `loadu` has no alignment requirement.
     unsafe { _mm256_loadu_si256(s.as_ptr().add(i).cast()) }
 }
 
 /// Four consecutive window keys as 32-bit lanes.
+///
+/// # Safety
+///
+/// `i + 4 <= s.len()` (see [`load4w`]).
 #[cfg(target_arch = "x86_64")]
 #[inline]
 #[target_feature(enable = "avx2")]
-fn load4k(s: &[u32], i: usize) -> __m128i {
+unsafe fn load4k(s: &[u32], i: usize) -> __m128i {
     use std::arch::x86_64::_mm_loadu_si128;
-    assert!(i + 4 <= s.len());
-    // SAFETY: the assert above guarantees 16 readable bytes at `i`;
-    // `loadu` has no alignment requirement.
+    debug_assert!(i + 4 <= s.len());
+    // SAFETY: the `# Safety` contract guarantees 16 readable bytes at
+    // `i`; `loadu` has no alignment requirement.
     unsafe { _mm_loadu_si128(s.as_ptr().add(i).cast()) }
 }
 
 /// Stores four 64-bit lanes at `d[i..i + 4]`.
+///
+/// # Safety
+///
+/// `i + 4 <= d.len()` (see [`load4w`]).
 #[cfg(target_arch = "x86_64")]
 #[inline]
 #[target_feature(enable = "avx2")]
-fn store4w(d: &mut [u64], i: usize, v: __m256i) {
+unsafe fn store4w(d: &mut [u64], i: usize, v: __m256i) {
     use std::arch::x86_64::_mm256_storeu_si256;
-    assert!(i + 4 <= d.len());
-    // SAFETY: the assert above guarantees 32 writable bytes at `i`;
-    // `storeu` has no alignment requirement.
+    debug_assert!(i + 4 <= d.len());
+    // SAFETY: the `# Safety` contract guarantees 32 writable bytes at
+    // `i`; `storeu` has no alignment requirement.
     unsafe { _mm256_storeu_si256(d.as_mut_ptr().add(i).cast(), v) }
 }
 
 /// Stores four 32-bit lanes at `d[i..i + 4]`.
+///
+/// # Safety
+///
+/// `i + 4 <= d.len()` (see [`load4w`]).
 #[cfg(target_arch = "x86_64")]
 #[inline]
 #[target_feature(enable = "avx2")]
-fn store4k(d: &mut [u32], i: usize, v: __m128i) {
+unsafe fn store4k(d: &mut [u32], i: usize, v: __m128i) {
     use std::arch::x86_64::_mm_storeu_si128;
-    assert!(i + 4 <= d.len());
-    // SAFETY: the assert above guarantees 16 writable bytes at `i`;
-    // `storeu` has no alignment requirement.
+    debug_assert!(i + 4 <= d.len());
+    // SAFETY: the `# Safety` contract guarantees 16 writable bytes at
+    // `i`; `storeu` has no alignment requirement.
     unsafe { _mm_storeu_si128(d.as_mut_ptr().add(i).cast(), v) }
 }
 
 /// The AVX2 comparator chain, monomorphized per mode (0 = Dwcs, 1 = Edf,
 /// 2 = StaticPriority, 3 = ServiceTag — `decision`'s MODE_* indices):
 /// four pairs per iteration, 64-bit lanes.
+// lint:hot-path
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 fn avx2_pass<const MODE: u8>(
@@ -148,10 +178,18 @@ fn avx2_pass<const MODE: u8>(
 
     let mut j = 0;
     while j < half {
-        let a = load4w(src_w, j);
-        let b = load4w(src_w, j + half);
-        let ka = load4k(src_k, j);
-        let kb = load4k(src_k, j + half);
+        // SAFETY: `half` is a multiple of 4 (try_compare_batch's shape
+        // guard) and `j < half` steps by 4, so `j + 4 <= half` and
+        // `j + half + 4 <= 2 * half <= src_w.len()`; the same guard
+        // checked `src_k.len() == src_w.len()`.
+        let (a, b, ka, kb) = unsafe {
+            (
+                load4w(src_w, j),
+                load4w(src_w, j + half),
+                load4k(src_k, j),
+                load4k(src_k, j + half),
+            )
+        };
         // Bit 63 is the INVALID flag, so an invalid word is negative.
         let inv_a = _mm256_cmpgt_epi64(zero, a);
         let inv_b = _mm256_cmpgt_epi64(zero, b);
@@ -256,15 +294,23 @@ fn avx2_pass<const MODE: u8>(
         let lv = _mm256_blendv_epi8(a, b, awin);
         let lo = _mm256_unpacklo_epi64(wv, lv); // w0 l0 w2 l2
         let hi = _mm256_unpackhi_epi64(wv, lv); // w1 l1 w3 l3
-        store4w(dst_w, 2 * j, _mm256_permute2x128_si256::<0x20>(lo, hi));
-        store4w(dst_w, 2 * j + 4, _mm256_permute2x128_si256::<0x31>(lo, hi));
+        // SAFETY: `j <= half - 4`, so `2 * j + 8 <= 2 * half`, and the
+        // shape guard checked `dst_w.len() >= src_w.len() >= 2 * half`.
+        unsafe {
+            store4w(dst_w, 2 * j, _mm256_permute2x128_si256::<0x20>(lo, hi));
+            store4w(dst_w, 2 * j + 4, _mm256_permute2x128_si256::<0x31>(lo, hi));
+        }
         // The keys travel in lockstep: narrow the 64-bit lane mask to the
         // 32-bit key lanes, blend, interleave, store.
         let am128 = _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(awin, narrow));
         let wk = _mm_blendv_epi8(kb, ka, am128);
         let lk = _mm_blendv_epi8(ka, kb, am128);
-        store4k(dst_k, 2 * j, _mm_unpacklo_epi32(wk, lk));
-        store4k(dst_k, 2 * j + 4, _mm_unpackhi_epi32(wk, lk));
+        // SAFETY: same bound as the word stores, with `dst_k.len() >=
+        // src_k.len() == src_w.len()` from the shape guard.
+        unsafe {
+            store4k(dst_k, 2 * j, _mm_unpacklo_epi32(wk, lk));
+            store4k(dst_k, 2 * j + 4, _mm_unpackhi_epi32(wk, lk));
+        }
         j += 4;
     }
 

@@ -92,6 +92,7 @@ mod enabled {
 
     impl Attached {
         /// Drains every local accumulator into the registry handles.
+        // lint:hot-path
         fn flush(&mut self) {
             if self.d_decisions > 0 {
                 self.decisions.add(self.d_decisions);
@@ -249,6 +250,7 @@ mod enabled {
         /// Drains the local accumulators into the registry now. Call
         /// before reading the registry while the fabric is still live;
         /// dropping the fabric (or detaching) flushes automatically.
+        // lint:hot-path
         pub fn flush(&mut self) {
             if let Some(a) = &mut self.inner {
                 a.flush();
@@ -280,6 +282,7 @@ mod enabled {
         /// Hook: a packet arrival was deposited into `slot`'s queue.
         /// Records a `FabricArrival` stage event when spans are live;
         /// otherwise a cheap branch.
+        // lint:hot-path
         #[inline]
         pub fn on_arrival(&mut self, cycle: u64, slot: usize) {
             if let Some(sp) = &mut self.spans {
@@ -299,6 +302,7 @@ mod enabled {
         /// packets in transmission order; `expired` counts loser slots whose
         /// head packet expired this cycle; `batched` says which BA arm
         /// (packed-lane vs scalar) produced the decision.
+        // lint:hot-path
         #[inline]
         pub fn on_decision(
             &mut self,
@@ -386,6 +390,7 @@ mod enabled {
         /// injected/recovered totals live in the `ss-faults` counters, and
         /// a blocked cycle is not a *completed* decision, so the decision
         /// counters are left alone.
+        // lint:hot-path
         #[inline]
         pub fn on_fault_stall(&mut self, cycle: u64, crashed: bool) {
             let Some(a) = &mut self.inner else { return };
@@ -400,6 +405,7 @@ mod enabled {
 
         /// Hook: one grant-less expiry cycle completed (the fabric lost the
         /// packet-time to another shard).
+        // lint:hot-path
         #[inline]
         pub fn on_expire_cycle(&mut self, cycle: u64, expired: u32) {
             let Some(a) = &mut self.inner else { return };
@@ -412,6 +418,7 @@ mod enabled {
             }
         }
 
+        // lint:hot-path
         fn expiry_and_update(a: &mut Attached, cycle: u64, expired: u32) {
             if expired > 0 {
                 a.d_expired += expired as u64;
@@ -460,10 +467,12 @@ mod disabled {
         }
 
         /// Hook: a packet arrival was deposited (no-op).
+        // lint:hot-path
         #[inline(always)]
         pub fn on_arrival(&mut self, _cycle: u64, _slot: usize) {}
 
         /// Hook: one decision cycle completed (no-op).
+        // lint:hot-path
         #[inline(always)]
         pub fn on_decision(
             &mut self,
@@ -475,10 +484,12 @@ mod disabled {
         }
 
         /// Hook: one attempt consumed by a fault (no-op).
+        // lint:hot-path
         #[inline(always)]
         pub fn on_fault_stall(&mut self, _cycle: u64, _crashed: bool) {}
 
         /// Hook: one grant-less expiry cycle completed (no-op).
+        // lint:hot-path
         #[inline(always)]
         pub fn on_expire_cycle(&mut self, _cycle: u64, _expired: u32) {}
     }

@@ -181,6 +181,7 @@ impl OverloadGate {
     /// state, no panic. On [`GateVerdict::Admit`] the caller deposits the
     /// packet into the real backlog; on any other verdict the packet is
     /// already accounted in the [`LossLedger`] and must be discarded.
+    // lint:hot-path
     #[inline]
     pub fn offer(&mut self, stream: usize) -> GateVerdict {
         self.offer_traced(stream).0
@@ -189,6 +190,7 @@ impl OverloadGate {
     /// [`OverloadGate::offer`] plus the *reason* behind the verdict, for
     /// lifecycle tracing (the reason's [`GateReason::code`] rides in the
     /// `GateVerdict` stage event's detail byte). Same hot-path contract.
+    // lint:hot-path
     #[inline]
     pub fn offer_traced(&mut self, stream: usize) -> (GateVerdict, GateReason) {
         self.offered += 1;
@@ -237,6 +239,7 @@ impl OverloadGate {
     /// Records that one queued packet of `stream` left the backlog
     /// (scheduled and handed to transmission). Keeps the RED mirror and
     /// the shedder's sliding windows in lock-step with reality. Hot path.
+    // lint:hot-path
     #[inline]
     pub fn served(&mut self, stream: usize) {
         let _ = self.red.pop();
@@ -247,6 +250,7 @@ impl OverloadGate {
     /// pressure signal, publishes the level for remote throttlers, squeezes
     /// the admission refill accordingly, and advances RED's idle clock
     /// (counted only while the mirror is empty). Hot path.
+    // lint:hot-path
     #[inline]
     pub fn tick(&mut self, occupied: usize, capacity: usize) -> PressureLevel {
         let level = self.pressure.observe(occupied, capacity);

@@ -220,6 +220,18 @@ pub struct ZstCrate {
     pub check_file: String,
 }
 
+/// One lock-free protocol registered for exhaustive interleaving
+/// checking (`[[interleave.protocols]]`).
+#[derive(Debug, Clone)]
+pub struct InterleaveProtocol {
+    /// Model kind: `spsc-ring` or `shared-pressure`.
+    pub model: String,
+    /// Workspace-relative file the orderings are extracted from.
+    pub file: String,
+    /// Maximum preemptive context switches explored (CHESS-style bound).
+    pub preemption_bound: usize,
+}
+
 /// The full typed configuration.
 #[derive(Debug, Clone)]
 pub struct Config {
@@ -245,6 +257,12 @@ pub struct Config {
     /// Accept `.expect("non-empty literal")` as the sanctioned
     /// panic-on-broken-invariant idiom; `.unwrap()` stays banned.
     pub allow_expect_with_message: bool,
+    /// Lock-free protocols explored by the interleaving checker.
+    pub interleave: Vec<InterleaveProtocol>,
+    /// Cargo features active for this run (CLI `--features`, not
+    /// `lint.toml`): drives `cfg(feature)` liveness in the call-graph
+    /// passes so every CI matrix leg checks its own configuration.
+    pub active_features: Vec<String>,
 }
 
 fn strings(t: &Table, key: &str) -> Vec<String> {
@@ -288,6 +306,23 @@ impl Config {
                 require: string(t, "require", "[[atomics.protocol]]")?,
             });
         }
+        let mut interleave = Vec::new();
+        for t in doc.tables("interleave.protocols") {
+            interleave.push(InterleaveProtocol {
+                model: string(t, "model", "[[interleave.protocols]]")?,
+                file: string(t, "file", "[[interleave.protocols]]")?,
+                preemption_bound: match t.get("preemption_bound") {
+                    Some(Value::Int(n)) if *n >= 0 => *n as usize,
+                    None => 3,
+                    _ => {
+                        return err(
+                            0,
+                            "[[interleave.protocols]]: preemption_bound must be a non-negative integer",
+                        )
+                    }
+                },
+            });
+        }
         let mut zst_crates = Vec::new();
         for t in doc.tables("zst.crates") {
             zst_crates.push(ZstCrate {
@@ -310,6 +345,8 @@ impl Config {
                 errors.get("allow_expect_with_message"),
                 Some(Value::Bool(true))
             ),
+            interleave,
+            active_features: Vec::new(),
         })
     }
 

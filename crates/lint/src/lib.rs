@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod analyze;
 pub mod config;
 pub mod lexer;
 pub mod rules;
@@ -41,13 +42,19 @@ use std::collections::BTreeMap;
 use std::fmt;
 use workspace::Workspace;
 
-/// Every rule id, in report order.
-pub const RULE_IDS: [&str; 5] = [
+/// Every rule id, in report order. The first five are the per-file token
+/// rules from PR 4; the last four are the workspace-level analyses built
+/// on the symbol table and call graph (see [`analyze`]).
+pub const RULE_IDS: [&str; 9] = [
     rules::unsafe_hygiene::ID,
     rules::hot_path::ID,
     rules::atomics::ID,
     rules::zst::ID,
     rules::errors::ID,
+    analyze::callgraph::ID,
+    analyze::reachability::ID,
+    analyze::features::ID,
+    analyze::interleave::ID,
 ];
 
 /// One finding.
@@ -103,6 +110,9 @@ impl Report {
 }
 
 /// Runs one rule by id. Panics on an unknown id (caller validates).
+///
+/// The four analysis rules each rebuild the call graph when run alone via
+/// `--rule`; [`run_all`] builds it once and shares it.
 pub fn run_rule(rule: &str, ws: &Workspace, cfg: &Config, report: &mut Report) {
     match rule {
         "unsafe-hygiene" => rules::unsafe_hygiene::check(ws, cfg, report),
@@ -110,18 +120,78 @@ pub fn run_rule(rule: &str, ws: &Workspace, cfg: &Config, report: &mut Report) {
         "atomics-ordering" => rules::atomics::check(ws, cfg, report),
         "zst-off-state" => rules::zst::check(ws, cfg, report),
         "error-discipline" => rules::errors::check(ws, cfg, report),
+        "call-graph" => {
+            let analysis = analyze::callgraph::Analysis::build(ws, cfg);
+            analyze::callgraph::check(&analysis, cfg, report);
+        }
+        "hot-path-reachability" => {
+            let analysis = analyze::callgraph::Analysis::build(ws, cfg);
+            analyze::reachability::check(&analysis, cfg, report);
+        }
+        "feature-cfg" => {
+            let analysis = analyze::callgraph::Analysis::build(ws, cfg);
+            analyze::features::check(&analysis, cfg, report);
+        }
+        "spsc-interleave" => analyze::interleave::check(ws, cfg, report),
         other => unreachable!("unknown rule id `{other}` — caller validates against RULE_IDS"),
     }
 }
 
-/// Runs all five rules plus waiver-syntax validation.
+/// Runs all nine rules plus waiver-syntax validation and the sanitizer-
+/// suppression staleness check, sharing one call graph across the
+/// analysis passes.
 pub fn run_all(ws: &Workspace, cfg: &Config) -> Report {
     let mut report = Report::default();
-    for rule in RULE_IDS {
+    for rule in &RULE_IDS[..5] {
         run_rule(rule, ws, cfg, &mut report);
     }
+    let analysis = analyze::callgraph::Analysis::build(ws, cfg);
+    analyze::callgraph::check(&analysis, cfg, &mut report);
+    analyze::reachability::check(&analysis, cfg, &mut report);
+    analyze::features::check(&analysis, cfg, &mut report);
+    analyze::interleave::check(ws, cfg, &mut report);
     waiver_syntax(ws, &mut report);
+    tsan_suppressions(ws, &mut report);
     report
+}
+
+/// `.ci/tsan-suppressions.txt` staleness check (reported under
+/// `unsafe-hygiene`, whose remit is the sanctioned-unsafe surface):
+/// every active suppression line must be preceded by a `# rationale:`
+/// comment naming why the race report is a false positive, so entries
+/// can't silently accrete without a written argument.
+fn tsan_suppressions(ws: &Workspace, report: &mut Report) {
+    let rel = ".ci/tsan-suppressions.txt";
+    let path = ws.root.join(rel);
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return; // no suppression file, nothing to go stale
+    };
+    let mut prev_rationale = false;
+    for (idx, line) in text.lines().enumerate() {
+        let t = line.trim();
+        if t.is_empty() {
+            prev_rationale = false;
+            continue;
+        }
+        if let Some(comment) = t.strip_prefix('#') {
+            if comment.trim_start().starts_with("rationale:") {
+                prev_rationale = true;
+            }
+            continue;
+        }
+        report.stat("tsan suppressions audited");
+        if !prev_rationale {
+            report.violation(
+                rules::unsafe_hygiene::ID,
+                rel,
+                idx + 1,
+                format!(
+                    "suppression `{t}` has no preceding `# rationale:` comment — every TSan waiver must name why the report is a false positive"
+                ),
+            );
+        }
+        prev_rationale = false;
+    }
 }
 
 /// Validates waiver comments themselves: the rule id must exist and the

@@ -21,6 +21,7 @@ struct Args {
     root: PathBuf,
     write_zst: bool,
     rule: Option<String>,
+    features: Vec<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -28,6 +29,7 @@ fn parse_args() -> Result<Args, String> {
         root: PathBuf::from("."),
         write_zst: false,
         rule: None,
+        features: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -46,9 +48,17 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.rule = Some(r);
             }
+            "--features" => {
+                let list = it.next().ok_or("--features needs a comma-separated list")?;
+                args.features.extend(
+                    list.split(',')
+                        .map(|f| f.trim().to_string())
+                        .filter(|f| !f.is_empty()),
+                );
+            }
             "--help" | "-h" => {
                 println!(
-                    "ss-lint: workspace static analysis\n\n  --workspace-root <path>   workspace to analyze (default: .)\n  --rule <id>               run a single rule ({})\n  --write-zst-checks        regenerate the zero-sized-stub check files",
+                    "ss-lint: workspace static analysis\n\n  --workspace-root <path>   workspace to analyze (default: .)\n  --rule <id>               run a single rule ({})\n  --features <a,b>          cargo features treated as active by the cfg-aware passes\n  --write-zst-checks        regenerate the zero-sized-stub check files",
                     RULE_IDS.join(", ")
                 );
                 std::process::exit(0);
@@ -75,13 +85,14 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let cfg = match Config::parse(&config_src) {
+    let mut cfg = match Config::parse(&config_src) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("ss-lint: {e}");
             return ExitCode::from(2);
         }
     };
+    cfg.active_features = args.features.clone();
     let ws = match Workspace::load(&args.root, &cfg.exclude) {
         Ok(w) => w,
         Err(e) => {

@@ -2,6 +2,11 @@
 //! file AND carry an adjacent `// SAFETY:` comment; the crates that promise
 //! to stay safe must actually carry `#![forbid(unsafe_code)]`.
 //!
+//! One exception follows the standard-library convention: an `unsafe fn`
+//! *declaration* discharges its obligation with a `# Safety` doc section
+//! instead of a `// SAFETY:` comment — the declaration states the contract,
+//! and each call site (an `unsafe` block, still audited here) proves it.
+//!
 //! This rule is deliberately *not* waivable: the allowlist in `lint.toml`
 //! is the single place unsafe code is sanctioned, so a review of that one
 //! list is a review of the workspace's entire unsafe surface.
@@ -28,7 +33,9 @@ pub fn check(ws: &Workspace, cfg: &Config, report: &mut Report) {
                     line,
                     "`unsafe` outside the allowlist — add the file to [unsafe].allow_files in lint.toml only with a SAFETY argument".to_string(),
                 );
-            } else if !has_adjacent_safety_comment(f, line) {
+            } else if !has_adjacent_safety_comment(f, line)
+                && !is_documented_unsafe_fn(f, off, line)
+            {
                 report.violation(
                     ID,
                     &f.rel,
@@ -69,4 +76,40 @@ fn has_adjacent_safety_comment(f: &crate::workspace::SourceFile, line: usize) ->
         .comments
         .iter()
         .any(|c| c.text.contains("SAFETY:") && (c.start_line == line || c.end_line + 1 == line))
+}
+
+/// An `unsafe fn` declaration documented with a `# Safety` doc section.
+///
+/// The doc block may be separated from the declaration line by attribute
+/// lines (`#[inline]`, `#[cfg(...)]`, `#[target_feature(...)]`, ...), so
+/// the search walks upward past lines that start with `#` before asking
+/// for a doc comment ending there. Only declarations qualify — an
+/// `unsafe { ... }` block or `unsafe impl` still needs `// SAFETY:`.
+fn is_documented_unsafe_fn(f: &crate::workspace::SourceFile, off: usize, line: usize) -> bool {
+    let rest = f.masked.text[off + "unsafe".len()..].trim_start();
+    let next_word: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    if next_word != "fn" && next_word != "extern" {
+        return false;
+    }
+    let mut above = line - 1;
+    while above >= 1 {
+        let l = f
+            .masked
+            .text
+            .lines()
+            .nth(above - 1)
+            .map_or("", str::trim_start);
+        if l.starts_with('#') {
+            above -= 1;
+        } else {
+            break;
+        }
+    }
+    f.masked
+        .comments
+        .iter()
+        .any(|c| c.text.contains("# Safety") && c.end_line == above)
 }

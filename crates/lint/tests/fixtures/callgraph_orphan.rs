@@ -1,0 +1,5 @@
+//! Fixture: a `lint:hot-path` annotation with no function to attach to.
+//! Expected: exactly one `call-graph` violation.
+
+// lint:hot-path
+pub struct NotAFunction;

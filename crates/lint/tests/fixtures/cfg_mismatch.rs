@@ -1,0 +1,5 @@
+//! Fixture: a feature off-arm type with no matching on-arm in the file.
+//! Expected: exactly one `feature-cfg` violation.
+
+#[cfg(not(feature = "metrics"))]
+pub struct Hooks;

@@ -1,0 +1,37 @@
+//! Fixture: an SPSC ring running entirely on `Relaxed` orderings — the
+//! §4.2 protocol with every fence removed. (All-Relaxed keeps the file
+//! out of the atomics-ordering audit, which requires declared protocols
+//! for Acquire/Release sites.)
+//! Expected: exactly one `spsc-interleave` violation carrying a concrete
+//! data-race counterexample schedule.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct BadRing {
+    write: AtomicU64,
+    read: AtomicU64,
+}
+
+impl BadRing {
+    pub fn push(&self, _value: u64) -> bool {
+        let w = self.write.load(Ordering::Relaxed);
+        let r = self.read.load(Ordering::Relaxed);
+        if w.wrapping_sub(r) >= 2 {
+            return false;
+        }
+        // slot write happens here in the real ring; the checker's model
+        // injects the non-atomic cell write at this point.
+        self.write.store(w + 1, Ordering::Relaxed); // broken publication
+        true
+    }
+
+    pub fn pop(&self) -> bool {
+        let r = self.read.load(Ordering::Relaxed);
+        let w = self.write.load(Ordering::Relaxed);
+        if r == w {
+            return false;
+        }
+        self.read.store(r + 1, Ordering::Relaxed);
+        true
+    }
+}

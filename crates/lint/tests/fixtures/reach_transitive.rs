@@ -1,0 +1,19 @@
+//! Fixture: an annotated hot root reaching a panic two calls away.
+//! Expected: exactly one `hot-path-reachability` violation whose message
+//! carries the full two-hop witness path.
+
+// lint:hot-path
+pub fn fast_entry(x: u64) -> u64 {
+    helper(x)
+}
+
+fn helper(x: u64) -> u64 {
+    deep(x)
+}
+
+fn deep(x: u64) -> u64 {
+    if x == 7 {
+        panic!("transitively reachable from fast_entry");
+    }
+    x
+}

@@ -65,8 +65,55 @@ fn atomics_ordering_fires_exactly_once() {
     assert!(v.msg.contains("SeqCst"), "{}", v.msg);
     assert_eq!(
         r.stats.get("ordering sites audited"),
-        Some(&2),
-        "the Relaxed site is audited but allowed"
+        Some(&8),
+        "the Relaxed sites (including interleave_bad.rs's six) are audited but allowed"
+    );
+}
+
+#[test]
+fn call_graph_fires_exactly_once_on_the_orphan_annotation() {
+    let r = run_fixture_rule("call-graph");
+    assert_eq!(r.violations.len(), 1, "{:#?}", r.violations);
+    let v = &r.violations[0];
+    assert_eq!(v.file, "callgraph_orphan.rs");
+    assert_eq!(v.line, 4);
+    assert!(v.msg.contains("does not attach"), "{}", v.msg);
+}
+
+#[test]
+fn hot_path_reachability_fires_exactly_once_with_a_witness_path() {
+    let r = run_fixture_rule("hot-path-reachability");
+    assert_eq!(r.violations.len(), 1, "{:#?}", r.violations);
+    let v = &r.violations[0];
+    assert_eq!(v.file, "reach_transitive.rs");
+    assert!(
+        v.msg.contains("fast_entry → helper")
+            && v.msg.contains("→ deep")
+            && v.msg.contains("`panic!`"),
+        "witness path renders every hop: {}",
+        v.msg
+    );
+}
+
+#[test]
+fn feature_cfg_fires_exactly_once_on_the_orphan_off_arm() {
+    let r = run_fixture_rule("feature-cfg");
+    assert_eq!(r.violations.len(), 1, "{:#?}", r.violations);
+    let v = &r.violations[0];
+    assert_eq!(v.file, "cfg_mismatch.rs");
+    assert!(v.msg.contains("no matching on-arm"), "{}", v.msg);
+}
+
+#[test]
+fn spsc_interleave_fires_exactly_once_with_a_counterexample() {
+    let r = run_fixture_rule("spsc-interleave");
+    assert_eq!(r.violations.len(), 1, "{:#?}", r.violations);
+    let v = &r.violations[0];
+    assert_eq!(v.file, "interleave_bad.rs");
+    assert!(
+        v.msg.contains("data race") && v.msg.contains("producer"),
+        "counterexample schedule names the race and the threads: {}",
+        v.msg
     );
 }
 
@@ -99,14 +146,44 @@ fn error_discipline_fires_exactly_once_and_honors_the_waiver() {
 }
 
 #[test]
-fn all_rules_together_find_exactly_the_five_seeded_violations() {
+fn all_rules_together_find_exactly_the_nine_seeded_violations() {
     let (ws, cfg) = load(&fixtures_root());
     let report = run_all(&ws, &cfg);
-    assert_eq!(report.violations.len(), 5, "{:#?}", report.violations);
+    assert_eq!(report.violations.len(), 9, "{:#?}", report.violations);
     let mut rules: Vec<&str> = report.violations.iter().map(|v| v.rule).collect();
     rules.sort_unstable();
     rules.dedup();
-    assert_eq!(rules.len(), 5, "one violation per rule: {rules:?}");
+    assert_eq!(rules.len(), 9, "one violation per rule: {rules:?}");
+}
+
+/// The `// lint:hot-path` annotation sweep must cover everything the
+/// legacy `[[hot_path.functions]]` registry promises: every registered
+/// `(file, name)` resolves to at least one annotated definition, so the
+/// auto-discovered root set is a superset of the registry and the
+/// registry can eventually be retired without losing coverage.
+#[test]
+fn annotated_roots_are_a_superset_of_the_registry() {
+    let (ws, cfg) = load(&workspace_root());
+    let analysis = ss_lint::analyze::callgraph::Analysis::build(&ws, &cfg);
+    let mut unannotated = Vec::new();
+    for entry in &cfg.hot_entries {
+        for name in &entry.names {
+            let syms = analysis.named_in_file(&entry.file, name);
+            assert!(
+                !syms.is_empty(),
+                "registered `{name}` resolves in {}",
+                entry.file
+            );
+            if !syms.iter().all(|&i| analysis.fns[i].hot_annotated) {
+                unannotated.push(format!("{}::{name}", entry.file));
+            }
+        }
+    }
+    assert!(
+        unannotated.is_empty(),
+        "registered hot functions missing a `// lint:hot-path` annotation:\n{}",
+        unannotated.join("\n")
+    );
 }
 
 #[test]

@@ -104,12 +104,14 @@ impl CircuitBreaker {
 
     /// `true` when new work may be routed to the shard (Closed or
     /// HalfOpen). While false, callers shed to survivors.
+    // lint:hot-path
     #[inline]
     pub fn allows_ingest(&self) -> bool {
         !matches!(self.state, BreakerState::Open)
     }
 
     /// Accounts one packet shed because the breaker was open.
+    // lint:hot-path
     #[inline]
     pub fn record_shed(&mut self) {
         self.shed += 1;
@@ -119,6 +121,7 @@ impl CircuitBreaker {
     /// proposal (or had nothing to do), `backlog` = its queued packets at
     /// cycle start. Returns the possibly-updated state. Hot path:
     /// integer-only, no allocation, no panic.
+    // lint:hot-path
     #[inline]
     pub fn observe(&mut self, made_progress: bool, backlog: usize) -> BreakerState {
         let lagging = (backlog > 0 && !made_progress) || backlog >= self.config.trip_backlog;

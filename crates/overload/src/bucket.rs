@@ -107,6 +107,7 @@ impl AdmissionController {
     }
 
     /// The per-level clock slot a pressure level accumulates into.
+    // lint:hot-path
     #[inline]
     fn level_index(level: PressureLevel) -> usize {
         match level {
@@ -119,6 +120,7 @@ impl AdmissionController {
     /// Millitokens `class` has earned across the per-level clock deltas
     /// since `synced` — ticks spent at level `l` always refill at level
     /// `l`'s ladder rate, no matter when the bucket settles them.
+    // lint:hot-path
     #[inline]
     fn pending_refill(class: &StreamClass, synced: &LevelTicks, now: &LevelTicks) -> u64 {
         const LEVELS: [PressureLevel; 3] = [
@@ -139,6 +141,7 @@ impl AdmissionController {
 
     /// Settles `stream`'s elapsed refill into its bucket and re-anchors
     /// its sync snapshot. Callers guarantee `stream` is in range.
+    // lint:hot-path
     #[inline]
     fn sync(&mut self, stream: usize) {
         let refill = Self::pending_refill(
@@ -160,6 +163,7 @@ impl AdmissionController {
     /// expressed as a right-shift of its configured rate. The ladder:
     /// fully-protected streams are never squeezed; mid-tier streams halve
     /// then quarter; loss-tolerant streams quarter then eighth.
+    // lint:hot-path
     #[inline]
     pub fn refill_shift(level: PressureLevel, protection: u16) -> u32 {
         if protection >= PROTECTED_PERMILLE {
@@ -188,6 +192,7 @@ impl AdmissionController {
     /// cumulative clock. Every bucket's refill is settled lazily on its
     /// next touch, so this is O(1) in the stream count. Hot path:
     /// integer-only, no allocation, no panic.
+    // lint:hot-path
     #[inline]
     pub fn tick(&mut self, level: PressureLevel) {
         self.level_ticks[Self::level_index(level)] += 1;
@@ -197,6 +202,7 @@ impl AdmissionController {
     /// `false` means the arrival must be rejected at admission (and the
     /// caller records it in the loss ledger). Out-of-range streams are
     /// rejected without panicking. Hot path.
+    // lint:hot-path
     #[inline]
     pub fn try_admit(&mut self, stream: usize) -> bool {
         if stream >= self.classes.len() {

@@ -112,6 +112,7 @@ impl DegradationLadder {
     /// decision watchdog considers the scheduling path healthy. Returns
     /// the — possibly updated — rung. Hot path: integer-only, no
     /// allocation, no panic.
+    // lint:hot-path
     #[inline]
     pub fn observe(&mut self, pressure: PressureLevel, watchdog_healthy: bool) -> Rung {
         let stressed = pressure == PressureLevel::Overloaded || !watchdog_healthy;

@@ -77,6 +77,7 @@ impl LossLedger {
 
     /// Records one loss at `site`. Hot path: branch + increment, nothing
     /// else.
+    // lint:hot-path
     #[inline]
     pub fn record(&mut self, site: LossSite) {
         match site {
@@ -88,6 +89,7 @@ impl LossLedger {
     }
 
     /// Records `n` losses at `site`.
+    // lint:hot-path
     #[inline]
     pub fn record_n(&mut self, site: LossSite, n: u64) {
         match site {

@@ -119,6 +119,7 @@ impl PressureSignal {
     }
 
     /// Current level.
+    // lint:hot-path
     #[inline]
     pub fn level(&self) -> PressureLevel {
         self.level
@@ -133,6 +134,7 @@ impl PressureSignal {
     /// Feeds one occupancy observation (`occupied` of `capacity` slots)
     /// and returns the — possibly updated — level. Hot path: integer-only,
     /// no allocation, no panic (`capacity == 0` reads as empty).
+    // lint:hot-path
     #[inline]
     pub fn observe(&mut self, occupied: usize, capacity: usize) -> PressureLevel {
         let permille = if capacity == 0 {
@@ -207,6 +209,7 @@ impl SharedPressure {
     }
 
     /// Publishes `level` (monitor side).
+    // lint:hot-path
     #[inline]
     pub fn publish(&self, level: PressureLevel) {
         self.level.store(level.as_u8(), Ordering::Relaxed);
@@ -214,6 +217,7 @@ impl SharedPressure {
     }
 
     /// Reads the current level (producer side).
+    // lint:hot-path
     #[inline]
     pub fn level(&self) -> PressureLevel {
         PressureLevel::from_u8(self.level.load(Ordering::Relaxed))
@@ -227,6 +231,7 @@ impl SharedPressure {
     /// A deterministic pacing hint for ingest loops: how many arrivals to
     /// *hold back* out of every 4 offered at this pressure level (0, 1, or
     /// 3). Pure function so producer throttling replays bit-identically.
+    // lint:hot-path
     #[inline]
     pub fn holdback_per_4(level: PressureLevel) -> u32 {
         match level {

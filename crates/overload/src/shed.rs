@@ -86,6 +86,7 @@ impl QosShedder {
     /// `true` if `stream` can absorb a loss right now (its constraint is
     /// satisfied with headroom to spare). Out-of-range streams report
     /// `false` — never sheddable. Hot path.
+    // lint:hot-path
     #[inline]
     pub fn sheddable(&self, stream: usize) -> bool {
         match self.windows.get(stream) {
@@ -100,6 +101,7 @@ impl QosShedder {
     /// looser contract (smaller mandatory fraction), then the lower
     /// index — fully deterministic. Hot path: one linear scan, no
     /// allocation, no panic.
+    // lint:hot-path
     #[inline]
     pub fn pick_victim(&self) -> Option<usize> {
         let mut best: Option<(usize, u8, u32)> = None;
@@ -123,6 +125,7 @@ impl QosShedder {
     }
 
     /// Records a shed for `stream`: one loss enters its window.
+    // lint:hot-path
     #[inline]
     pub fn record_shed(&mut self, stream: usize) {
         if let Some(w) = self.windows.get_mut(stream) {
@@ -132,6 +135,7 @@ impl QosShedder {
     }
 
     /// Records a served (or otherwise non-lost) outcome for `stream`.
+    // lint:hot-path
     #[inline]
     pub fn record_served(&mut self, stream: usize) {
         if let Some(w) = self.windows.get_mut(stream) {

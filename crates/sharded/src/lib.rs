@@ -563,10 +563,10 @@ impl ShardedScheduler {
     /// Errors if `k` is out of range or already failed.
     pub fn fail_shard(&mut self, k: usize) -> Result<u64> {
         if k >= self.shards.len() {
-            return Err(Error::Config(format!(
-                "no shard {k} (have {})",
-                self.shards.len()
-            )));
+            return Err(Error::ShardOutOfRange {
+                shard: k,
+                shards: self.shards.len(),
+            });
         }
         if self.failed[k] {
             return Err(Error::ShardFailed { shard: k });

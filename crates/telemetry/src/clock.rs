@@ -35,6 +35,7 @@ fn monotonic_ns() -> u64 {
 /// the CPUs this workspace targets (invariant TSC) also monotone across
 /// threads, which is what lets the exporter stitch per-thread rings
 /// into one causal order.
+// lint:hot-path
 #[inline]
 #[must_use]
 pub fn now_tsc() -> u64 {

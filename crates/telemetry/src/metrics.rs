@@ -67,12 +67,14 @@ impl Counter {
     }
 
     /// Adds `n` to this thread's stripe.
+    // lint:hot-path
     #[inline]
     pub fn add(&self, n: u64) {
         self.cells.cells[stripe()].0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Increments by one.
+    // lint:hot-path
     #[inline]
     pub fn inc(&self) {
         self.add(1);
@@ -111,6 +113,7 @@ impl Gauge {
     }
 
     /// Adds `n` (may be negative).
+    // lint:hot-path
     #[inline]
     pub fn add(&self, n: i64) {
         self.cell.0.fetch_add(n, Ordering::Relaxed);
@@ -194,6 +197,7 @@ impl Histogram {
     }
 
     /// Records one observation.
+    // lint:hot-path
     #[inline]
     pub fn record(&self, value: u64) {
         let s = &self.cells.stripes[stripe()].0;
@@ -295,6 +299,7 @@ impl LocalHistogram {
     }
 
     /// Records one observation. Never allocates.
+    // lint:hot-path
     #[inline]
     pub fn record(&mut self, value: u64) {
         self.buckets[bucket_index(value)] += 1;

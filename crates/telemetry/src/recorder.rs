@@ -56,6 +56,7 @@ impl StageRing {
     }
 
     /// Records an event, overwriting (and counting) the oldest when full.
+    // lint:hot-path
     #[inline]
     pub fn push(&mut self, event: StageEvent) {
         self.total += 1;
@@ -227,6 +228,7 @@ impl TrackRecorder {
     }
 
     /// Records one stage crossing, stamped with the current timestamp.
+    // lint:hot-path
     #[inline]
     pub fn record(&mut self, tag: u64, cycle: u64, stage: Stage, detail: u8, arg: u32) {
         self.record_at(now_tsc(), tag, cycle, stage, detail, arg);
@@ -236,6 +238,7 @@ impl TrackRecorder {
     /// [`record_at`](Self::record_at) to record a burst of events (e.g.
     /// every win in one BA block) under a single timestamp read instead
     /// of paying `rdtsc` per event.
+    // lint:hot-path
     #[inline]
     #[must_use]
     pub fn stamp(&self) -> u64 {
@@ -246,6 +249,7 @@ impl TrackRecorder {
     /// (from [`stamp`](Self::stamp)). Within a track, ring order — not
     /// the timestamp — is the intra-burst tiebreak, so same-stamp events
     /// keep their recording order through a stable export sort.
+    // lint:hot-path
     #[inline]
     pub fn record_at(&mut self, tsc: u64, tag: u64, cycle: u64, stage: Stage, detail: u8, arg: u32) {
         self.ring.push(StageEvent {
@@ -377,6 +381,7 @@ impl FlightRecorder {
     }
 
     /// Records one event into the window.
+    // lint:hot-path
     #[inline]
     pub fn record(&mut self, event: StageEvent) {
         self.ring.push(event);
@@ -438,6 +443,7 @@ impl SharedFlightRecorder {
 
     /// Records one event unless another thread holds the ring this
     /// instant (then the event is dropped and counted — never blocks).
+    // lint:hot-path
     #[inline]
     pub fn record(&self, event: StageEvent) {
         match self.shared.recorder.try_lock() {

@@ -117,6 +117,7 @@ impl EventRing {
     }
 
     /// Records an event, overwriting (and counting) the oldest when full.
+    // lint:hot-path
     #[inline]
     pub fn push(&mut self, event: TraceEvent) {
         self.total += 1;

@@ -57,6 +57,15 @@ pub enum Error {
         /// Failed shard index.
         shard: usize,
     },
+    /// A shard index exceeded the configured shard count. Structured (not
+    /// a [`Error::Config`] string) so constructing it never allocates —
+    /// shard management is reachable from the fault-injection path.
+    ShardOutOfRange {
+        /// Offending shard index.
+        shard: usize,
+        /// Configured number of shards.
+        shards: usize,
+    },
     /// The operation is unavailable because the scheduler is running in a
     /// degraded software mode (hardware path failed over).
     DegradedMode {
@@ -112,6 +121,9 @@ impl fmt::Display for Error {
             }
             Error::ShardFailed { shard } => {
                 write!(f, "shard {shard} failed and was excluded from the merge")
+            }
+            Error::ShardOutOfRange { shard, shards } => {
+                write!(f, "no shard {shard} (scheduler has {shards} shards)")
             }
             Error::DegradedMode { reason } => {
                 write!(f, "scheduler degraded to software path: {reason}")

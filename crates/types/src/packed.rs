@@ -61,6 +61,7 @@ const RECIP: [u64; 256] = {
 ///
 /// Exact inverse of [`unpack`]; the INVALID flag occupies the top bit so
 /// invalid words compare greater than (lose to) every valid word.
+// lint:hot-path
 #[inline]
 pub fn pack(a: &StreamAttrs) -> u64 {
     (((!a.valid) as u64) << INVALID_BIT)
@@ -74,6 +75,7 @@ pub fn pack(a: &StreamAttrs) -> u64 {
 
 /// Unpacks a lane word back into a [`StreamAttrs`]. Exact inverse of
 /// [`pack`].
+// lint:hot-path
 #[inline]
 pub fn unpack(w: u64) -> StreamAttrs {
     StreamAttrs {
@@ -114,6 +116,7 @@ pub const fn lane_slot(w: u64) -> usize {
 /// least 1/65025 > 1/65536, so their fixed-point floors differ; equal
 /// values (e.g. 1/2 vs 2/4) collide by design and fall to the numerator
 /// byte.
+// lint:hot-path
 #[inline]
 pub fn window_key(w: WindowConstraint) -> u32 {
     if w.is_zero() {
@@ -149,6 +152,7 @@ impl AttrPlanes {
     }
 
     /// Re-encodes slot `i` from `a` (the dirty-mask refresh hook).
+    // lint:hot-path
     #[inline]
     pub fn set(&mut self, i: usize, a: &StreamAttrs) {
         self.words[i] = pack(a);
