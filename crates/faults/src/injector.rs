@@ -40,10 +40,13 @@ pub enum FaultSite {
     /// transient offered-load spike (extra arrivals beyond the schedule)
     /// slamming into the token buckets.
     Admission,
+    /// A socket operation at the network ingress edge: accepts, reads and
+    /// writes on client connections, and the frames they carry.
+    Socket,
 }
 
 /// Number of distinct [`FaultSite`]s (stream / counter array size).
-pub const SITE_COUNT: usize = 7;
+pub const SITE_COUNT: usize = 8;
 
 impl FaultSite {
     /// Dense index for per-site arrays.
@@ -57,6 +60,7 @@ impl FaultSite {
             FaultSite::DecisionCycle => 4,
             FaultSite::Shard => 5,
             FaultSite::Admission => 6,
+            FaultSite::Socket => 7,
         }
     }
 
@@ -69,6 +73,7 @@ impl FaultSite {
         FaultSite::DecisionCycle,
         FaultSite::Shard,
         FaultSite::Admission,
+        FaultSite::Socket,
     ];
 
     /// Human-readable site name (metric label).
@@ -81,6 +86,7 @@ impl FaultSite {
             FaultSite::DecisionCycle => "decision_cycle",
             FaultSite::Shard => "shard",
             FaultSite::Admission => "admission",
+            FaultSite::Socket => "socket",
         }
     }
 }
@@ -128,6 +134,35 @@ pub enum FaultKind {
         /// Extra arrivals in the spike.
         extra: u32,
     },
+    /// The listener's `accept` fails transiently (EMFILE, ECONNABORTED);
+    /// the accept loop must back off and keep serving, not die.
+    AcceptFail,
+    /// A read returns short: only this many bytes of the requested span
+    /// arrive before the call returns (a torn frame the decoder must
+    /// buffer across).
+    TornRead {
+        /// Bytes delivered before the short return.
+        limit: u32,
+    },
+    /// A write is split: only this many bytes are accepted before the
+    /// call returns, forcing the sender to continue from mid-frame.
+    TornWrite {
+        /// Bytes accepted before the short return.
+        limit: u32,
+    },
+    /// The peer's connection is reset: the next operation fails with
+    /// ECONNRESET and the connection must be torn down cleanly.
+    PeerReset,
+    /// The peer stalls silently for this many virtual milliseconds — the
+    /// slow-loris shape the idle/slow-peer eviction must bound.
+    PeerStall {
+        /// Stall length, virtual ms.
+        ms: u32,
+    },
+    /// The frame bytes on the wire are flipped: the decoder must surface a
+    /// typed error (and the connection policy decides eviction), never
+    /// panic or mis-admit.
+    CorruptFrame,
 }
 
 /// Per-site injection rates and fault parameters. Rates are in parts per
@@ -151,6 +186,9 @@ pub struct FaultConfig {
     /// Admission-point fault rate (ppm): [`FaultKind::OverloadBurst`]
     /// offered-load spikes.
     pub admission_rate_ppm: u32,
+    /// Socket-site fault rate (ppm): accept failures, torn reads/writes,
+    /// resets, stalls, and corrupt frames at the network ingress edge.
+    pub socket_rate_ppm: u32,
     /// Of injected shard faults, this percentage are permanent crashes;
     /// the rest are transient stalls.
     pub shard_crash_weight_pct: u32,
@@ -164,6 +202,10 @@ pub struct FaultConfig {
     pub max_burst_len: u32,
     /// Overload-burst size in extra arrivals (upper bound, ≥1 drawn).
     pub max_overload_burst: u32,
+    /// Torn read/write span in bytes (upper bound, ≥1 drawn).
+    pub max_torn_bytes: u32,
+    /// Peer-stall length in virtual ms (upper bound, ≥1 drawn).
+    pub max_peer_stall_ms: u32,
 }
 
 impl Default for FaultConfig {
@@ -183,12 +225,15 @@ impl FaultConfig {
             decision_rate_ppm: 0,
             shard_rate_ppm: 0,
             admission_rate_ppm: 0,
+            socket_rate_ppm: 0,
             shard_crash_weight_pct: 0,
             max_stall_ns: 2_000,
             max_stuck_cycles: 8,
             max_shard_stall_cycles: 16,
             max_burst_len: 64,
             max_overload_burst: 256,
+            max_torn_bytes: 16,
+            max_peer_stall_ms: 50,
         }
     }
 
@@ -202,7 +247,18 @@ impl FaultConfig {
             decision_rate_ppm: rate_ppm,
             shard_rate_ppm: rate_ppm,
             admission_rate_ppm: rate_ppm,
+            socket_rate_ppm: rate_ppm,
             shard_crash_weight_pct: 25,
+            ..Self::quiet()
+        }
+    }
+
+    /// A socket-only chaos profile: every edge operation faults at
+    /// `rate_ppm`, everything behind the edge stays clean — the shape the
+    /// ingress chaos soak uses to attribute every anomaly to the boundary.
+    pub const fn socket_only(rate_ppm: u32) -> Self {
+        Self {
+            socket_rate_ppm: rate_ppm,
             ..Self::quiet()
         }
     }
@@ -216,6 +272,7 @@ impl FaultConfig {
             FaultSite::DecisionCycle => self.decision_rate_ppm,
             FaultSite::Shard => self.shard_rate_ppm,
             FaultSite::Admission => self.admission_rate_ppm,
+            FaultSite::Socket => self.socket_rate_ppm,
         }
     }
 }
@@ -404,6 +461,22 @@ impl FaultInjector {
             FaultSite::Admission => FaultKind::OverloadBurst {
                 extra: 1 + (param % self.config.max_overload_burst.max(1) as u64) as u32,
             },
+            FaultSite::Socket => {
+                // Six kinds share the site; the selector uses the high bits
+                // so the parameter draw (low bits) stays decorrelated.
+                let pick = (param >> 32) % 6;
+                let torn = 1 + (param % self.config.max_torn_bytes.max(1) as u64) as u32;
+                match pick {
+                    0 => FaultKind::AcceptFail,
+                    1 => FaultKind::TornRead { limit: torn },
+                    2 => FaultKind::TornWrite { limit: torn },
+                    3 => FaultKind::PeerReset,
+                    4 => FaultKind::PeerStall {
+                        ms: 1 + (param % self.config.max_peer_stall_ms.max(1) as u64) as u32,
+                    },
+                    _ => FaultKind::CorruptFrame,
+                }
+            }
         };
         self.stats.injected[site.index()].fetch_add(1, Ordering::Relaxed);
         Some(kind)
@@ -556,6 +629,43 @@ mod tests {
                 ));
             }
         }
+    }
+
+    #[test]
+    fn socket_site_draws_every_kind_deterministically() {
+        let inj = FaultInjector::new(11, FaultConfig::socket_only(500_000));
+        let mut seen = [false; 6];
+        let seq: Vec<Option<FaultKind>> =
+            (0..2_000).map(|_| inj.sample(FaultSite::Socket)).collect();
+        for k in seq.iter().flatten() {
+            match *k {
+                FaultKind::AcceptFail => seen[0] = true,
+                FaultKind::TornRead { limit } => {
+                    assert!(limit >= 1);
+                    seen[1] = true;
+                }
+                FaultKind::TornWrite { limit } => {
+                    assert!(limit >= 1);
+                    seen[2] = true;
+                }
+                FaultKind::PeerReset => seen[3] = true,
+                FaultKind::PeerStall { ms } => {
+                    assert!(ms >= 1);
+                    seen[4] = true;
+                }
+                FaultKind::CorruptFrame => seen[5] = true,
+                other => panic!("non-socket kind at socket site: {other:?}"),
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "all six kinds drawn: {seen:?}");
+        // Replay: the k-th socket verdict is a pure function of (seed, k).
+        let replay = FaultInjector::new(11, FaultConfig::socket_only(500_000));
+        let seq2: Vec<Option<FaultKind>> = (0..2_000)
+            .map(|_| replay.sample(FaultSite::Socket))
+            .collect();
+        assert_eq!(seq, seq2);
+        // Other sites stay quiet under the socket-only profile.
+        assert_eq!(inj.sample(FaultSite::Shard), None);
     }
 
     #[test]

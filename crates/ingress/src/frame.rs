@@ -1,0 +1,816 @@
+//! The ingress wire protocol: length-prefixed frames and their bounded,
+//! allocation-free incremental decoder.
+//!
+//! Every frame is an 8-byte header followed by a payload:
+//!
+//! ```text
+//! +----+----+---------+------+----------------+
+//! | 'S'| 'S'| version | type | len (u32 LE)   |  8-byte header
+//! +----+----+---------+------+----------------+
+//! | payload: `len` bytes, type-specific       |
+//! +-------------------------------------------+
+//! ```
+//!
+//! Payload layouts (all integers little-endian):
+//!
+//! | type | name          | payload |
+//! |------|---------------|---------|
+//! | 1    | HELLO         | `client_id: u64` |
+//! | 2    | HELLO_ACK     | `pressure: u8` |
+//! | 3    | REGISTER      | `slot: u32, epoch: u32` |
+//! | 4    | REGISTER_ACK  | `slot: u32, epoch: u32, accepted: u8` |
+//! | 5    | SUBMIT        | `batch_seq: u64, count: u32, count × (slot: u32, tag: u16)` |
+//! | 6    | SUBMIT_ACK    | `acked_seq: u64, pressure: u8, admitted: u32, rejected: u32` |
+//! | 7    | DRAIN         | empty |
+//! | 8    | DRAIN_ACK     | `written_off: u64` |
+//! | 9    | GOODBYE       | empty |
+//!
+//! Robustness contract: the decoder never panics and never allocates after
+//! construction. Truncated input is simply "not yet a frame" (`Ok(None)`);
+//! everything malformed — bad magic, unknown version or type, an oversized
+//! or mis-sized payload, an entry count that disagrees with the length —
+//! is a typed [`FrameError`] the connection layer turns into an eviction.
+//! The `SUBMIT` payload is exposed as a borrowed [`SubmitView`] so the
+//! steady-state decode path copies nothing.
+
+/// Frame magic: ASCII "SS".
+pub const MAGIC: [u8; 2] = [0x53, 0x53];
+/// Protocol version this build speaks.
+pub const VERSION: u8 = 1;
+/// Fixed header length in bytes.
+pub const HEADER_LEN: usize = 8;
+/// Upper bound on any payload; larger declared lengths are rejected
+/// without buffering (the slowloris/bomb backstop).
+pub const MAX_PAYLOAD: usize = 64 * 1024;
+/// Bytes per SUBMIT entry (`slot: u32, tag: u16`).
+pub const ENTRY_LEN: usize = 6;
+/// SUBMIT payload bytes before the entries (`batch_seq: u64, count: u32`).
+pub const SUBMIT_PREFIX: usize = 12;
+
+/// Frame type codes (header byte 3).
+pub mod frame_type {
+    /// Client introduction (carries the stable client id).
+    pub const HELLO: u8 = 1;
+    /// Server reply to HELLO (carries the pressure code).
+    pub const HELLO_ACK: u8 = 2;
+    /// Stream registration (slot + epoch; idempotent).
+    pub const REGISTER: u8 = 3;
+    /// Server reply to REGISTER.
+    pub const REGISTER_ACK: u8 = 4;
+    /// A packet batch submission.
+    pub const SUBMIT: u8 = 5;
+    /// Server reply to SUBMIT (cumulative ack + backpressure code).
+    pub const SUBMIT_ACK: u8 = 6;
+    /// Graceful drain request.
+    pub const DRAIN: u8 = 7;
+    /// Server reply to DRAIN (write-off count).
+    pub const DRAIN_ACK: u8 = 8;
+    /// Orderly goodbye; the server closes the connection.
+    pub const GOODBYE: u8 = 9;
+}
+
+/// Why a byte stream failed to decode. Every variant is a protocol error:
+/// the connection that produced it is beyond recovery and gets evicted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The first two header bytes are not [`MAGIC`].
+    BadMagic {
+        /// The bytes found instead.
+        got: [u8; 2],
+    },
+    /// Unsupported protocol version.
+    BadVersion {
+        /// The version byte found.
+        got: u8,
+    },
+    /// Unknown frame type code.
+    UnknownType {
+        /// The type byte found.
+        got: u8,
+    },
+    /// Declared payload length exceeds [`MAX_PAYLOAD`] or the decoder's
+    /// buffer; rejected before any buffering.
+    Oversized {
+        /// The declared payload length.
+        len: u32,
+    },
+    /// The payload length does not match the frame type's layout.
+    BadLength {
+        /// The frame type code.
+        frame: u8,
+        /// The declared payload length.
+        len: u32,
+    },
+    /// A SUBMIT entry count that disagrees with the payload length.
+    CountMismatch {
+        /// The declared entry count.
+        declared: u32,
+        /// Entry bytes actually present.
+        present: u32,
+    },
+    /// More bytes pushed than the bounded connection buffer can hold
+    /// (a peer outrunning its window; grounds for eviction).
+    BufferFull {
+        /// The decoder's fixed capacity.
+        capacity: u32,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic { got } => write!(f, "bad frame magic {got:02x?}"),
+            FrameError::BadVersion { got } => write!(f, "unsupported protocol version {got}"),
+            FrameError::UnknownType { got } => write!(f, "unknown frame type {got}"),
+            FrameError::Oversized { len } => write!(f, "declared payload {len} exceeds bound"),
+            FrameError::BadLength { frame, len } => {
+                write!(f, "frame type {frame} with mis-sized payload {len}")
+            }
+            FrameError::CountMismatch { declared, present } => {
+                write!(f, "submit declares {declared} entries, {present} present")
+            }
+            FrameError::BufferFull { capacity } => {
+                write!(f, "connection buffer ({capacity} bytes) overrun")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// One packet inside a SUBMIT batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketEntry {
+    /// Destination stream slot.
+    pub slot: u32,
+    /// 16-bit wrapping arrival tag.
+    pub tag: u16,
+}
+
+/// Borrowed view of a SUBMIT payload: the batch sequence number plus the
+/// raw entry bytes, decoded per entry on demand — nothing is copied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubmitView<'a> {
+    /// Client-assigned batch sequence number (monotonic per client).
+    pub batch_seq: u64,
+    entries: &'a [u8],
+}
+
+impl<'a> SubmitView<'a> {
+    /// Number of entries in the batch.
+    // lint:hot-path
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.entries.len() / ENTRY_LEN
+    }
+
+    /// Decodes entry `i`; out-of-range indexes yield slot 0 / tag 0
+    /// rather than panicking (callers iterate `0..count()`).
+    // lint:hot-path
+    #[inline]
+    pub fn entry(&self, i: usize) -> PacketEntry {
+        let off = i * ENTRY_LEN;
+        if off + ENTRY_LEN > self.entries.len() {
+            return PacketEntry { slot: 0, tag: 0 };
+        }
+        PacketEntry {
+            slot: read_u32(self.entries, off),
+            tag: read_u16(self.entries, off + 4),
+        }
+    }
+
+    /// Iterates the decoded entries.
+    pub fn iter(&self) -> impl Iterator<Item = PacketEntry> + 'a {
+        let entries = self.entries;
+        (0..entries.len() / ENTRY_LEN).map(move |i| {
+            let off = i * ENTRY_LEN;
+            PacketEntry {
+                slot: read_u32(entries, off),
+                tag: read_u16(entries, off + 4),
+            }
+        })
+    }
+}
+
+/// A decoded frame, borrowing the decoder's buffer (valid until the next
+/// decoder call).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Frame<'a> {
+    /// Client introduction.
+    Hello {
+        /// Stable client identity (dedup key across reconnects).
+        client_id: u64,
+    },
+    /// Server reply to HELLO.
+    HelloAck {
+        /// Current backpressure code (a [`ss_overload::PressureLevel`]).
+        pressure: u8,
+    },
+    /// Stream registration.
+    Register {
+        /// Stream slot.
+        slot: u32,
+        /// Registration epoch (reconnects re-register the same epoch).
+        epoch: u32,
+    },
+    /// Server reply to REGISTER.
+    RegisterAck {
+        /// Echoed slot.
+        slot: u32,
+        /// The epoch now on record.
+        epoch: u32,
+        /// Whether the registration was accepted.
+        accepted: bool,
+    },
+    /// A packet batch.
+    Submit(SubmitView<'a>),
+    /// Server reply to SUBMIT.
+    SubmitAck {
+        /// Highest batch sequence processed for this client (cumulative).
+        acked_seq: u64,
+        /// Backpressure reply code — well-behaved clients throttle on it.
+        pressure: u8,
+        /// Entries admitted past the edge gate.
+        admitted: u32,
+        /// Entries refused (admission / shed / overflow / write-off).
+        rejected: u32,
+    },
+    /// Graceful drain request.
+    Drain,
+    /// Server reply to DRAIN.
+    DrainAck {
+        /// Packets written off unserved by the drain.
+        written_off: u64,
+    },
+    /// Orderly goodbye.
+    Goodbye,
+}
+
+#[inline]
+fn read_u16(b: &[u8], off: usize) -> u16 {
+    if off + 2 > b.len() {
+        return 0;
+    }
+    (b[off] as u16) | ((b[off + 1] as u16) << 8)
+}
+
+#[inline]
+fn read_u32(b: &[u8], off: usize) -> u32 {
+    if off + 4 > b.len() {
+        return 0;
+    }
+    (b[off] as u32)
+        | ((b[off + 1] as u32) << 8)
+        | ((b[off + 2] as u32) << 16)
+        | ((b[off + 3] as u32) << 24)
+}
+
+#[inline]
+fn read_u64(b: &[u8], off: usize) -> u64 {
+    (read_u32(b, off) as u64) | ((read_u32(b, off + 4) as u64) << 32)
+}
+
+fn push_header(buf: &mut Vec<u8>, ty: u8, len: u32) {
+    buf.extend_from_slice(&MAGIC);
+    buf.push(VERSION);
+    buf.push(ty);
+    buf.extend_from_slice(&len.to_le_bytes());
+}
+
+/// Encodes a HELLO frame into `buf` (appending).
+pub fn encode_hello(buf: &mut Vec<u8>, client_id: u64) {
+    push_header(buf, frame_type::HELLO, 8);
+    buf.extend_from_slice(&client_id.to_le_bytes());
+}
+
+/// Encodes a HELLO_ACK frame into `buf` (appending).
+pub fn encode_hello_ack(buf: &mut Vec<u8>, pressure: u8) {
+    push_header(buf, frame_type::HELLO_ACK, 1);
+    buf.push(pressure);
+}
+
+/// Encodes a REGISTER frame into `buf` (appending).
+pub fn encode_register(buf: &mut Vec<u8>, slot: u32, epoch: u32) {
+    push_header(buf, frame_type::REGISTER, 8);
+    buf.extend_from_slice(&slot.to_le_bytes());
+    buf.extend_from_slice(&epoch.to_le_bytes());
+}
+
+/// Encodes a REGISTER_ACK frame into `buf` (appending).
+pub fn encode_register_ack(buf: &mut Vec<u8>, slot: u32, epoch: u32, accepted: bool) {
+    push_header(buf, frame_type::REGISTER_ACK, 9);
+    buf.extend_from_slice(&slot.to_le_bytes());
+    buf.extend_from_slice(&epoch.to_le_bytes());
+    buf.push(accepted as u8);
+}
+
+/// Encodes a SUBMIT frame into `buf` (appending).
+pub fn encode_submit(buf: &mut Vec<u8>, batch_seq: u64, entries: &[(u32, u16)]) {
+    let len = SUBMIT_PREFIX + entries.len() * ENTRY_LEN;
+    push_header(buf, frame_type::SUBMIT, len as u32);
+    buf.extend_from_slice(&batch_seq.to_le_bytes());
+    buf.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for &(slot, tag) in entries {
+        buf.extend_from_slice(&slot.to_le_bytes());
+        buf.extend_from_slice(&tag.to_le_bytes());
+    }
+}
+
+/// Encodes a SUBMIT_ACK frame into `buf` (appending).
+pub fn encode_submit_ack(
+    buf: &mut Vec<u8>,
+    acked_seq: u64,
+    pressure: u8,
+    admitted: u32,
+    rejected: u32,
+) {
+    push_header(buf, frame_type::SUBMIT_ACK, 17);
+    buf.extend_from_slice(&acked_seq.to_le_bytes());
+    buf.push(pressure);
+    buf.extend_from_slice(&admitted.to_le_bytes());
+    buf.extend_from_slice(&rejected.to_le_bytes());
+}
+
+/// Encodes a DRAIN frame into `buf` (appending).
+pub fn encode_drain(buf: &mut Vec<u8>) {
+    push_header(buf, frame_type::DRAIN, 0);
+}
+
+/// Encodes a DRAIN_ACK frame into `buf` (appending).
+pub fn encode_drain_ack(buf: &mut Vec<u8>, written_off: u64) {
+    push_header(buf, frame_type::DRAIN_ACK, 8);
+    buf.extend_from_slice(&written_off.to_le_bytes());
+}
+
+/// Encodes a GOODBYE frame into `buf` (appending).
+pub fn encode_goodbye(buf: &mut Vec<u8>) {
+    push_header(buf, frame_type::GOODBYE, 0);
+}
+
+/// Bounded incremental frame decoder.
+///
+/// Holds one fixed buffer for the connection's lifetime; [`push`] appends
+/// received bytes (refusing overruns with a typed error) and [`next`]
+/// yields complete frames as borrowed views. Neither allocates after
+/// construction, and neither can panic on any input.
+///
+/// [`push`]: FrameDecoder::push
+/// [`next`]: FrameDecoder::next
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Box<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl FrameDecoder {
+    /// A decoder with a fixed `capacity`-byte buffer. The capacity bounds
+    /// the largest decodable frame; it is clamped up to one header so the
+    /// decoder is always able to make progress.
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(HEADER_LEN);
+        Self {
+            buf: vec![0u8; cap].into_boxed_slice(),
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// Bytes buffered but not yet consumed by [`FrameDecoder::next`].
+    pub fn buffered(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` while an incomplete frame sits in the buffer — the signal
+    /// the slow-peer eviction policy keys on.
+    pub fn has_partial(&self) -> bool {
+        self.buffered() > 0
+    }
+
+    /// Discards all buffered bytes (used when a connection is reset).
+    pub fn clear(&mut self) {
+        self.start = 0;
+        self.end = 0;
+    }
+
+    /// Appends received bytes. Registered hot path: a compaction
+    /// `copy_within` plus a slice copy, no allocation, no panic.
+    // lint:hot-path
+    #[inline]
+    pub fn push(&mut self, bytes: &[u8]) -> Result<(), FrameError> {
+        if self.start > 0 {
+            self.buf.copy_within(self.start..self.end, 0);
+            self.end -= self.start;
+            self.start = 0;
+        }
+        if bytes.len() > self.buf.len() - self.end {
+            return Err(FrameError::BufferFull {
+                capacity: self.buf.len() as u32,
+            });
+        }
+        self.buf[self.end..self.end + bytes.len()].copy_from_slice(bytes);
+        self.end += bytes.len();
+        Ok(())
+    }
+
+    /// Decodes the next complete frame, if one is buffered. `Ok(None)`
+    /// means "need more bytes"; any `Err` poisons the connection.
+    /// Registered hot path: bounds-checked integer reads only.
+    // Not `Iterator`: each yielded `Frame` borrows the decode buffer, so
+    // this is a lending iterator the trait cannot express.
+    #[allow(clippy::should_implement_trait)]
+    // lint:hot-path
+    #[inline]
+    pub fn next(&mut self) -> Result<Option<Frame<'_>>, FrameError> {
+        let avail = self.end - self.start;
+        if avail < HEADER_LEN {
+            return Ok(None);
+        }
+        let h = self.start;
+        if self.buf[h] != MAGIC[0] || self.buf[h + 1] != MAGIC[1] {
+            return Err(FrameError::BadMagic {
+                got: [self.buf[h], self.buf[h + 1]],
+            });
+        }
+        if self.buf[h + 2] != VERSION {
+            return Err(FrameError::BadVersion {
+                got: self.buf[h + 2],
+            });
+        }
+        let ty = self.buf[h + 3];
+        let len32 = read_u32(&self.buf, h + 4);
+        let len = len32 as usize;
+        if len > MAX_PAYLOAD || HEADER_LEN + len > self.buf.len() {
+            return Err(FrameError::Oversized { len: len32 });
+        }
+        if avail < HEADER_LEN + len {
+            return Ok(None);
+        }
+        let pstart = h + HEADER_LEN;
+        self.start = pstart + len;
+        let p = &self.buf[pstart..pstart + len];
+        let frame = match ty {
+            frame_type::HELLO => {
+                if len != 8 {
+                    return Err(FrameError::BadLength {
+                        frame: ty,
+                        len: len32,
+                    });
+                }
+                Frame::Hello {
+                    client_id: read_u64(p, 0),
+                }
+            }
+            frame_type::HELLO_ACK => {
+                if len != 1 {
+                    return Err(FrameError::BadLength {
+                        frame: ty,
+                        len: len32,
+                    });
+                }
+                Frame::HelloAck { pressure: p[0] }
+            }
+            frame_type::REGISTER => {
+                if len != 8 {
+                    return Err(FrameError::BadLength {
+                        frame: ty,
+                        len: len32,
+                    });
+                }
+                Frame::Register {
+                    slot: read_u32(p, 0),
+                    epoch: read_u32(p, 4),
+                }
+            }
+            frame_type::REGISTER_ACK => {
+                if len != 9 {
+                    return Err(FrameError::BadLength {
+                        frame: ty,
+                        len: len32,
+                    });
+                }
+                Frame::RegisterAck {
+                    slot: read_u32(p, 0),
+                    epoch: read_u32(p, 4),
+                    accepted: p[8] != 0,
+                }
+            }
+            frame_type::SUBMIT => {
+                if len < SUBMIT_PREFIX {
+                    return Err(FrameError::BadLength {
+                        frame: ty,
+                        len: len32,
+                    });
+                }
+                let declared = read_u32(p, 8);
+                let entry_bytes = len - SUBMIT_PREFIX;
+                if declared as usize * ENTRY_LEN != entry_bytes {
+                    return Err(FrameError::CountMismatch {
+                        declared,
+                        present: (entry_bytes / ENTRY_LEN) as u32,
+                    });
+                }
+                Frame::Submit(SubmitView {
+                    batch_seq: read_u64(p, 0),
+                    entries: &p[SUBMIT_PREFIX..],
+                })
+            }
+            frame_type::SUBMIT_ACK => {
+                if len != 17 {
+                    return Err(FrameError::BadLength {
+                        frame: ty,
+                        len: len32,
+                    });
+                }
+                Frame::SubmitAck {
+                    acked_seq: read_u64(p, 0),
+                    pressure: p[8],
+                    admitted: read_u32(p, 9),
+                    rejected: read_u32(p, 13),
+                }
+            }
+            frame_type::DRAIN => {
+                if len != 0 {
+                    return Err(FrameError::BadLength {
+                        frame: ty,
+                        len: len32,
+                    });
+                }
+                Frame::Drain
+            }
+            frame_type::DRAIN_ACK => {
+                if len != 8 {
+                    return Err(FrameError::BadLength {
+                        frame: ty,
+                        len: len32,
+                    });
+                }
+                Frame::DrainAck {
+                    written_off: read_u64(p, 0),
+                }
+            }
+            frame_type::GOODBYE => {
+                if len != 0 {
+                    return Err(FrameError::BadLength {
+                        frame: ty,
+                        len: len32,
+                    });
+                }
+                Frame::Goodbye
+            }
+            other => return Err(FrameError::UnknownType { got: other }),
+        };
+        Ok(Some(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn decode_one(bytes: &[u8]) -> Result<Option<&'static str>, FrameError> {
+        // Names the decoded variant so corpus expectations stay readable.
+        let mut d = FrameDecoder::new(MAX_PAYLOAD + HEADER_LEN);
+        d.push(bytes)?;
+        Ok(d.next()?.map(|f| match f {
+            Frame::Hello { .. } => "hello",
+            Frame::HelloAck { .. } => "hello_ack",
+            Frame::Register { .. } => "register",
+            Frame::RegisterAck { .. } => "register_ack",
+            Frame::Submit(_) => "submit",
+            Frame::SubmitAck { .. } => "submit_ack",
+            Frame::Drain => "drain",
+            Frame::DrainAck { .. } => "drain_ack",
+            Frame::Goodbye => "goodbye",
+        }))
+    }
+
+    #[test]
+    fn round_trips_every_frame_type() {
+        let mut buf = Vec::new();
+        encode_hello(&mut buf, 0xDEAD_BEEF_0BAD_F00D);
+        encode_hello_ack(&mut buf, 2);
+        encode_register(&mut buf, 7, 3);
+        encode_register_ack(&mut buf, 7, 3, true);
+        encode_submit(&mut buf, 42, &[(1, 100), (2, 200), (3, 300)]);
+        encode_submit_ack(&mut buf, 42, 1, 2, 1);
+        encode_drain(&mut buf);
+        encode_drain_ack(&mut buf, 9);
+        encode_goodbye(&mut buf);
+
+        let mut d = FrameDecoder::new(4096);
+        d.push(&buf).unwrap();
+        assert!(matches!(
+            d.next().unwrap(),
+            Some(Frame::Hello {
+                client_id: 0xDEAD_BEEF_0BAD_F00D
+            })
+        ));
+        assert!(matches!(
+            d.next().unwrap(),
+            Some(Frame::HelloAck { pressure: 2 })
+        ));
+        assert!(matches!(
+            d.next().unwrap(),
+            Some(Frame::Register { slot: 7, epoch: 3 })
+        ));
+        assert!(matches!(
+            d.next().unwrap(),
+            Some(Frame::RegisterAck {
+                slot: 7,
+                epoch: 3,
+                accepted: true
+            })
+        ));
+        match d.next().unwrap() {
+            Some(Frame::Submit(v)) => {
+                assert_eq!(v.batch_seq, 42);
+                assert_eq!(v.count(), 3);
+                assert_eq!(v.entry(0), PacketEntry { slot: 1, tag: 100 });
+                assert_eq!(v.entry(2), PacketEntry { slot: 3, tag: 300 });
+                let all: Vec<PacketEntry> = v.iter().collect();
+                assert_eq!(all.len(), 3);
+                assert_eq!(all[1], PacketEntry { slot: 2, tag: 200 });
+            }
+            other => panic!("expected submit, got {other:?}"),
+        }
+        assert!(matches!(
+            d.next().unwrap(),
+            Some(Frame::SubmitAck {
+                acked_seq: 42,
+                pressure: 1,
+                admitted: 2,
+                rejected: 1
+            })
+        ));
+        assert!(matches!(d.next().unwrap(), Some(Frame::Drain)));
+        assert!(matches!(
+            d.next().unwrap(),
+            Some(Frame::DrainAck { written_off: 9 })
+        ));
+        assert!(matches!(d.next().unwrap(), Some(Frame::Goodbye)));
+        assert!(d.next().unwrap().is_none());
+        assert!(!d.has_partial());
+    }
+
+    #[test]
+    fn byte_at_a_time_reassembly() {
+        // Torn arbitrarily small reads must reassemble losslessly.
+        let mut buf = Vec::new();
+        encode_submit(&mut buf, 7, &[(5, 55), (6, 66)]);
+        encode_goodbye(&mut buf);
+        let mut d = FrameDecoder::new(256);
+        let mut seen = Vec::new();
+        for &b in &buf {
+            d.push(&[b]).unwrap();
+            while let Some(f) = d.next().unwrap() {
+                seen.push(match f {
+                    Frame::Submit(v) => ("submit", v.count()),
+                    Frame::Goodbye => ("goodbye", 0),
+                    other => panic!("unexpected {other:?}"),
+                });
+            }
+        }
+        assert_eq!(seen, vec![("submit", 2), ("goodbye", 0)]);
+    }
+
+    /// The pinned corpus: every malformed shape the edge must survive with
+    /// a typed error (or, for truncation, a clean "need more bytes").
+    #[test]
+    fn pinned_corpus_of_bad_frames() {
+        // Garbage magic.
+        assert_eq!(
+            decode_one(&[0xFF, 0xFE, 1, 1, 0, 0, 0, 0]),
+            Err(FrameError::BadMagic { got: [0xFF, 0xFE] })
+        );
+        // Wrong version.
+        assert_eq!(
+            decode_one(&[0x53, 0x53, 9, 1, 0, 0, 0, 0]),
+            Err(FrameError::BadVersion { got: 9 })
+        );
+        // Unknown type.
+        assert_eq!(
+            decode_one(&[0x53, 0x53, 1, 200, 0, 0, 0, 0]),
+            Err(FrameError::UnknownType { got: 200 })
+        );
+        // Oversized declared payload: rejected immediately, no buffering.
+        let mut oversized = vec![0x53, 0x53, 1, frame_type::SUBMIT];
+        oversized.extend_from_slice(&(MAX_PAYLOAD as u32 + 1).to_le_bytes());
+        assert_eq!(
+            decode_one(&oversized),
+            Err(FrameError::Oversized {
+                len: MAX_PAYLOAD as u32 + 1
+            })
+        );
+        // Mis-sized HELLO payload.
+        let mut short_hello = vec![0x53, 0x53, 1, frame_type::HELLO];
+        short_hello.extend_from_slice(&4u32.to_le_bytes());
+        short_hello.extend_from_slice(&[1, 2, 3, 4]);
+        assert_eq!(
+            decode_one(&short_hello),
+            Err(FrameError::BadLength {
+                frame: frame_type::HELLO,
+                len: 4
+            })
+        );
+        // SUBMIT whose count disagrees with its length.
+        let mut lying = Vec::new();
+        encode_submit(&mut lying, 1, &[(0, 0), (1, 1)]);
+        // Bump the declared count without adding bytes.
+        let count_off = HEADER_LEN + 8;
+        lying[count_off] = 3;
+        let mut d = FrameDecoder::new(256);
+        d.push(&lying).unwrap();
+        assert_eq!(
+            d.next(),
+            Err(FrameError::CountMismatch {
+                declared: 3,
+                present: 2
+            })
+        );
+        // Truncated frame: not an error, just incomplete.
+        let mut full = Vec::new();
+        encode_register(&mut full, 1, 1);
+        let mut d = FrameDecoder::new(256);
+        d.push(&full[..full.len() - 3]).unwrap();
+        assert_eq!(d.next().map(|f| f.is_some()), Ok(false));
+        assert!(d.has_partial());
+        // Buffer overrun: typed, not panicking.
+        let mut tiny = FrameDecoder::new(HEADER_LEN);
+        assert_eq!(
+            tiny.push(&[0u8; 64]),
+            Err(FrameError::BufferFull { capacity: 8 })
+        );
+        // A frame larger than the connection buffer (but under
+        // MAX_PAYLOAD) is Oversized for *this* connection.
+        let mut big = Vec::new();
+        encode_submit(&mut big, 1, &[(0, 0); 100]);
+        let mut small = FrameDecoder::new(64);
+        small.push(&big[..8]).unwrap();
+        assert!(matches!(small.next(), Err(FrameError::Oversized { .. })));
+    }
+
+    #[test]
+    fn duplicate_register_frames_decode_identically() {
+        // Wire-level duplicates are legal frames — idempotence is the
+        // connection layer's job, the decoder must hand both over.
+        let mut buf = Vec::new();
+        encode_register(&mut buf, 3, 1);
+        encode_register(&mut buf, 3, 1);
+        let mut d = FrameDecoder::new(256);
+        d.push(&buf).unwrap();
+        for _ in 0..2 {
+            assert!(matches!(
+                d.next().unwrap(),
+                Some(Frame::Register { slot: 3, epoch: 1 })
+            ));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn submit_round_trip(
+            batch_seq in any::<u64>(),
+            entries in proptest::collection::vec((0u32..64, any::<u16>()), 0..64),
+            cuts in proptest::collection::vec(1usize..32, 1..8),
+        ) {
+            let mut buf = Vec::new();
+            encode_submit(&mut buf, batch_seq, &entries);
+            let mut d = FrameDecoder::new(8192);
+            // Feed in arbitrary chunk sizes derived from `cuts`.
+            let mut fed = 0;
+            let mut decoded: Option<(u64, Vec<(u32, u16)>)> = None;
+            let mut cut_iter = cuts.iter().cycle();
+            while fed < buf.len() {
+                let step = (*cut_iter.next().unwrap()).min(buf.len() - fed);
+                d.push(&buf[fed..fed + step]).unwrap();
+                fed += step;
+                if let Some(Frame::Submit(v)) = d.next().unwrap() {
+                    decoded = Some((v.batch_seq, v.iter().map(|e| (e.slot, e.tag)).collect()));
+                }
+            }
+            let (seq, got) = decoded.expect("frame decodes");
+            prop_assert_eq!(seq, batch_seq);
+            prop_assert_eq!(got, entries);
+        }
+
+        #[test]
+        fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let mut d = FrameDecoder::new(256);
+            // Push in small chunks; every outcome must be a typed result.
+            for chunk in bytes.chunks(7) {
+                if d.push(chunk).is_err() {
+                    return Ok(());
+                }
+                loop {
+                    match d.next() {
+                        Ok(Some(_)) => {}
+                        Ok(None) => break,
+                        Err(_) => return Ok(()),
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! The pinned-seed socket chaos soak (the PR's acceptance gate): four
+//! seeds at ≥1.5× load with socket faults, each run twice.
+//!
+//! Per seed the suite asserts:
+//! * **exact conservation** — admitted + shed + ring-lost +
+//!   drain-written-off = offered, to the packet;
+//! * **bit-identical replay** — the deterministic fingerprint (offered,
+//!   served, per-slot service, loss partition, reply-code fold, holdback
+//!   count) matches between the two runs;
+//! * **zero panics** — chaos is absorbed into typed errors (a panic
+//!   would fail the harness);
+//! * **bounded recovery** — reconnects stay within the backoff budget
+//!   and no batch exhausts it;
+//! * **drain discipline** — the graceful drain finishes inside its
+//!   deadline even under faults.
+
+use ss_ingress::{run_chaos_soak, SoakOptions};
+
+/// The repo's pinned soak seeds.
+const SEEDS: [u64; 4] = [0xC0FF_EE00, 1_234, 98_765, 31_337];
+
+/// Paired fault rates, parts-per-million per draw: meaningful chaos
+/// without drowning the run (a draw happens twice per frame exchange).
+const RATES: [u32; 4] = [60_000, 100_000, 140_000, 180_000];
+
+#[test]
+fn pinned_seeds_replay_bit_identically_with_exact_conservation() {
+    for (&seed, &rate) in SEEDS.iter().zip(RATES.iter()) {
+        let opts = SoakOptions::new(seed, rate);
+        let a = run_chaos_soak(opts);
+        let b = run_chaos_soak(opts);
+
+        // Exact conservation: the ledger partition closes the books.
+        assert!(
+            a.conserved,
+            "seed {seed:#x}: served {} + losses {:?} != offered {}",
+            a.totals.served, a.totals.loss, a.totals.offered
+        );
+        assert_eq!(
+            a.totals.served + a.totals.loss.total(),
+            a.totals.offered,
+            "seed {seed:#x}: partition must sum exactly"
+        );
+
+        // Bit-identical replay of the deterministic fingerprint.
+        assert_eq!(
+            a.replay_fingerprint(),
+            b.replay_fingerprint(),
+            "seed {seed:#x}: replay diverged\n a={a:?}\n b={b:?}"
+        );
+
+        // The run actually moved packets and actually saw chaos.
+        assert!(a.totals.offered > 0, "seed {seed:#x}: nothing offered");
+        assert!(a.totals.served > 0, "seed {seed:#x}: nothing served");
+        let injected = a.client.torn_writes
+            + a.client.resets
+            + a.client.stalls
+            + a.client.corrupt_frames
+            + a.totals.accept_faults;
+        assert!(
+            injected > 0,
+            "seed {seed:#x}: no faults landed at {rate} ppm"
+        );
+
+        // 1.5x load must lose something, and every loss is attributed.
+        assert!(
+            a.totals.loss.total() > 0,
+            "seed {seed:#x}: overload with no recorded loss"
+        );
+
+        // Bounded recovery: reconnects stay within the per-op budget and
+        // no batch gave up.
+        assert_eq!(
+            a.failed_batches, 0,
+            "seed {seed:#x}: a batch exhausted recovery"
+        );
+        let max_ops = u64::from(a.options.batches) + u64::from(a.options.slots) + 2;
+        assert!(
+            a.client.reconnects <= max_ops * 8,
+            "seed {seed:#x}: {} reconnects exceeds the backoff budget",
+            a.client.reconnects
+        );
+
+        // Drain discipline under chaos.
+        assert!(
+            !a.drain_timed_out,
+            "seed {seed:#x}: graceful drain missed deadline"
+        );
+    }
+}
+
+#[test]
+fn distinct_seeds_schedule_distinct_chaos() {
+    let a = run_chaos_soak(SoakOptions::new(SEEDS[0], 120_000));
+    let b = run_chaos_soak(SoakOptions::new(SEEDS[1], 120_000));
+    assert_ne!(
+        a.replay_fingerprint(),
+        b.replay_fingerprint(),
+        "different seeds must not collide"
+    );
+}

@@ -1,0 +1,115 @@
+//! Nightly scenario soak: drives an ss-cluster arrival scenario through
+//! the loopback ingress instead of in-process generators, with socket
+//! faults on. `#[ignore]` by default — the nightly CI job runs it with
+//! `-- --ignored`.
+
+use ss_cluster::{Scenario, ScenarioSpec};
+use ss_faults::{FaultConfig, FaultInjector};
+use ss_ingress::{run_chaos_soak, ClientConfig, IngressClient, SoakOptions};
+use ss_ingress::{EdgeMode, IngressConfig, IngressServer};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SLOTS: usize = 4;
+const TICKS: u64 = 300;
+const SEED: u64 = 0x0C1A_5500;
+
+/// One full scenario pass through loopback ingress; returns the
+/// deterministic server fingerprint and conservation facts.
+fn run_scenario_pass() -> (u64, u64, u64, bool) {
+    let spec = ScenarioSpec::steady(1500); // 1.5x a one-per-tick service rate
+    let scenario = Scenario::new(spec, SLOTS);
+    let cfg = IngressConfig {
+        service_per_batch: 4,
+        edge_capacity: 64,
+        drain_deadline: Duration::from_secs(5),
+        idle_timeout: Duration::from_secs(10),
+        read_poll: Duration::from_millis(5),
+        red_seed: SEED ^ 0x0BAD_5EED,
+        ..IngressConfig::default()
+    };
+    let server = IngressServer::start(
+        cfg,
+        scenario.windows(),
+        EdgeMode::Deterministic,
+        Arc::new(FaultInjector::new(
+            SEED.wrapping_add(1),
+            FaultConfig::socket_only(60_000),
+        )),
+        None,
+    )
+    .expect("server start");
+
+    let mut client = IngressClient::connect(
+        server.addr(),
+        ClientConfig::new(0xCAFE, SEED),
+        Arc::new(FaultInjector::new(SEED, FaultConfig::socket_only(60_000))),
+    )
+    .expect("client connect");
+    for slot in 0..SLOTS as u32 {
+        client.register(slot, 1).expect("register");
+    }
+
+    let mut counts = [0u32; SLOTS];
+    let mut entries: Vec<(u32, u16)> = Vec::with_capacity(64);
+    let mut tag = 0u16;
+    for tick in 0..TICKS {
+        let total = scenario.sample_arrivals(SEED, 0, tick, &mut counts);
+        if total == 0 {
+            continue;
+        }
+        entries.clear();
+        for (slot, &n) in counts.iter().enumerate() {
+            for _ in 0..n {
+                tag = tag.wrapping_add(1);
+                entries.push((slot as u32, tag));
+            }
+        }
+        // Chunk to keep frames modest; each chunk is one batch.
+        for chunk in entries.chunks(32) {
+            client.submit(chunk).expect("submit batch");
+        }
+    }
+    let _ = client.drain();
+    client.goodbye();
+    let report = server.shutdown();
+    assert!(!report.timed_out, "scenario drain missed its deadline");
+    (
+        report.totals.reply_fingerprint,
+        report.totals.offered,
+        report.totals.served,
+        report.conserved,
+    )
+}
+
+#[test]
+#[ignore = "nightly: minutes-long loopback scenario soak"]
+fn cluster_scenario_through_loopback_ingress_conserves_and_replays() {
+    let (fp_a, offered_a, served_a, conserved_a) = run_scenario_pass();
+    let (fp_b, offered_b, _, _) = run_scenario_pass();
+    assert!(conserved_a, "scenario conservation failed");
+    assert!(offered_a > 0 && served_a > 0, "scenario load flowed");
+    assert_eq!(offered_a, offered_b, "offered count must replay");
+    assert_eq!(fp_a, fp_b, "scenario fingerprint must replay");
+}
+
+#[test]
+#[ignore = "nightly: long-horizon chaos soak sweep"]
+fn long_horizon_chaos_sweep() {
+    for seed in [0xC0FF_EE00u64, 1_234, 98_765, 31_337, 0xFEED_F00D] {
+        for rate in [40_000u32, 120_000, 220_000] {
+            let opts = SoakOptions {
+                batches: 400,
+                ..SoakOptions::new(seed, rate)
+            };
+            let a = run_chaos_soak(opts);
+            let b = run_chaos_soak(opts);
+            assert!(a.conserved, "seed {seed:#x} rate {rate}: not conserved");
+            assert_eq!(
+                a.replay_fingerprint(),
+                b.replay_fingerprint(),
+                "seed {seed:#x} rate {rate}: replay diverged"
+            );
+        }
+    }
+}

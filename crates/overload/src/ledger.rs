@@ -14,12 +14,14 @@
 //! * **shed** — admitted but dropped by the QoS-aware shedder / RED front
 //!   end / an open shard breaker;
 //! * **shard** — written off with a stuck fabric or crashed shard's
-//!   backlog.
+//!   backlog;
+//! * **drain** — accepted at the network ingress edge but written off
+//!   unserved when a graceful drain (or shutdown) flushed the boundary.
 //!
 //! A packet is recorded at exactly one site — the first that touches it —
 //! so the partition sums *exactly*: `total() == admission + ring + shed +
-//! shard`, and the endsystem's conservation assert becomes `transmitted +
-//! ledger.total() + still_queued == offered`.
+//! shard + drain`, and the endsystem's conservation assert becomes
+//! `transmitted + ledger.total() + still_queued == offered`.
 
 use serde::Serialize;
 
@@ -34,6 +36,9 @@ pub enum LossSite {
     Shed,
     /// Written off with a stuck/crashed shard's abandoned backlog.
     Shard,
+    /// Accepted at the ingress edge but written off unserved by a
+    /// graceful drain or shutdown flush.
+    Drain,
 }
 
 impl LossSite {
@@ -44,15 +49,17 @@ impl LossSite {
             LossSite::Ring => "ring",
             LossSite::Shed => "shed",
             LossSite::Shard => "shard",
+            LossSite::Drain => "drain",
         }
     }
 
     /// All sites, in declaration order.
-    pub const ALL: [LossSite; 4] = [
+    pub const ALL: [LossSite; 5] = [
         LossSite::Admission,
         LossSite::Ring,
         LossSite::Shed,
         LossSite::Shard,
+        LossSite::Drain,
     ];
 }
 
@@ -67,6 +74,8 @@ pub struct LossLedger {
     pub shed: u64,
     /// Packets abandoned with failed/stuck shards.
     pub shard: u64,
+    /// Packets written off unserved by a graceful ingress drain.
+    pub drain: u64,
 }
 
 impl LossLedger {
@@ -85,6 +94,7 @@ impl LossLedger {
             LossSite::Ring => self.ring += 1,
             LossSite::Shed => self.shed += 1,
             LossSite::Shard => self.shard += 1,
+            LossSite::Drain => self.drain += 1,
         }
     }
 
@@ -97,6 +107,7 @@ impl LossLedger {
             LossSite::Ring => self.ring += n,
             LossSite::Shed => self.shed += n,
             LossSite::Shard => self.shard += n,
+            LossSite::Drain => self.drain += n,
         }
     }
 
@@ -107,12 +118,13 @@ impl LossLedger {
             LossSite::Ring => self.ring,
             LossSite::Shed => self.shed,
             LossSite::Shard => self.shard,
+            LossSite::Drain => self.drain,
         }
     }
 
     /// Total loss — by construction the exact sum of the partition.
     pub fn total(&self) -> u64 {
-        self.admission + self.ring + self.shed + self.shard
+        self.admission + self.ring + self.shed + self.shard + self.drain
     }
 
     /// Folds another ledger in (e.g. merging per-thread ledgers).
@@ -121,6 +133,7 @@ impl LossLedger {
         self.ring += other.ring;
         self.shed += other.shed;
         self.shard += other.shard;
+        self.drain += other.drain;
     }
 
     /// Publishes the per-site counters into `registry` as
@@ -160,12 +173,13 @@ impl std::fmt::Display for LossLedger {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "lost {} (admission {}, ring {}, shed {}, shard {})",
+            "lost {} (admission {}, ring {}, shed {}, shard {}, drain {})",
             self.total(),
             self.admission,
             self.ring,
             self.shed,
-            self.shard
+            self.shard,
+            self.drain
         )
     }
 }
@@ -182,7 +196,8 @@ mod tests {
         l.record(LossSite::Ring);
         l.record_n(LossSite::Shed, 5);
         l.record_n(LossSite::Shard, 3);
-        assert_eq!(l.total(), 11);
+        l.record_n(LossSite::Drain, 4);
+        assert_eq!(l.total(), 15);
         assert_eq!(
             LossSite::ALL.iter().map(|&s| l.at(s)).sum::<u64>(),
             l.total(),
@@ -221,8 +236,7 @@ mod tests {
             snap.metrics
                 .iter()
                 .find(|m| {
-                    m.name == name
-                        && site.is_none_or(|s| m.labels.iter().any(|(_, v)| v == s))
+                    m.name == name && site.is_none_or(|s| m.labels.iter().any(|(_, v)| v == s))
                 })
                 .map(|m| match &m.value {
                     ss_telemetry::MetricValue::Counter(c) => *c,

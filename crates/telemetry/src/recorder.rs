@@ -251,7 +251,15 @@ impl TrackRecorder {
     /// keep their recording order through a stable export sort.
     // lint:hot-path
     #[inline]
-    pub fn record_at(&mut self, tsc: u64, tag: u64, cycle: u64, stage: Stage, detail: u8, arg: u32) {
+    pub fn record_at(
+        &mut self,
+        tsc: u64,
+        tag: u64,
+        cycle: u64,
+        stage: Stage,
+        detail: u8,
+        arg: u32,
+    ) {
         self.ring.push(StageEvent {
             tag,
             tsc,
@@ -302,7 +310,10 @@ impl Drop for TrackRecorder {
 /// stable, so same-track order — which is always causal — survives ties.
 #[must_use]
 pub fn stitch(tracks: &[TrackDump]) -> Vec<StageEvent> {
-    let mut all: Vec<StageEvent> = tracks.iter().flat_map(|t| t.events.iter().copied()).collect();
+    let mut all: Vec<StageEvent> = tracks
+        .iter()
+        .flat_map(|t| t.events.iter().copied())
+        .collect();
     all.sort_by_key(|e| (e.tsc, e.stage.lifecycle_rank().unwrap_or(u8::MAX), e.track));
     all
 }
@@ -322,6 +333,9 @@ pub enum DumpReason {
     Manual,
     /// A continuously-checked simulation/soak invariant failed.
     InvariantViolation,
+    /// A graceful ingress drain exceeded its deadline with work still in
+    /// flight.
+    DrainTimeout,
 }
 
 /// A flight-recorder snapshot: the last-N events before `reason` fired,
@@ -601,7 +615,10 @@ mod tests {
                 name: "a".into(),
                 // Same tsc as the dequeue above: the rank tie-break must
                 // put the enqueue first.
-                events: vec![ev(tag, 100, Stage::RingEnqueue), ev(tag, 90, Stage::Admitted)],
+                events: vec![
+                    ev(tag, 100, Stage::RingEnqueue),
+                    ev(tag, 90, Stage::Admitted),
+                ],
                 dropped: 0,
                 total: 2,
             },

@@ -323,6 +323,54 @@ fn steady_state_decision_cycles_do_not_allocate() {
         assert_eq!(flight.auto_dump(DumpReason::Manual, 512).events.len(), 128);
     }
 
+    // --- Ingress frame decode + edge gate: the wire fast path stays
+    // heap-free --- The decoder's buffer is a fixed Box<[u8]> and every
+    // SUBMIT entry is read through a borrowed view, so steady-state
+    // decode → offer → serve → tick must never touch the heap once the
+    // RED backlog's VecDeque has reached its high-water capacity.
+    #[cfg(feature = "ingress")]
+    {
+        use sharestreams::endsystem::RedConfig;
+        use sharestreams::ingress::{frame, EdgeGate, Frame, FrameDecoder, IngressArrival};
+        let entries: Vec<(u32, u16)> = (0..16)
+            .map(|i| (i as u32 % SLOTS as u32, i as u16))
+            .collect();
+        let mut encoded = Vec::new();
+        frame::encode_submit(&mut encoded, 1, &entries);
+        let windows: Vec<WindowConstraint> = (0..SLOTS)
+            .map(|s| WindowConstraint::new((s % 4) as u8, 4))
+            .collect();
+        let mut dec = FrameDecoder::new(4096);
+        let mut gate = EdgeGate::new(&windows, 1_000, 4_000, RedConfig::classic(64), 7);
+        let spin = |dec: &mut FrameDecoder, gate: &mut EdgeGate, cycles: u64| {
+            for _ in 0..cycles {
+                dec.push(&encoded).unwrap();
+                while let Ok(Some(f)) = dec.next() {
+                    if let Frame::Submit(v) = f {
+                        for e in v.iter() {
+                            let _ = gate.offer(IngressArrival {
+                                slot: e.slot,
+                                tag: e.tag,
+                            });
+                        }
+                    }
+                }
+                while let Some(a) = gate.pop_backlog() {
+                    gate.mark_served(a.slot as usize);
+                }
+                gate.tick();
+            }
+        };
+        spin(&mut dec, &mut gate, WARMUP);
+        let before = allocations();
+        spin(&mut dec, &mut gate, MEASURED);
+        assert_eq!(
+            allocations() - before,
+            0,
+            "ingress decode/offer/serve/tick allocated in steady state"
+        );
+    }
+
     // --- Overload gate: the admit/shed/tick fast path stays heap-free ---
     // Warmup drives the RED mirror's VecDeque to its high-water capacity
     // and the 2-offers-per-serve loop then holds occupancy inside the RED
